@@ -1,0 +1,61 @@
+// Ablation: 3G RRC inactivity timer settings vs the S3 stuck time. On the
+// cell-reselection path the device cannot leave 3G before RRC decays to
+// IDLE, so even without data the stuck time is bounded below by the
+// carrier's DCH->FACH + FACH->IDLE timers (design-space context for §5.3's
+// "bullet-proof RRC" remark).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace cnv;
+
+namespace {
+
+double StuckSeconds(SimDuration dch_to_fach, SimDuration fach_to_idle) {
+  stack::TestbedConfig cfg;
+  cfg.profile = stack::OpII();
+  cfg.profile.lu_failure_prob = 0;
+  cfg.profile.rrc_dch_to_fach = dch_to_fach;
+  cfg.profile.rrc_fach_to_idle = fach_to_idle;
+  stack::Testbed tb(cfg);
+  tb.ue().PowerOn(nas::System::k4G);
+  tb.Run(Seconds(2));
+  tb.ue().Dial();
+  bench::RunUntil(tb,
+                  [&] {
+                    return tb.ue().call_state() ==
+                           stack::UeDevice::CallState::kActive;
+                  },
+                  Minutes(2));
+  tb.Run(Seconds(10));
+  tb.ue().HangUp();
+  bench::RunUntil(tb, [&] { return tb.ue().serving() == nas::System::k4G; },
+                  Minutes(5));
+  return tb.ue().stuck_in_3g_seconds().Count() > 0
+             ? tb.ue().stuck_in_3g_seconds().Values().back()
+             : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation: RRC inactivity timers vs stuck time (no data)",
+                "S3 design space (§5.3); OP-II cell-reselection path");
+
+  std::printf("%-16s %-16s %-14s %s\n", "DCH->FACH (s)", "FACH->IDLE (s)",
+              "stuck (s)", "");
+  for (const int dch : {1, 3, 5, 8}) {
+    for (const int fach : {2, 6, 12, 20}) {
+      const double stuck = StuckSeconds(Seconds(dch), Seconds(fach));
+      std::printf("%-16d %-16d %-14.1f |%s|\n", dch, fach, stuck,
+                  bench::Bar(stuck, 30.0, 28).c_str());
+    }
+  }
+  std::printf(
+      "\nstuck time tracks DCH->FACH + FACH->IDLE almost exactly: the\n"
+      "reselection fires as soon as RRC reaches IDLE. Shorter inactivity\n"
+      "timers shrink the no-data stuck window but cannot help while a data\n"
+      "session pins DCH/FACH — that needs the CSFB tag (fig12/sec9) or\n"
+      "a different switching option.\n");
+  return 0;
+}

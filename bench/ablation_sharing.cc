@@ -1,0 +1,74 @@
+// Ablation: the channel-sharing schemes of §6.2 on a multi-user cell. The
+// carrier practice couples each device's CS and PS on one channel under one
+// modulation; the paper sketches clustering PS sessions of many devices
+// together (CS grouped separately) and letting each flow adopt its own
+// modulation. This bench sweeps the user mix and radio diversity.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/cell.h"
+#include "util/rng.h"
+
+using namespace cnv;
+
+namespace {
+
+std::vector<sim::CellUser> MakeUsers(int n_data, int n_calls,
+                                     bool diverse_radio, Rng& rng) {
+  std::vector<sim::CellUser> users;
+  for (int i = 0; i < n_data; ++i) {
+    sim::CellUser u;
+    u.data_demand_mbps = 50.0;  // saturating
+    u.rssi_dbm = diverse_radio ? rng.Uniform(-100.0, -60.0) : -70.0;
+    users.push_back(u);
+  }
+  for (int i = 0; i < n_calls; ++i) {
+    sim::CellUser u;
+    u.cs_call = true;
+    u.rssi_dbm = -75.0;
+    users.push_back(u);
+  }
+  return users;
+}
+
+void Sweep(bool diverse_radio) {
+  Rng rng(17);
+  std::printf("\nradio conditions: %s\n",
+              diverse_radio ? "diverse (-100..-60 dBm)" : "uniform (-70 dBm)");
+  std::printf("%-14s %-44s %s\n", "PS users/calls", "scheme",
+              "total PS DL Mbps (per-user)");
+  for (const auto& [n_data, n_calls] :
+       std::vector<std::pair<int, int>>{{4, 0}, {4, 1}, {4, 3}, {8, 2}}) {
+    const auto users = MakeUsers(n_data, n_calls, diverse_radio, rng);
+    for (const auto scheme : {sim::SharingScheme::kCoupledSharedChannel,
+                              sim::SharingScheme::kClusteredByDomain,
+                              sim::SharingScheme::kPerUserModulation}) {
+      sim::Cell cell(scheme, stack::OpI().channel_policy);
+      cell.SetUsers(users);
+      const double total =
+          cell.TotalPsThroughputMbps(sim::Direction::kDownlink, 0.62);
+      std::printf("%2d/%-11d %-44s %6.2f (%.2f)\n", n_data, n_calls,
+                  sim::ToString(scheme).c_str(), total,
+                  total / n_data);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation: channel sharing schemes on a multi-user cell",
+                "§6.2 alternative sharing discussion");
+
+  Sweep(/*diverse_radio=*/false);
+  Sweep(/*diverse_radio=*/true);
+
+  std::printf(
+      "\nReading: with any CS call, the coupled scheme drags every PS user\n"
+      "to the robust modulation plus the CS-priority penalty. Clustering\n"
+      "PS away from CS restores the high-rate scheme unless a weak-signal\n"
+      "member drags the cluster down; per-user modulation is additionally\n"
+      "immune to that, matching §6.2's 'each adopts his own scheme'.\n");
+  return 0;
+}

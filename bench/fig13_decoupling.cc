@@ -1,0 +1,51 @@
+// Regenerates Figure 13 (§9.2, domain decoupling): voice and data speeds
+// with the CS/PS traffic coupled on one shared channel (single modulation)
+// versus decoupled onto per-domain channels (64QAM for PS, a robust scheme
+// for CS). The paper reports ~1.6x data improvement from decoupling.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/channel.h"
+
+using namespace cnv;
+
+namespace {
+
+void Report(sim::Direction dir, const char* title) {
+  std::printf("\n%s speeds (Mbps):\n", title);
+  std::printf("%-12s %-12s %-12s\n", "", "voice", "data");
+  double coupled_rate = 0, decoupled_rate = 0;
+  // The paper's prototype emulates the two modulations with 802.11a rates
+  // and no carrier scheduler, so the comparison isolates the modulation
+  // effect: no CS-priority penalty here.
+  sim::ChannelPolicy modulation_only;
+  modulation_only.dl_call_penalty = 1.0;
+  modulation_only.ul_call_penalty = 1.0;
+  for (const bool decoupled : {false, true}) {
+    sim::SharedChannel ch(modulation_only);
+    ch.set_decoupled(decoupled);
+    ch.SetCsCallActive(true);  // VoIP call ongoing in both cases
+    const double load = 0.62;
+    const double data = ch.PsThroughputMbps(dir, load);
+    const double voice = ch.CsThroughputKbps() / 1000.0;
+    std::printf("%-12s %-12.3f %-12.2f |%s|\n",
+                decoupled ? "decoupled" : "coupled", voice, data,
+                bench::Bar(data, 14.0, 28).c_str());
+    (decoupled ? decoupled_rate : coupled_rate) = data;
+  }
+  std::printf("data improvement from decoupling: %.1fx (paper: ~1.6x)\n",
+              decoupled_rate / coupled_rate);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Coupled vs decoupled voice + data on the 3G channel",
+                "Figure 13 (§9.2)");
+  Report(sim::Direction::kDownlink, "downlink");
+  Report(sim::Direction::kUplink, "uplink");
+  std::printf(
+      "\nvoice stays on a robust modulation in both cases (12.2 kbps AMR\n"
+      "is always satisfied); decoupling lets PS keep the high-rate scheme.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Regenerates Figure 7: call setup time and RSSI along Route-1 (15-mile
+// freeway). The caller repeatedly dials, hangs up, and immediately redials;
+// location area updates fire at the 9.5-mile and 13.2-mile spots. Calls
+// that collide with an update show the ~8 s setup inflation (S4).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/radio.h"
+
+using namespace cnv;
+
+int main() {
+  bench::Banner("Call setup time and RSSI on Route-1",
+                "Figure 7 (§6.1.2), OP-I");
+
+  stack::TestbedConfig cfg;
+  cfg.profile = stack::OpI();
+  cfg.seed = 42;
+  stack::Testbed tb(cfg);
+  const sim::RssiProfile route = sim::Route1Profile();
+
+  tb.ue().PowerOn(nas::System::k3G);
+  tb.Run(Seconds(15));
+
+  constexpr double kMph = 60.0;  // one mile per minute
+  const SimTime start = tb.sim().now();
+  auto mile_now = [&] {
+    return ToSeconds(tb.sim().now() - start) / 60.0 * (kMph / 60.0);
+  };
+
+  const std::vector<double> update_spots = {9.5, 13.2};
+  std::size_t next_spot = 0;
+
+  struct CallRow {
+    double mile;
+    double rssi;
+    double setup_s;
+    bool during_update;
+  };
+  std::vector<CallRow> rows;
+
+  while (mile_now() < 15.0) {
+    // Keep RSSI and update spots current.
+    tb.ue().SetRssi(route.At(mile_now()));
+    if (next_spot < update_spots.size() &&
+        mile_now() >= update_spots[next_spot]) {
+      ++next_spot;
+      tb.ue().CrossAreaBoundary();
+    }
+    const double dial_mile = mile_now();
+    const bool lu_busy =
+        tb.ue().mm_state() != stack::UeDevice::MmState::kIdle;
+    const std::size_t calls_before = tb.ue().call_setup_seconds().Count();
+    tb.ue().Dial();
+    bench::RunUntil(tb,
+                    [&] {
+                      return tb.ue().call_setup_seconds().Count() >
+                             calls_before;
+                    },
+                    Minutes(2));
+    if (tb.ue().call_setup_seconds().Count() == calls_before) break;
+    rows.push_back({dial_mile, route.At(dial_mile),
+                    tb.ue().call_setup_seconds().Values().back(), lu_busy});
+    tb.Run(Seconds(8));  // short call, then hang up and redial
+    tb.ue().HangUp();
+    tb.Run(Seconds(2));
+  }
+
+  std::printf("%-8s %-10s %-12s %s\n", "mile", "RSSI(dBm)", "setup(s)",
+              "collided with location update?");
+  double plain_sum = 0, plain_n = 0, inflated_max = 0;
+  for (const auto& r : rows) {
+    std::printf("%-8.1f %-10.0f %-12.1f %s  |%s|\n", r.mile, r.rssi,
+                r.setup_s, r.during_update ? "YES" : "no ",
+                bench::Bar(r.setup_s, 22.0, 30).c_str());
+    if (!r.during_update) {
+      plain_sum += r.setup_s;
+      plain_n += 1;
+    } else {
+      if (r.setup_s > inflated_max) inflated_max = r.setup_s;
+    }
+  }
+  if (plain_n > 0) {
+    std::printf("\naverage setup without collision: %.1fs (paper: ~11.4s)\n",
+                plain_sum / plain_n);
+  }
+  if (inflated_max > 0) {
+    std::printf("worst collided setup: %.1fs (paper: ~19.7s)\n",
+                inflated_max);
+  }
+  std::printf("RSSI stays within the good-signal band [-95,-51] dBm, so the\n"
+              "inflation is attributable to the location update, not radio.\n");
+  return 0;
+}

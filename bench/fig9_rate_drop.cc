@@ -1,0 +1,61 @@
+// Regenerates Figure 9: downlink and uplink PS speed with and without a
+// concurrent CS call across 3-hour bins of the day, for both carriers. The
+// drop comes from the shared-channel modulation downgrade plus the
+// carrier's CS-priority scheduling (S5, §6.2).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/channel.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+using namespace cnv;
+
+namespace {
+
+// Repeated speed tests within one bin; load jitters around the bin mean
+// like real cell load does.
+Samples SpeedTests(const stack::CarrierProfile& profile, int hour,
+                   bool with_call, sim::Direction dir, Rng& rng) {
+  sim::SharedChannel ch(profile.channel_policy);
+  ch.SetCsCallActive(with_call);
+  Samples s;
+  for (int i = 0; i < 25; ++i) {
+    const double load = std::clamp(
+        sim::TimeOfDayLoad(hour) * rng.Uniform(0.85, 1.15), 0.05, 1.0);
+    s.Add(ch.PsThroughputMbps(dir, load));
+  }
+  return s;
+}
+
+void PrintDirection(const stack::CarrierProfile& profile, sim::Direction dir,
+                    const char* title) {
+  Rng rng(7);
+  std::printf("\n%s (%s): Mbps as max/median/min\n", title,
+              profile.name.c_str());
+  std::printf("%-8s %-24s %-24s %s\n", "bin", "w/o call", "w/ call",
+              "drop(median)");
+  const int bins[6] = {8, 11, 14, 17, 20, 23};
+  for (const int h : bins) {
+    const auto without = SpeedTests(profile, h, false, dir, rng);
+    const auto with = SpeedTests(profile, h, true, dir, rng);
+    std::printf("%02d-%02d    %5.1f/%5.1f/%5.1f        %5.2f/%5.2f/%5.2f       %5.1f%%\n",
+                h, (h + 3) % 24, without.Max(), without.Median(),
+                without.Min(), with.Max(), with.Median(), with.Min(),
+                (1.0 - with.Median() / without.Median()) * 100.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("PS data speed with/without CS calls",
+                "Figure 9 (§6.2); paper: DL drop ~73.9%/74.8%, UL drop "
+                "51.1% (OP-I) / 96.1% (OP-II)");
+
+  for (const auto& profile : {stack::OpI(), stack::OpII()}) {
+    PrintDirection(profile, sim::Direction::kDownlink, "downlink");
+    PrintDirection(profile, sim::Direction::kUplink, "uplink");
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Engine microbenchmarks (google-benchmark): throughput of the substrates —
+// the explicit-state explorer, the random walker, the discrete-event
+// simulator kernel, the shim layer and a full simulated attach.
+#include <benchmark/benchmark.h>
+
+#include "mck/explorer.h"
+#include "mck/random_walk.h"
+#include "mck/toy_models.h"
+#include "model/s2_model.h"
+#include "sim/simulator.h"
+#include "solution/shim.h"
+#include "stack/testbed.h"
+
+namespace cnv {
+namespace {
+
+void BM_ExplorePeterson(benchmark::State& state) {
+  mck::toys::PetersonModel m;
+  mck::PropertySet<mck::toys::PetersonModel::State> props = {
+      {"mutex",
+       [](const mck::toys::PetersonModel::State& s) {
+         return !mck::toys::PetersonModel::BothCritical(s);
+       },
+       ""}};
+  for (auto _ : state) {
+    auto r = mck::Explore(m, props);
+    benchmark::DoNotOptimize(r.stats.states_visited);
+    state.counters["states"] = static_cast<double>(r.stats.states_visited);
+  }
+}
+BENCHMARK(BM_ExplorePeterson);
+
+void BM_ExploreS2Model(benchmark::State& state) {
+  model::S2Model m;
+  const auto props = model::S2Model::Properties();
+  for (auto _ : state) {
+    mck::ExploreOptions opt;
+    opt.first_violation_per_property = false;  // full space
+    auto r = mck::Explore(m, {}, opt);
+    benchmark::DoNotOptimize(r.stats.states_visited);
+    state.counters["states"] = static_cast<double>(r.stats.states_visited);
+  }
+  (void)props;
+}
+BENCHMARK(BM_ExploreS2Model);
+
+void BM_RandomWalkS2(benchmark::State& state) {
+  model::S2Model m;
+  const auto props = model::S2Model::Properties();
+  Rng rng(1);
+  for (auto _ : state) {
+    mck::WalkOptions opt;
+    opt.walks = 100;
+    opt.first_violation_per_property = false;
+    auto r = mck::RandomWalk(m, props, rng, opt);
+    benchmark::DoNotOptimize(r.stats.steps_taken);
+  }
+}
+BENCHMARK(BM_RandomWalkS2);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+      if (++fired < 10'000) sim.ScheduleIn(1, chain);
+    };
+    sim.ScheduleIn(1, chain);
+    sim.RunAll();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_ShimTransferOverLossyLink(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    Rng rng(3);
+    sim::Link ab(sim, rng,
+                 {.delay = Millis(30), .loss_prob = 0.2, .reliable = false},
+                 "a->b");
+    sim::Link ba(sim, rng,
+                 {.delay = Millis(30), .loss_prob = 0.2, .reliable = false},
+                 "b->a");
+    solution::ShimEndpoint a(sim, "A");
+    solution::ShimEndpoint b(sim, "B");
+    a.SetTransmit([&](const nas::Message& m) { ab.Send(m); });
+    b.SetTransmit([&](const nas::Message& m) { ba.Send(m); });
+    ab.SetReceiver([&](const nas::Message& m) { b.OnRaw(m); });
+    ba.SetReceiver([&](const nas::Message& m) { a.OnRaw(m); });
+    int delivered = 0;
+    b.SetDeliver([&](const nas::Message&) { ++delivered; });
+    for (int i = 0; i < 100; ++i) {
+      nas::Message m;
+      m.kind = nas::MsgKind::kTauRequest;
+      a.Send(m);
+    }
+    sim.RunAll(Minutes(30));
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ShimTransferOverLossyLink);
+
+void BM_FullAttachOnTestbed(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    stack::TestbedConfig cfg;
+    cfg.seed = seed++;
+    stack::Testbed tb(cfg);
+    tb.ue().PowerOn(nas::System::k4G);
+    tb.Run(Seconds(3));
+    benchmark::DoNotOptimize(tb.ue().eps_bearer_active());
+  }
+}
+BENCHMARK(BM_FullAttachOnTestbed);
+
+void BM_CsfbCallRoundTrip(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    stack::TestbedConfig cfg;
+    cfg.profile = stack::OpI();
+    cfg.seed = seed++;
+    stack::Testbed tb(cfg);
+    tb.ue().PowerOn(nas::System::k4G);
+    tb.Run(Seconds(3));
+    tb.ue().Dial();
+    tb.Run(Seconds(40));
+    tb.ue().HangUp();
+    tb.Run(Seconds(20));
+    benchmark::DoNotOptimize(tb.ue().serving());
+  }
+}
+BENCHMARK(BM_CsfbCallRoundTrip);
+
+}  // namespace
+}  // namespace cnv
+
+BENCHMARK_MAIN();

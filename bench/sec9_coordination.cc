@@ -1,0 +1,96 @@
+// Regenerates §9.3 (cross-system coordination):
+//  1) 3G->4G switch time without an active PDP context, with the
+//     EPS-bearer-reactivation remedy (no detach, ~sub-second) versus the
+//     standard behaviour (detach + operator-controlled re-attach);
+//  2) the MME absorbing a 3G location-update failure instead of detaching
+//     the device.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "util/stats.h"
+
+using namespace cnv;
+
+namespace {
+
+Samples SwitchTimes(bool remedy, const stack::CarrierProfile& profile,
+                    int runs) {
+  Samples out;
+  for (int i = 0; i < runs; ++i) {
+    stack::TestbedConfig cfg;
+    cfg.profile = profile;
+    cfg.solutions.reactivate_bearer = remedy;
+    cfg.seed = 900 + static_cast<std::uint64_t>(i);
+    stack::Testbed tb(cfg);
+    tb.ue().PowerOn(nas::System::k4G);
+    tb.Run(Seconds(2));
+    tb.ue().SwitchTo3g(model::SwitchReason::kMobility);
+    tb.Run(Seconds(5));
+    tb.sgsn().DeactivatePdp(nas::PdpDeactCause::kRegularDeactivation);
+    tb.Run(Seconds(1));
+    const SimTime start = tb.sim().now();
+    tb.ue().SwitchTo4g();
+    bench::RunUntil(tb,
+                    [&] {
+                      return !tb.ue().out_of_service() &&
+                             tb.ue().emm_state() ==
+                                 stack::UeDevice::EmmState::kRegistered &&
+                             tb.ue().eps_bearer_active();
+                    },
+                    Minutes(2));
+    out.Add(ToSeconds(tb.sim().now() - start));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Cross-system coordination remedies",
+                "§9.3; paper: 0.1-0.4s (median 0.27s) with the remedy vs "
+                "0.3-1.3s+ (median 0.9s, up to 24.7s) without");
+
+  std::printf("1) 3G->4G switch time with no active PDP context (%d runs "
+              "each, OP-I):\n",
+              30);
+  for (const bool remedy : {true, false}) {
+    const Samples s = SwitchTimes(remedy, stack::OpI(), 30);
+    std::printf("   %-22s min %.2fs  median %.2fs  max %.2fs\n",
+                remedy ? "with reactivation" : "without (detach+reattach)",
+                s.Min(), s.Median(), s.Max());
+  }
+
+  std::printf("\n2) MME handling of a 3G location-update failure after a "
+              "CSFB call:\n");
+  for (const bool remedy : {false, true}) {
+    stack::TestbedConfig cfg;
+    cfg.profile = stack::OpII();
+    cfg.profile.lu_failure_prob = 1.0;  // force the race
+    cfg.solutions.mme_lu_recovery = remedy;
+    stack::Testbed tb(cfg);
+    tb.ue().PowerOn(nas::System::k4G);
+    tb.Run(Seconds(2));
+    tb.ue().Dial();
+    bench::RunUntil(tb,
+                    [&] {
+                      return tb.ue().call_state() ==
+                             stack::UeDevice::CallState::kActive;
+                    },
+                    Minutes(2));
+    tb.Run(Seconds(10));
+    tb.ue().HangUp();
+    bench::RunUntil(tb,
+                    [&] { return tb.ue().serving() == nas::System::k4G; },
+                    Minutes(2));
+    tb.Run(Seconds(20));
+    bench::RunUntil(tb, [&] { return !tb.ue().out_of_service(); },
+                    Minutes(2));
+    std::printf("   %-22s detaches sent: %llu, MME LU recoveries: %llu, "
+                "MSC registered: %s\n",
+                remedy ? "with MME recovery" : "without",
+                static_cast<unsigned long long>(tb.mme().detaches_sent()),
+                static_cast<unsigned long long>(tb.mme().lu_recoveries()),
+                tb.msc().registered() ? "yes" : "no");
+  }
+  return 0;
+}

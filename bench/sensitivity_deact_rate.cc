@@ -1,0 +1,67 @@
+// Sensitivity analysis: out-of-service exposure vs the network's
+// PDP-deactivation rate. §7 notes that issues arising with small natural
+// probability can be inflated if the triggering events become frequent;
+// this harness quantifies how the S1 exposure (HSS-visible deregistered
+// time) scales with the deactivation rate, with and without the §8
+// cross-system remedy — the remedy flattens the curve to zero.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "stack/scenarios.h"
+
+using namespace cnv;
+
+namespace {
+
+// Fraction of a busy hour (one 3G camp + return per 2 minutes) the device
+// spends deregistered, for a given per-camp deactivation probability.
+double OosFraction(double deact_prob, bool remedy, std::uint64_t seed) {
+  stack::TestbedConfig cfg;
+  cfg.profile = stack::OpI();
+  cfg.profile.lu_failure_prob = 0;
+  cfg.solutions.reactivate_bearer = remedy;
+  cfg.seed = seed;
+  stack::Testbed tb(cfg);
+  Rng rng(seed * 31 + 1);
+
+  if (!stack::scenario::AttachIn4g(tb)) return -1;
+  tb.ue().StartDataSession(0.5);
+  tb.Run(Seconds(2));
+
+  const SimTime start = tb.sim().now();
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    tb.ue().SwitchTo3g(model::SwitchReason::kMobility);
+    tb.Run(Seconds(60));
+    if (rng.Bernoulli(deact_prob)) {
+      tb.sgsn().DeactivatePdp(nas::PdpDeactCause::kRegularDeactivation);
+      tb.Run(Seconds(1));
+    }
+    tb.ue().SwitchTo4g();
+    stack::scenario::RunUntil(tb, [&] { return !tb.ue().out_of_service(); },
+                              Minutes(2));
+    tb.Run(Seconds(59));
+  }
+  const double elapsed = ToSeconds(tb.sim().now() - start);
+  return ToSeconds(tb.hss().DeregisteredTime(tb.imsi())) / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Sensitivity: out-of-service exposure vs deactivation rate",
+                "§7 remark on inflated trigger rates; S1 + §8 remedy");
+
+  std::printf("%-18s %-22s %s\n", "deact prob/camp", "OOS fraction w/o fix",
+              "OOS fraction w/ reactivation");
+  for (const double p : {0.0, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    const double without = OosFraction(p, /*remedy=*/false, 42);
+    const double with = OosFraction(p, /*remedy=*/true, 42);
+    std::printf("%-18.2f %-22.3f %.3f   |%s|\n", p, without, with,
+                bench::Bar(without, 0.2, 30).c_str());
+  }
+  std::printf(
+      "\nThe exposure grows linearly with the deactivation rate (each hit\n"
+      "costs one operator-controlled re-attach); the bearer-reactivation\n"
+      "remedy keeps the device registered at every rate.\n");
+  return 0;
+}

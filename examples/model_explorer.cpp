@@ -1,0 +1,65 @@
+// Model-exploration workbench: the checker-side tooling on one model.
+// Exhausts the S3 screening model, prints the MM_OK counterexample, runs
+// the recoverability analysis (is the stuck state permanent?), and writes a
+// Graphviz rendering of the reachable state graph with stuck states
+// highlighted (render with: dot -Tsvg s3_model.dot -o s3_model.svg).
+//
+// Build and run:  ./model_explorer [output.dot]
+#include <cstdio>
+#include <fstream>
+
+#include "mck/dot.h"
+#include "mck/explorer.h"
+#include "mck/reachability.h"
+#include "model/s3_model.h"
+
+using namespace cnv;
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "s3_model.dot";
+  model::S3Model m;  // cell-reselection policy: the S3 configuration
+
+  // 1. Exhaustive screening.
+  const auto result = mck::Explore(m, m.Properties());
+  std::printf("explored %llu states, %llu transitions\n",
+              (unsigned long long)result.stats.states_visited,
+              (unsigned long long)result.stats.transitions);
+  if (const auto* v = result.FindViolation(model::kMmOk)) {
+    std::printf("\n%s\n", mck::FormatTrace(m, *v).c_str());
+  } else {
+    std::printf("MM_OK holds\n");
+  }
+
+  // 2. Recoverability: the stuck state is session-bounded, not permanent.
+  const auto rec = mck::CheckRecoverable<model::S3Model>(
+      m, [&m](const model::S3Model::State& s) { return m.StuckIn3g(s); },
+      [](const model::S3Model::State& s) {
+        return s.serving == model::S3Model::Sys::k4G;
+      });
+  std::printf("stuck state recoverable on some path: %s\n",
+              rec.holds ? "yes (ending the data session frees the device)"
+                        : "NO - permanent dead end");
+
+  // 3. Graphviz export with the stuck states highlighted.
+  mck::DotOptions<model::S3Model::State> opt;
+  opt.label = [](const model::S3Model::State& s) {
+    std::string l = s.serving == model::S3Model::Sys::k4G ? "4G" : "3G";
+    l += " " + model::ToString(s.rrc3g);
+    l += s.call == model::S3Model::Call::kActive   ? " call"
+         : s.call == model::S3Model::Call::kEnded ? " ended"
+                                                  : "";
+    if (s.data != model::DataRate::kNone) {
+      l += " +" + model::ToString(s.data);
+    }
+    return l;
+  };
+  opt.highlight = [&m](const model::S3Model::State& s) {
+    return m.StuckIn3g(s);
+  };
+  const std::string dot = mck::ExportDot(m, opt);
+  std::ofstream f(out_path);
+  f << dot;
+  std::printf("wrote %zu-byte state graph to %s (%s)\n", dot.size(),
+              out_path.c_str(), "stuck states filled red");
+  return 0;
+}

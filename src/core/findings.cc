@@ -1,0 +1,90 @@
+#include "core/findings.h"
+
+#include <stdexcept>
+
+namespace cnv::core {
+
+const std::vector<FindingInfo>& AllFindings() {
+  static const std::vector<FindingInfo> kFindings = {
+      {FindingId::kS1, "S1",
+       "User device is temporarily \"out-of-service\" during 3G->4G "
+       "switching",
+       FindingType::kDesign, "SM/ESM, GMM/EMM", Dimension::kCrossSystem,
+       FindingCategory::kNecessaryButProblematic,
+       "States are shared but unprotected between 3G and 4G; states are "
+       "deleted during inter-system switching (5.1)",
+       /*found_by_screening=*/true},
+      {FindingId::kS2, "S2",
+       "User device is temporarily \"out-of-service\" during the attach "
+       "procedure",
+       FindingType::kDesign, "EMM, 4G-RRC", Dimension::kCrossLayer,
+       FindingCategory::kNecessaryButProblematic,
+       "MME assumes reliable transfer of signals by RRC; RRC cannot ensure "
+       "it (5.2)",
+       /*found_by_screening=*/true},
+      {FindingId::kS3, "S3", "User device gets stuck in 3G",
+       FindingType::kDesign, "3G-RRC, CM, SM",
+       Dimension::kCrossDomainAndSystem,
+       FindingCategory::kNecessaryButProblematic,
+       "RRC state change policy is inconsistent for inter-system switching "
+       "(5.3)",
+       /*found_by_screening=*/true},
+      {FindingId::kS4, "S4", "Outgoing call/Internet access is delayed",
+       FindingType::kDesign, "CM/MM, SM/GMM", Dimension::kCrossLayer,
+       FindingCategory::kIndependentButCoupled,
+       "Location update does not need to be, but is served with higher "
+       "priority than outgoing call/data requests (6.1)",
+       /*found_by_screening=*/true},
+      {FindingId::kS5, "S5",
+       "PS rate declines (e.g., 96.1% in OP-II) during ongoing CS service",
+       FindingType::kOperation, "3G-RRC, CM, SM", Dimension::kCrossDomain,
+       FindingCategory::kIndependentButCoupled,
+       "3G-RRC configures the shared channel with a single modulation "
+       "scheme for both data and voice (6.2)",
+       /*found_by_screening=*/false},
+      {FindingId::kS6, "S6",
+       "User device is temporarily \"out-of-service\" after 3G->4G "
+       "switching",
+       FindingType::kOperation, "MM, EMM", Dimension::kCrossSystem,
+       FindingCategory::kIndependentButCoupled,
+       "Information and action on location update failure in 3G are exposed "
+       "to 4G (6.3)",
+       /*found_by_screening=*/false},
+  };
+  return kFindings;
+}
+
+const FindingInfo& GetFinding(FindingId id) {
+  for (const auto& f : AllFindings()) {
+    if (f.id == id) return f;
+  }
+  throw std::invalid_argument("GetFinding: unknown id");
+}
+
+std::string ToString(FindingId id) { return GetFinding(id).code; }
+
+std::string ToString(FindingType t) {
+  return t == FindingType::kDesign ? "Design" : "Operation";
+}
+
+std::string ToString(Dimension d) {
+  switch (d) {
+    case Dimension::kCrossLayer:
+      return "Cross-layer";
+    case Dimension::kCrossDomain:
+      return "Cross-domain";
+    case Dimension::kCrossSystem:
+      return "Cross-system";
+    case Dimension::kCrossDomainAndSystem:
+      return "Cross-domain; Cross-system";
+  }
+  return "?";
+}
+
+std::string ToString(FindingCategory c) {
+  return c == FindingCategory::kNecessaryButProblematic
+             ? "Necessary but problematic cooperations"
+             : "Independent but coupled operations";
+}
+
+}  // namespace cnv::core

@@ -1,0 +1,51 @@
+// The catalog of problematic protocol interactions the paper uncovers
+// (Table 1): six instances spanning cross-layer, cross-domain and
+// cross-system dimensions, split between design defects in the 3GPP
+// standards and operational slips by carriers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cnv::core {
+
+enum class FindingId : std::uint8_t { kS1, kS2, kS3, kS4, kS5, kS6 };
+
+enum class FindingType : std::uint8_t { kDesign, kOperation };
+
+enum class Dimension : std::uint8_t {
+  kCrossLayer,
+  kCrossDomain,
+  kCrossSystem,
+  kCrossDomainAndSystem,
+};
+
+enum class FindingCategory : std::uint8_t {
+  kNecessaryButProblematic,  // required cooperations that misbehave (S1-S3)
+  kIndependentButCoupled,    // unnecessary couplings with bad effects (S4-S6)
+};
+
+struct FindingInfo {
+  FindingId id;
+  std::string code;       // "S1".."S6"
+  std::string problem;    // Table 1 "Problems" column
+  FindingType type;       // Design / Operation
+  std::string protocols;  // involved protocols
+  Dimension dimension;
+  FindingCategory category;
+  std::string root_cause;
+  // Whether the screening phase (model checking) can discover it; S5/S6 are
+  // operational and surface only in validation (§4).
+  bool found_by_screening;
+};
+
+const std::vector<FindingInfo>& AllFindings();
+const FindingInfo& GetFinding(FindingId id);
+
+std::string ToString(FindingId id);
+std::string ToString(FindingType t);
+std::string ToString(Dimension d);
+std::string ToString(FindingCategory c);
+
+}  // namespace cnv::core

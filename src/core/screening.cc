@@ -1,0 +1,207 @@
+#include "core/screening.h"
+
+#include <algorithm>
+
+#include "mck/random_walk.h"
+#include "model/s1_model.h"
+#include "model/s2_model.h"
+#include "model/s3_model.h"
+#include "model/s4_model.h"
+#include "util/strings.h"
+
+namespace cnv::core {
+
+namespace {
+
+// Explores one scenario cell exhaustively plus by random walks, collecting
+// violations as (property, trace) pairs.
+template <typename M>
+ScenarioCellResult ExploreCell(const std::string& name, const M& m,
+                               const mck::PropertySet<typename M::State>& props,
+                               FindingId classify_as, Rng& rng,
+                               const ScreeningOptions& options) {
+  ScenarioCellResult cell;
+  cell.cell = name;
+
+  const auto result = mck::Explore(m, props);
+  cell.stats = result.stats;
+  for (const auto& v : result.violations) {
+    cell.violated_properties.push_back(v.property);
+    cell.counterexamples.push_back(mck::FormatTrace(m, v));
+    if (std::find(cell.findings.begin(), cell.findings.end(), classify_as) ==
+        cell.findings.end()) {
+      cell.findings.push_back(classify_as);
+    }
+  }
+
+  // Random-walk sampling (§3.2.1) — a defect found only here would indicate
+  // the exhaustive pass was truncated.
+  mck::WalkOptions wopt;
+  wopt.walks = options.random_walks;
+  const auto walked = mck::RandomWalk(m, props, rng, wopt);
+  for (const auto& v : walked.violations) {
+    if (std::find(cell.violated_properties.begin(),
+                  cell.violated_properties.end(),
+                  v.property) == cell.violated_properties.end()) {
+      cell.violated_properties.push_back(v.property);
+      cell.counterexamples.push_back(mck::FormatTrace(m, v));
+      if (std::find(cell.findings.begin(), cell.findings.end(),
+                    classify_as) == cell.findings.end()) {
+        cell.findings.push_back(classify_as);
+      }
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+bool ScreeningReport::Found(FindingId id) const {
+  return std::find(findings_found.begin(), findings_found.end(), id) !=
+         findings_found.end();
+}
+
+ScreeningRunner::ScreeningRunner(ScreeningOptions options)
+    : options_(options) {}
+
+ScreeningReport ScreeningRunner::RunAll() const {
+  ScreeningReport report;
+  Rng rng(options_.seed);
+  const bool fix = options_.with_solutions;
+
+  // --- S1 cells: inter-system context sharing.
+  {
+    model::S1Model::Config cfg;
+    cfg.fix_keep_context = fix;
+    cfg.fix_reactivate_bearer = fix;
+    model::S1Model m(cfg);
+    report.cells.push_back(ExploreCell(
+        "S1 model / inter-system switches x all PDP deactivation causes", m,
+        model::S1Model::Properties(), FindingId::kS1, rng, options_));
+  }
+  {
+    model::S1Model::Config cfg;
+    cfg.allow_user_data_toggle = false;
+    cfg.fix_keep_context = fix;
+    cfg.fix_reactivate_bearer = fix;
+    model::S1Model m(cfg);
+    report.cells.push_back(
+        ExploreCell("S1 model / network-initiated deactivations only", m,
+                    model::S1Model::Properties(), FindingId::kS1, rng,
+                    options_));
+  }
+
+  // --- S2 cells: unreliable RRC under the attach procedure.
+  {
+    model::S2Model::Config cfg;
+    cfg.allow_duplicate = false;
+    cfg.reliable_shim = fix;
+    model::S2Model m(cfg);
+    report.cells.push_back(
+        ExploreCell("S2 model / lost signaling (Figure 5a)", m,
+                    model::S2Model::Properties(), FindingId::kS2, rng,
+                    options_));
+  }
+  {
+    model::S2Model::Config cfg;
+    cfg.allow_loss = false;
+    cfg.reliable_shim = fix;
+    model::S2Model m(cfg);
+    report.cells.push_back(
+        ExploreCell("S2 model / duplicate signaling (Figure 5b)", m,
+                    model::S2Model::Properties(), FindingId::kS2, rng,
+                    options_));
+  }
+  {
+    model::S2Model::Config cfg;
+    cfg.reliable_shim = fix;
+    model::S2Model m(cfg);
+    report.cells.push_back(
+        ExploreCell("S2 model / loss + duplication combined", m,
+                    model::S2Model::Properties(), FindingId::kS2, rng,
+                    options_));
+  }
+
+  // --- S3 cells: every inter-system switching option (Figure 6a).
+  for (const auto policy : {model::SwitchPolicy::kReleaseWithRedirect,
+                            model::SwitchPolicy::kHandover,
+                            model::SwitchPolicy::kCellReselection}) {
+    model::S3Model::Config cfg;
+    cfg.policy = policy;
+    cfg.fix_csfb_tag = fix;
+    model::S3Model m(cfg);
+    report.cells.push_back(ExploreCell(
+        "S3 model / " + model::ToString(policy), m, m.Properties(),
+        FindingId::kS3, rng, options_));
+  }
+
+  // --- S4 cells: CS-only, PS-only and combined HOL blocking.
+  {
+    model::S4Model::Config cfg;
+    cfg.model_ps = false;
+    cfg.decoupled = fix;
+    model::S4Model m(cfg);
+    report.cells.push_back(ExploreCell("S4 model / CS domain (CM over MM)", m,
+                                       model::S4Model::Properties(),
+                                       FindingId::kS4, rng, options_));
+  }
+  {
+    model::S4Model::Config cfg;
+    cfg.model_cs = false;
+    cfg.decoupled = fix;
+    model::S4Model m(cfg);
+    report.cells.push_back(ExploreCell("S4 model / PS domain (SM over GMM)",
+                                       m, model::S4Model::Properties(),
+                                       FindingId::kS4, rng, options_));
+  }
+  {
+    model::S4Model::Config cfg;
+    cfg.decoupled = fix;
+    model::S4Model m(cfg);
+    report.cells.push_back(ExploreCell("S4 model / both domains", m,
+                                       model::S4Model::Properties(),
+                                       FindingId::kS4, rng, options_));
+  }
+
+  // Aggregate.
+  for (const auto& cell : report.cells) {
+    report.total_states += cell.stats.states_visited;
+    report.total_transitions += cell.stats.transitions;
+    for (const auto f : cell.findings) {
+      if (!report.Found(f)) report.findings_found.push_back(f);
+    }
+  }
+  std::sort(report.findings_found.begin(), report.findings_found.end());
+  return report;
+}
+
+std::string ScreeningRunner::Format(const ScreeningReport& report) {
+  std::string out;
+  out += "=== CNetVerifier screening phase ===\n";
+  for (const auto& cell : report.cells) {
+    out += cnv::Format("\n--- %s ---\n", cell.cell.c_str());
+    out += cnv::Format("    states: %llu  transitions: %llu%s\n",
+                   static_cast<unsigned long long>(cell.stats.states_visited),
+                   static_cast<unsigned long long>(cell.stats.transitions),
+                   cell.stats.truncated ? "  (truncated)" : "");
+    if (cell.findings.empty()) {
+      out += "    all properties hold\n";
+      continue;
+    }
+    for (std::size_t i = 0; i < cell.violated_properties.size(); ++i) {
+      out += "    VIOLATED: " + cell.violated_properties[i] + " -> finding " +
+             ToString(cell.findings.front()) + "\n";
+    }
+  }
+  out += "\n=== findings discovered by screening: ";
+  if (report.findings_found.empty()) {
+    out += "(none)";
+  }
+  for (const auto f : report.findings_found) {
+    out += ToString(f) + " ";
+  }
+  out += "===\n";
+  return out;
+}
+
+}  // namespace cnv::core

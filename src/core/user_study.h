@@ -1,0 +1,90 @@
+// The two-week user study (§7, Table 5 / Table 6): a Monte-Carlo population
+// of volunteers — 4G-capable and 3G-only phones split across the two
+// carriers — living on the simulated testbed for `days` days. Occurrences
+// of S1-S6 are produced by the *mechanisms* in the stack (PDP deactivations
+// while camping on 3G, CSFB returns, update/call collisions during drives,
+// shared-channel calls), not by sampling outcome labels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/findings.h"
+#include "util/stats.h"
+
+namespace cnv::core {
+
+struct UserStudyConfig {
+  int users = 20;
+  int users_with_4g = 12;  // the paper's 12 4G-capable phones
+  int days = 14;
+  std::uint64_t seed = 2014;
+
+  // Behaviour rates, chosen to land near the paper's observed event counts
+  // (190 CSFB calls, ~146 3G CS calls, 436 switches, 30 attaches).
+  double csfb_calls_per_user_day = 1.15;        // 4G users
+  double cs_calls_per_user_day = 0.35;  // 3G-only users (plus drive calls)
+  double extra_switches_per_user_day = 0.11;    // roaming/carrier switches
+  double restart_prob_per_user_day = 0.036;  // + initial power-ons: ~30 attaches
+  double prob_data_at_csfb_call = 103.0 / 190;  // mobile data on at call
+  double prob_data_at_cs_call = 113.0 / 146;    // ongoing data at 3G calls
+  double prob_data_at_switch = 129.0 / 218;     // data on at 4G->3G switch
+  double call_duration_mean_s = 67.0;           // §7, S5 row
+  // Drive-time mobility for 3G users: one drive per day; boundary
+  // crossings during the drive produce the S4 collisions.
+  double drive_minutes_per_day = 20.0;
+  double crossing_interval_mean_s = 90.0;
+};
+
+struct FindingStats {
+  int occurrences = 0;
+  int opportunities = 0;
+
+  double Rate() const {
+    return opportunities == 0
+               ? 0.0
+               : static_cast<double>(occurrences) / opportunities;
+  }
+};
+
+struct UserStudyResult {
+  // Aggregate activity (the §7 headline counts).
+  int csfb_calls = 0;
+  int cs_calls_3g = 0;
+  int inter_system_switches = 0;
+  int attaches = 0;
+
+  std::array<FindingStats, 6> per_finding;  // indexed by FindingId
+
+  // Table 6: time in 3G after the CSFB call ends, per carrier.
+  Samples stuck_seconds_op1;
+  Samples stuck_seconds_op2;
+  // S5 row: affected data per call with ongoing traffic.
+  Samples affected_data_mb;
+  Samples call_durations_s;
+
+  FindingStats& Stats(FindingId id) {
+    return per_finding[static_cast<std::size_t>(id)];
+  }
+  const FindingStats& Stats(FindingId id) const {
+    return per_finding[static_cast<std::size_t>(id)];
+  }
+};
+
+class UserStudy {
+ public:
+  explicit UserStudy(UserStudyConfig config = UserStudyConfig{});
+
+  UserStudyResult Run() const;
+
+  // Renders the Table 5 rows (observed / occurrence probability).
+  static std::string FormatTable5(const UserStudyResult& r);
+  // Renders the Table 6 rows (duration in 3G after CSFB call ends).
+  static std::string FormatTable6(const UserStudyResult& r);
+
+ private:
+  UserStudyConfig config_;
+};
+
+}  // namespace cnv::core

@@ -1,0 +1,116 @@
+// Graphviz export of a model's reachable state graph — handy for inspecting
+// small screening models (e.g. the Figure 6 RRC transitions) and for
+// documenting counterexample neighbourhoods.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mck/explorer.h"
+
+namespace cnv::mck {
+
+template <typename State>
+struct DotOptions {
+  std::size_t max_states = 500;
+  // Node label; defaults to the node's discovery index.
+  std::function<std::string(const State&)> label;
+  // Nodes for which this returns true are drawn filled red (e.g. property
+  // violations).
+  std::function<bool(const State&)> highlight;
+};
+
+namespace internal {
+
+inline std::string DotEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace internal
+
+template <CheckableModel M>
+std::string ExportDot(const M& model,
+                      const DotOptions<typename M::State>& options = {}) {
+  using State = typename M::State;
+  using Action = typename M::Action;
+
+  std::vector<State> states;
+  struct RefHash {
+    const std::vector<State>* arena;
+    std::size_t operator()(std::int64_t i) const {
+      return HashValue((*arena)[static_cast<std::size_t>(i)]);
+    }
+  };
+  struct RefEq {
+    const std::vector<State>* arena;
+    bool operator()(std::int64_t a, std::int64_t b) const {
+      return (*arena)[static_cast<std::size_t>(a)] ==
+             (*arena)[static_cast<std::size_t>(b)];
+    }
+  };
+  std::unordered_map<std::int64_t, std::int64_t, RefHash, RefEq> index(
+      64, RefHash{&states}, RefEq{&states});
+
+  std::string edges;
+  std::queue<std::int64_t> frontier;
+  bool truncated = false;
+
+  auto intern = [&](State s) -> std::pair<std::int64_t, bool> {
+    states.push_back(std::move(s));
+    const auto idx = static_cast<std::int64_t>(states.size()) - 1;
+    auto [it, inserted] = index.try_emplace(idx, idx);
+    if (!inserted) {
+      states.pop_back();
+      return {it->second, false};
+    }
+    return {idx, true};
+  };
+
+  frontier.push(intern(model.initial()).first);
+  while (!frontier.empty() && !truncated) {
+    const auto idx = frontier.front();
+    frontier.pop();
+    for (const Action& a :
+         model.enabled(states[static_cast<std::size_t>(idx)])) {
+      auto [child, inserted] =
+          intern(model.apply(states[static_cast<std::size_t>(idx)], a));
+      edges += "  n" + std::to_string(idx) + " -> n" + std::to_string(child) +
+               " [label=\"" + internal::DotEscape(model.describe(a)) +
+               "\"];\n";
+      if (inserted) {
+        if (states.size() >= options.max_states) {
+          truncated = true;
+          break;
+        }
+        frontier.push(child);
+      }
+    }
+  }
+
+  std::string out = "digraph model {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    out += "  n" + std::to_string(i) + " [label=\"";
+    out += options.label ? internal::DotEscape(options.label(states[i]))
+                         : ("s" + std::to_string(i));
+    out += "\"";
+    if (i == 0) out += ", style=bold";
+    if (options.highlight && options.highlight(states[i])) {
+      out += ", style=filled, fillcolor=lightcoral";
+    }
+    out += "];\n";
+  }
+  out += edges;
+  if (truncated) out += "  // truncated at max_states\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cnv::mck

@@ -1,0 +1,262 @@
+// Explicit-state model checker. This stands in for the SPIN checker the
+// paper embeds in CNetVerifier (§3.2): models are communicating finite state
+// machines, the explorer interleaves all enabled transitions, and each
+// property violation yields a concrete counterexample trace.
+//
+// A model is any type satisfying `CheckableModel`:
+//
+//   struct M {
+//     struct State  { ... regular value type ... };  // with operator==
+//     struct Action { ... };                          // transition label
+//     State initial() const;
+//     std::vector<Action> enabled(const State&) const;
+//     State apply(const State&, const Action&) const;
+//     std::string describe(const Action&) const;
+//   };
+//   std::size_t HashValue(const M::State&);           // found by ADL
+//
+// BFS yields shortest counterexamples (used for reporting); DFS uses less
+// bookkeeping per state and honours a depth bound (used for soak runs).
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "mck/property.h"
+
+namespace cnv::mck {
+
+template <typename M>
+concept CheckableModel = requires(const M m, const typename M::State s,
+                                  const typename M::Action a) {
+  { m.initial() } -> std::convertible_to<typename M::State>;
+  { m.enabled(s) } -> std::convertible_to<std::vector<typename M::Action>>;
+  { m.apply(s, a) } -> std::convertible_to<typename M::State>;
+  { m.describe(a) } -> std::convertible_to<std::string>;
+  { s == s } -> std::convertible_to<bool>;
+  { HashValue(s) } -> std::convertible_to<std::size_t>;
+};
+
+enum class SearchOrder { kBreadthFirst, kDepthFirst };
+
+struct ExploreOptions {
+  SearchOrder order = SearchOrder::kBreadthFirst;
+  // Stop exploring after this many distinct states (0 = unlimited).
+  std::uint64_t max_states = 2'000'000;
+  // Do not explore beyond this depth (0 = unlimited).
+  std::uint64_t max_depth = 0;
+  // Report at most one counterexample per property.
+  bool first_violation_per_property = true;
+  // Also report reachable states with no enabled transitions ("deadlocks").
+  // States for which the model's optional `is_final(state)` returns true are
+  // successful terminations, not deadlocks.
+  bool detect_deadlock = false;
+};
+
+namespace internal {
+
+template <typename M>
+bool IsFinal(const M& model, const typename M::State& s) {
+  if constexpr (requires { { model.is_final(s) } -> std::convertible_to<bool>; }) {
+    return model.is_final(s);
+  } else {
+    (void)model;
+    (void)s;
+    return false;
+  }
+}
+
+}  // namespace internal
+
+template <typename M>
+struct Violation {
+  std::string property;          // property name, or "deadlock"
+  std::vector<typename M::Action> trace;  // actions from the initial state
+  typename M::State state;       // the violating state
+};
+
+struct ExploreStats {
+  std::uint64_t states_visited = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t max_depth_reached = 0;
+  bool truncated = false;  // hit max_states or max_depth
+};
+
+template <typename M>
+struct ExploreResult {
+  std::vector<Violation<M>> violations;
+  ExploreStats stats;
+
+  const Violation<M>* FindViolation(const std::string& property) const {
+    for (const auto& v : violations) {
+      if (v.property == property) return &v;
+    }
+    return nullptr;
+  }
+  bool Holds(const std::string& property) const {
+    return FindViolation(property) == nullptr;
+  }
+};
+
+namespace internal {
+
+template <typename State>
+struct StateHash {
+  std::size_t operator()(const State& s) const { return HashValue(s); }
+};
+
+}  // namespace internal
+
+// Exhaustive exploration from the model's initial state.
+template <CheckableModel M>
+ExploreResult<M> Explore(const M& model,
+                         const PropertySet<typename M::State>& properties,
+                         const ExploreOptions& options = {}) {
+  using State = typename M::State;
+  using Action = typename M::Action;
+
+  ExploreResult<M> result;
+  std::unordered_set<std::string> violated;
+
+  // Arena of discovered states with back-pointers for trace reconstruction.
+  struct NodeMeta {
+    std::int64_t parent = -1;
+    Action via{};
+    std::uint64_t depth = 0;
+  };
+  std::vector<State> arena;
+  std::vector<NodeMeta> meta;
+
+  struct ArenaRefHash {
+    const std::vector<State>* arena;
+    std::size_t operator()(std::int64_t i) const {
+      return HashValue((*arena)[static_cast<std::size_t>(i)]);
+    }
+  };
+  struct ArenaRefEq {
+    const std::vector<State>* arena;
+    bool operator()(std::int64_t a, std::int64_t b) const {
+      return (*arena)[static_cast<std::size_t>(a)] ==
+             (*arena)[static_cast<std::size_t>(b)];
+    }
+  };
+  std::unordered_set<std::int64_t, ArenaRefHash, ArenaRefEq> seen(
+      /*bucket_count=*/1024, ArenaRefHash{&arena}, ArenaRefEq{&arena});
+
+  auto reconstruct = [&](std::int64_t idx) {
+    std::vector<Action> trace;
+    while (idx >= 0 && meta[static_cast<std::size_t>(idx)].parent >= 0) {
+      trace.push_back(meta[static_cast<std::size_t>(idx)].via);
+      idx = meta[static_cast<std::size_t>(idx)].parent;
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+  };
+
+  auto check_state = [&](std::int64_t idx) {
+    const State& s = arena[static_cast<std::size_t>(idx)];
+    for (const auto& p : properties) {
+      if (options.first_violation_per_property && violated.contains(p.name)) {
+        continue;
+      }
+      if (!p.holds(s)) {
+        violated.insert(p.name);
+        result.violations.push_back({p.name, reconstruct(idx), s});
+      }
+    }
+  };
+
+  auto all_violated = [&] {
+    return options.first_violation_per_property &&
+           violated.size() == properties.size() && !options.detect_deadlock;
+  };
+
+  // Intern a state; returns (index, inserted).
+  auto intern = [&](State s, std::int64_t parent, const Action* via,
+                    std::uint64_t depth) -> std::pair<std::int64_t, bool> {
+    arena.push_back(std::move(s));
+    meta.push_back(
+        {parent, via != nullptr ? *via : Action{}, depth});
+    const std::int64_t idx = static_cast<std::int64_t>(arena.size()) - 1;
+    auto [it, inserted] = seen.insert(idx);
+    if (!inserted) {
+      arena.pop_back();
+      meta.pop_back();
+      return {*it, false};
+    }
+    return {idx, true};
+  };
+
+  std::deque<std::int64_t> frontier;
+  {
+    auto [idx, inserted] = intern(model.initial(), -1, nullptr, 0);
+    (void)inserted;
+    check_state(idx);
+    frontier.push_back(idx);
+  }
+
+  while (!frontier.empty() && !all_violated()) {
+    std::int64_t idx;
+    if (options.order == SearchOrder::kBreadthFirst) {
+      idx = frontier.front();
+      frontier.pop_front();
+    } else {
+      idx = frontier.back();
+      frontier.pop_back();
+    }
+    const std::uint64_t depth = meta[static_cast<std::size_t>(idx)].depth;
+    result.stats.max_depth_reached =
+        std::max(result.stats.max_depth_reached, depth);
+    if (options.max_depth != 0 && depth >= options.max_depth) {
+      result.stats.truncated = true;
+      continue;
+    }
+
+    // Copy the actions: `arena` may reallocate while children are interned.
+    const std::vector<Action> actions =
+        model.enabled(arena[static_cast<std::size_t>(idx)]);
+    if (actions.empty() && options.detect_deadlock &&
+        !internal::IsFinal(model, arena[static_cast<std::size_t>(idx)]) &&
+        !violated.contains("deadlock")) {
+      violated.insert("deadlock");
+      result.violations.push_back(
+          {"deadlock", reconstruct(idx), arena[static_cast<std::size_t>(idx)]});
+    }
+    for (const Action& a : actions) {
+      ++result.stats.transitions;
+      State next = model.apply(arena[static_cast<std::size_t>(idx)], a);
+      auto [child, inserted] = intern(std::move(next), idx, &a, depth + 1);
+      if (!inserted) continue;
+      check_state(child);
+      if (options.max_states != 0 && seen.size() >= options.max_states) {
+        result.stats.truncated = true;
+        frontier.clear();
+        break;
+      }
+      frontier.push_back(child);
+    }
+  }
+
+  result.stats.states_visited = seen.size();
+  return result;
+}
+
+// Renders a counterexample trace as numbered lines, one action per line.
+template <CheckableModel M>
+std::string FormatTrace(const M& model, const Violation<M>& v) {
+  std::string out;
+  out += "counterexample for " + v.property + " (" +
+         std::to_string(v.trace.size()) + " steps):\n";
+  std::size_t step = 1;
+  for (const auto& a : v.trace) {
+    out += "  " + std::to_string(step++) + ". " + model.describe(a) + "\n";
+  }
+  return out;
+}
+
+}  // namespace cnv::mck

@@ -1,0 +1,49 @@
+// Hash utilities for model states. Model states are regular value types;
+// each model provides a `HashValue(state)` built from these combinators so
+// the explorer's visited set never hashes padding bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace cnv::mck {
+
+// 64-bit FNV-1a based combiner with avalanche mixing.
+class Hasher {
+ public:
+  Hasher() = default;
+
+  Hasher& Mix(std::uint64_t v) {
+    state_ ^= v + 0x9e3779b97f4a7c15ULL + (state_ << 6) + (state_ >> 2);
+    return *this;
+  }
+
+  template <typename E>
+    requires std::is_enum_v<E>
+  Hasher& Mix(E e) {
+    return Mix(static_cast<std::uint64_t>(
+        static_cast<std::underlying_type_t<E>>(e)));
+  }
+
+  Hasher& Mix(bool b) { return Mix(static_cast<std::uint64_t>(b ? 1 : 0)); }
+  Hasher& Mix(std::int64_t v) { return Mix(static_cast<std::uint64_t>(v)); }
+  Hasher& Mix(int v) { return Mix(static_cast<std::uint64_t>(v)); }
+  Hasher& Mix(unsigned v) { return Mix(static_cast<std::uint64_t>(v)); }
+  Hasher& Mix(std::uint8_t v) { return Mix(static_cast<std::uint64_t>(v)); }
+
+  std::size_t Digest() const {
+    std::uint64_t x = state_;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace cnv::mck

@@ -1,0 +1,26 @@
+// Safety properties checked during state-space exploration. A property is a
+// named invariant over model states; the explorer reports a counterexample
+// trace the first time each property is violated. This is how the paper's
+// three cellular-oriented properties (PacketService_OK, CallService_OK,
+// MM_OK, §3.2.2) are expressed.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cnv::mck {
+
+template <typename State>
+struct Property {
+  std::string name;
+  // Returns true when the state satisfies the property.
+  std::function<bool(const State&)> holds;
+  // Human-readable description used in reports.
+  std::string description;
+};
+
+template <typename State>
+using PropertySet = std::vector<Property<State>>;
+
+}  // namespace cnv::mck

@@ -1,0 +1,63 @@
+#include "model/vocab.h"
+
+namespace cnv::model {
+
+std::string ToString(Rrc3g s) {
+  switch (s) {
+    case Rrc3g::kIdle:
+      return "IDLE";
+    case Rrc3g::kFach:
+      return "FACH";
+    case Rrc3g::kDch:
+      return "DCH";
+  }
+  return "?";
+}
+
+std::string ToString(Rrc4g s) {
+  switch (s) {
+    case Rrc4g::kIdle:
+      return "IDLE";
+    case Rrc4g::kConnected:
+      return "CONNECTED";
+  }
+  return "?";
+}
+
+std::string ToString(SwitchPolicy p) {
+  switch (p) {
+    case SwitchPolicy::kReleaseWithRedirect:
+      return "RRC connection release with redirect";
+    case SwitchPolicy::kHandover:
+      return "inter-system handover";
+    case SwitchPolicy::kCellReselection:
+      return "inter-system cell reselection";
+  }
+  return "?";
+}
+
+std::string ToString(DataRate r) {
+  switch (r) {
+    case DataRate::kNone:
+      return "no data";
+    case DataRate::kLow:
+      return "low-rate data";
+    case DataRate::kHigh:
+      return "high-rate data";
+  }
+  return "?";
+}
+
+std::string ToString(SwitchReason r) {
+  switch (r) {
+    case SwitchReason::kMobility:
+      return "user mobility";
+    case SwitchReason::kCsfbCall:
+      return "CSFB call";
+    case SwitchReason::kLoadBalancing:
+      return "carrier load balancing";
+  }
+  return "?";
+}
+
+}  // namespace cnv::model

@@ -1,0 +1,52 @@
+// Shared vocabulary for the screening-phase models. Following standard
+// model-checking practice (and how Promela models are written in pieces per
+// scenario), the screening models are sliced per interaction under test:
+// each of S1-S4 gets a small model whose full state space the explorer can
+// exhaust. The slices share this vocabulary, and core::ScreeningRunner
+// presents them as one catalog of usage scenarios (§3.2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cnv::model {
+
+// RRC connection states (§2, "Radio resource control").
+enum class Rrc3g : std::uint8_t { kIdle, kFach, kDch };
+enum class Rrc4g : std::uint8_t { kIdle, kConnected };
+
+std::string ToString(Rrc3g s);
+std::string ToString(Rrc4g s);
+
+// The three inter-system switching options of Figure 6(a).
+enum class SwitchPolicy : std::uint8_t {
+  kReleaseWithRedirect,   // forces an RRC release; disrupts data
+  kHandover,              // DCH <-> CONNECTED; costly for carriers
+  kCellReselection,       // works only from RRC IDLE (S3 trigger)
+};
+
+std::string ToString(SwitchPolicy p);
+
+// Abstract data-session intensity, the S3 discriminator: low-rate sessions
+// hold FACH, high-rate sessions hold DCH.
+enum class DataRate : std::uint8_t { kNone, kLow, kHigh };
+
+std::string ToString(DataRate r);
+
+// Why the network or user triggered a 4G->3G switch (§5.1.1 lists three
+// usage settings). Recorded on actions for readable counterexamples; the
+// defect is reason-independent, so it is not part of the state.
+enum class SwitchReason : std::uint8_t {
+  kMobility,
+  kCsfbCall,
+  kLoadBalancing,
+};
+
+std::string ToString(SwitchReason r);
+
+// Names of the paper's cellular-oriented properties (§3.2.2).
+inline constexpr const char* kPacketServiceOk = "PacketService_OK";
+inline constexpr const char* kCallServiceOk = "CallService_OK";
+inline constexpr const char* kMmOk = "MM_OK";
+
+}  // namespace cnv::model

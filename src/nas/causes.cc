@@ -1,0 +1,84 @@
+#include "nas/causes.h"
+
+namespace cnv::nas {
+
+const std::vector<PdpDeactCauseInfo>& AllPdpDeactCauses() {
+  static const std::vector<PdpDeactCauseInfo> kCauses = {
+      {PdpDeactCause::kInsufficientResources, CauseOriginator::kUserDevice,
+       /*avoidable=*/false, "Insufficient resources"},
+      {PdpDeactCause::kQosNotAccepted, CauseOriginator::kUserDevice,
+       /*avoidable=*/true, "QoS not accepted"},
+      {PdpDeactCause::kLowLayerFailure, CauseOriginator::kEither,
+       /*avoidable=*/false, "Low layer failures"},
+      {PdpDeactCause::kRegularDeactivation, CauseOriginator::kEither,
+       /*avoidable=*/true, "Regular deactivation"},
+      {PdpDeactCause::kIncompatiblePdpContext, CauseOriginator::kNetwork,
+       /*avoidable=*/true, "Incompatible PDP context"},
+      {PdpDeactCause::kOperatorDeterminedBarring, CauseOriginator::kNetwork,
+       /*avoidable=*/false, "Operator determined barring"},
+  };
+  return kCauses;
+}
+
+std::string ToString(EmmCause c) {
+  switch (c) {
+    case EmmCause::kNone:
+      return "none";
+    case EmmCause::kImplicitlyDetached:
+      return "implicitly detached";
+    case EmmCause::kNoEpsBearerContextActive:
+      return "no EPS bearer context activated";
+    case EmmCause::kMscTemporarilyNotReachable:
+      return "MSC temporarily not reachable";
+    case EmmCause::kIllegalUe:
+      return "illegal UE";
+    case EmmCause::kPlmnNotAllowed:
+      return "PLMN not allowed";
+    case EmmCause::kTrackingAreaNotAllowed:
+      return "tracking area not allowed";
+    case EmmCause::kCongestion:
+      return "congestion";
+    case EmmCause::kNetworkFailure:
+      return "network failure";
+  }
+  return "?";
+}
+
+std::string ToString(MmCause c) {
+  switch (c) {
+    case MmCause::kNone:
+      return "none";
+    case MmCause::kLocationAreaNotAllowed:
+      return "location area not allowed";
+    case MmCause::kNetworkFailure:
+      return "network failure";
+    case MmCause::kCongestion:
+      return "congestion";
+    case MmCause::kMscTemporarilyNotReachable:
+      return "MSC temporarily not reachable";
+    case MmCause::kUpdateDisrupted:
+      return "location update disrupted";
+  }
+  return "?";
+}
+
+std::string ToString(PdpDeactCause c) {
+  for (const auto& info : AllPdpDeactCauses()) {
+    if (info.cause == c) return info.description;
+  }
+  return "?";
+}
+
+std::string ToString(CauseOriginator o) {
+  switch (o) {
+    case CauseOriginator::kUserDevice:
+      return "User device";
+    case CauseOriginator::kNetwork:
+      return "Network";
+    case CauseOriginator::kEither:
+      return "User device/Network";
+  }
+  return "?";
+}
+
+}  // namespace cnv::nas

@@ -1,0 +1,69 @@
+// Cause codes carried in NAS reject / deactivation messages. The subsets
+// modeled here are the ones the paper's findings hinge on: EMM causes behind
+// the S1/S2/S6 detaches, the PDP-context deactivation causes of Table 3, and
+// MM causes for location-update failures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cnv::nas {
+
+// EMM (4G mobility management, TS 24.301) causes.
+enum class EmmCause : std::uint8_t {
+  kNone = 0,
+  kImplicitlyDetached,        // "implicitly detach" (S2, S6)
+  kNoEpsBearerContextActive,  // "No EPS Bearer Context Activated" (S1)
+  kMscTemporarilyNotReachable,  // relayed 3G failure (S6, OP-II)
+  kIllegalUe,
+  kPlmnNotAllowed,
+  kTrackingAreaNotAllowed,
+  kCongestion,
+  kNetworkFailure,
+};
+
+// MM (3G CS mobility management, TS 24.008) causes.
+enum class MmCause : std::uint8_t {
+  kNone = 0,
+  kLocationAreaNotAllowed,
+  kNetworkFailure,
+  kCongestion,
+  kMscTemporarilyNotReachable,
+  kUpdateDisrupted,  // first CSFB LU cut short by the switch back to 4G
+};
+
+// PDP context deactivation causes (Table 3) with their originator.
+enum class PdpDeactCause : std::uint8_t {
+  kInsufficientResources = 0,   // user device
+  kQosNotAccepted,              // user device
+  kLowLayerFailure,             // user device or network
+  kRegularDeactivation,         // user device or network
+  kIncompatiblePdpContext,      // network
+  kOperatorDeterminedBarring,   // network
+};
+
+enum class CauseOriginator : std::uint8_t {
+  kUserDevice,
+  kNetwork,
+  kEither,
+};
+
+struct PdpDeactCauseInfo {
+  PdpDeactCause cause;
+  CauseOriginator originator;
+  // Whether the paper (§5.1.2) argues the context could have been kept or
+  // merely modified instead of deleted.
+  bool avoidable;
+  std::string description;
+};
+
+// The full Table 3 rows, in paper order.
+const std::vector<PdpDeactCauseInfo>& AllPdpDeactCauses();
+
+std::string ToString(EmmCause c);
+std::string ToString(MmCause c);
+std::string ToString(PdpDeactCause c);
+std::string ToString(CauseOriginator o);
+
+}  // namespace cnv::nas

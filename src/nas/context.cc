@@ -1,0 +1,67 @@
+#include "nas/context.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace cnv::nas {
+
+PdpContext ToPdpContext(const EpsBearerContext& eps) {
+  PdpContext pdp;
+  pdp.ip_address = eps.ip_address;
+  pdp.qos = eps.qos;
+  pdp.active = eps.active;
+  return pdp;
+}
+
+std::optional<EpsBearerContext> ToEpsBearerContext(const PdpContext& pdp) {
+  // 4G mandates an active context: with no active PDP context there is
+  // nothing to translate, which is exactly the S1 failure condition.
+  if (!pdp.active) return std::nullopt;
+  EpsBearerContext eps;
+  eps.ip_address = pdp.ip_address;
+  eps.qos = pdp.qos;
+  eps.active = true;
+  return eps;
+}
+
+std::optional<PdpContext> RetainOnDeactivation(const PdpContext& pdp,
+                                               PdpDeactCause cause) {
+  switch (cause) {
+    case PdpDeactCause::kQosNotAccepted: {
+      // Keep the context with a downgraded QoS policy (§5.1.2).
+      PdpContext kept = pdp;
+      kept.qos.max_bitrate_kbps =
+          std::max<std::uint32_t>(64, kept.qos.max_bitrate_kbps / 4);
+      return kept;
+    }
+    case PdpDeactCause::kIncompatiblePdpContext: {
+      // Modify (re-type) the context rather than deleting it.
+      PdpContext kept = pdp;
+      kept.qos.qci = 9;
+      return kept;
+    }
+    case PdpDeactCause::kRegularDeactivation:
+      // Keep until a pending switch to 4G succeeds.
+      return pdp;
+    case PdpDeactCause::kInsufficientResources:
+    case PdpDeactCause::kLowLayerFailure:
+    case PdpDeactCause::kOperatorDeterminedBarring:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string ToString(const PdpContext& pdp) {
+  return Format("PDP{ip=%u, %ukbps, qci=%u, %s}", pdp.ip_address,
+                pdp.qos.max_bitrate_kbps, pdp.qos.qci,
+                pdp.active ? "active" : "inactive");
+}
+
+std::string ToString(const EpsBearerContext& eps) {
+  return Format("EPS{ip=%u, %ukbps, qci=%u, ebi=%u, %s}", eps.ip_address,
+                eps.qos.max_bitrate_kbps, eps.qos.qci, eps.bearer_id,
+                eps.active ? "active" : "inactive");
+}
+
+}  // namespace cnv::nas

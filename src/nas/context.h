@@ -1,0 +1,55 @@
+// Session contexts: the 3G PDP context and the 4G EPS bearer context. These
+// hold the state vital to data sessions (IP address, QoS) and are translated
+// into each other at inter-system switches (§5.1.1). S1 arises precisely
+// because the translation source can be missing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "nas/causes.h"
+
+namespace cnv::nas {
+
+// Simplified QoS profile. `max_bitrate_kbps` drives the simulator's
+// admission decisions; `qci` stands in for the full 3GPP QoS class.
+struct QosProfile {
+  std::uint32_t max_bitrate_kbps = 10'000;
+  std::uint8_t qci = 9;  // default (best-effort) bearer class
+  auto operator<=>(const QosProfile&) const = default;
+};
+
+// A (simplified, single-PDN) 3G PDP context.
+struct PdpContext {
+  std::uint32_t ip_address = 0;  // assigned IPv4, network order abstracted
+  QosProfile qos;
+  bool active = false;
+  auto operator<=>(const PdpContext&) const = default;
+};
+
+// A (simplified, default-bearer-only) 4G EPS bearer context.
+struct EpsBearerContext {
+  std::uint32_t ip_address = 0;
+  QosProfile qos;
+  std::uint8_t bearer_id = 5;  // first default bearer id per TS 24.301
+  bool active = false;
+  auto operator<=>(const EpsBearerContext&) const = default;
+};
+
+// Context translation performed by the gateways + MME/SGSN during
+// inter-system switches. The IP address and QoS must survive the mapping so
+// that data sessions continue seamlessly.
+PdpContext ToPdpContext(const EpsBearerContext& eps);
+std::optional<EpsBearerContext> ToEpsBearerContext(const PdpContext& pdp);
+
+// §5.1.2: for some deactivation causes the PDP context could be retained
+// (possibly modified) instead of deleted; returns the retained context if
+// the cause is avoidable, std::nullopt if deactivation is compelled.
+std::optional<PdpContext> RetainOnDeactivation(const PdpContext& pdp,
+                                               PdpDeactCause cause);
+
+std::string ToString(const PdpContext& pdp);
+std::string ToString(const EpsBearerContext& eps);
+
+}  // namespace cnv::nas

@@ -1,0 +1,155 @@
+#include "nas/messages.h"
+
+#include "util/strings.h"
+
+namespace cnv::nas {
+
+std::string ToString(Protocol p) {
+  switch (p) {
+    case Protocol::kCm:
+      return "CM/CC";
+    case Protocol::kSm:
+      return "SM";
+    case Protocol::kEsm:
+      return "ESM";
+    case Protocol::kMm:
+      return "MM";
+    case Protocol::kGmm:
+      return "GMM";
+    case Protocol::kEmm:
+      return "EMM";
+    case Protocol::kRrc3g:
+      return "3G-RRC";
+    case Protocol::kRrc4g:
+      return "4G-RRC";
+  }
+  return "?";
+}
+
+std::string ToString(MsgKind k) {
+  switch (k) {
+    case MsgKind::kAttachRequest:
+      return "Attach Request";
+    case MsgKind::kAttachAccept:
+      return "Attach Accept";
+    case MsgKind::kAttachComplete:
+      return "Attach Complete";
+    case MsgKind::kAttachReject:
+      return "Attach Reject";
+    case MsgKind::kTauRequest:
+      return "Tracking Area Update Request";
+    case MsgKind::kTauAccept:
+      return "Tracking Area Update Accept";
+    case MsgKind::kTauReject:
+      return "Tracking Area Update Reject";
+    case MsgKind::kDetachRequest:
+      return "Detach Request";
+    case MsgKind::kDetachAccept:
+      return "Detach Accept";
+    case MsgKind::kServiceRequest:
+      return "Service Request";
+    case MsgKind::kExtendedServiceRequest:
+      return "Extended Service Request (CSFB)";
+    case MsgKind::kEsmActivateBearerRequest:
+      return "Activate EPS Bearer Request";
+    case MsgKind::kEsmActivateBearerAccept:
+      return "Activate EPS Bearer Accept";
+    case MsgKind::kEsmDeactivateBearerRequest:
+      return "Deactivate EPS Bearer Request";
+    case MsgKind::kLocationUpdateRequest:
+      return "Location Updating Request";
+    case MsgKind::kLocationUpdateAccept:
+      return "Location Updating Accept";
+    case MsgKind::kLocationUpdateReject:
+      return "Location Updating Reject";
+    case MsgKind::kCmServiceRequest:
+      return "CM Service Request";
+    case MsgKind::kCmServiceAccept:
+      return "CM Service Accept";
+    case MsgKind::kCmServiceReject:
+      return "CM Service Reject";
+    case MsgKind::kImsiDetach:
+      return "IMSI Detach Indication";
+    case MsgKind::kCallSetup:
+      return "Setup";
+    case MsgKind::kCallConnect:
+      return "Connect";
+    case MsgKind::kCallDisconnect:
+      return "Disconnect";
+    case MsgKind::kPagingRequest:
+      return "Paging Request";
+    case MsgKind::kPagingResponse:
+      return "Paging Response";
+    case MsgKind::kGprsAttachRequest:
+      return "GPRS Attach Request";
+    case MsgKind::kGprsAttachAccept:
+      return "GPRS Attach Accept";
+    case MsgKind::kRauRequest:
+      return "Routing Area Update Request";
+    case MsgKind::kRauAccept:
+      return "Routing Area Update Accept";
+    case MsgKind::kRauReject:
+      return "Routing Area Update Reject";
+    case MsgKind::kPdpActivateRequest:
+      return "Activate PDP Context Request";
+    case MsgKind::kPdpActivateAccept:
+      return "Activate PDP Context Accept";
+    case MsgKind::kPdpActivateReject:
+      return "Activate PDP Context Reject";
+    case MsgKind::kPdpDeactivateRequest:
+      return "Deactivate PDP Context Request";
+    case MsgKind::kPdpDeactivateAccept:
+      return "Deactivate PDP Context Accept";
+    case MsgKind::kRrcConnectionRequest:
+      return "RRC Connection Request";
+    case MsgKind::kRrcConnectionSetup:
+      return "RRC Connection Setup";
+    case MsgKind::kRrcConnectionSetupComplete:
+      return "RRC Connection Setup Complete";
+    case MsgKind::kRrcConnectionRelease:
+      return "RRC Connection Release";
+    case MsgKind::kRrcConnectionReleaseWithRedirect:
+      return "RRC Connection Release (redirect)";
+    case MsgKind::kRrcHandoverCommand:
+      return "RRC Handover Command";
+    case MsgKind::kRrcMeasurementReport:
+      return "RRC Measurement Report";
+    case MsgKind::kRrcChannelConfig:
+      return "RRC Channel Config";
+    case MsgKind::kContextTransferRequest:
+      return "Context Transfer Request";
+    case MsgKind::kContextTransferAck:
+      return "Context Transfer Ack";
+    case MsgKind::kSgsLocationUpdateRequest:
+      return "SGs Location Update Request";
+    case MsgKind::kSgsLocationUpdateAccept:
+      return "SGs Location Update Accept";
+    case MsgKind::kSgsLocationUpdateReject:
+      return "SGs Location Update Reject";
+    case MsgKind::kHssUpdateLocation:
+      return "HSS Update Location";
+    case MsgKind::kHssUpdateLocationAck:
+      return "HSS Update Location Ack";
+  }
+  return "?";
+}
+
+std::string Message::Describe() const {
+  std::string out = ToString(protocol) + ": " + ToString(kind);
+  if (emm_cause != EmmCause::kNone) {
+    out += " (cause: " + ToString(emm_cause) + ")";
+  }
+  if (mm_cause != MmCause::kNone) {
+    out += " (cause: " + ToString(mm_cause) + ")";
+  }
+  if (kind == MsgKind::kPdpDeactivateRequest) {
+    out += " (cause: " + ToString(pdp_cause) + ")";
+  }
+  if (kind == MsgKind::kRrcChannelConfig) {
+    out += use_64qam ? " [64QAM enabled]" : " [64QAM disabled, 16QAM]";
+    if (dedicated_cs_channel) out += " [dedicated CS channel]";
+  }
+  return out;
+}
+
+}  // namespace cnv::nas

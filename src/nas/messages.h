@@ -1,0 +1,138 @@
+// Control-plane message vocabulary shared by the validation stack. One
+// message struct covers all protocols (Table 2); the `kind` selects the
+// procedure and `protocol` the generating layer, mirroring how the paper's
+// traces tag each item with its module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nas/causes.h"
+#include "nas/context.h"
+#include "nas/ids.h"
+
+namespace cnv::nas {
+
+// The protocol (module) that generates or consumes a message (Table 2).
+enum class Protocol : std::uint8_t {
+  kCm,     // 3G CS connectivity management (CM/CC)
+  kSm,     // 3G PS session management
+  kEsm,    // 4G session management
+  kMm,     // 3G CS mobility management
+  kGmm,    // 3G PS mobility management
+  kEmm,    // 4G mobility management
+  kRrc3g,  // 3G radio resource control
+  kRrc4g,  // 4G radio resource control
+};
+
+std::string ToString(Protocol p);
+
+enum class MsgKind : std::uint8_t {
+  // --- 4G EMM (TS 24.301)
+  kAttachRequest,
+  kAttachAccept,
+  kAttachComplete,
+  kAttachReject,
+  kTauRequest,
+  kTauAccept,
+  kTauReject,
+  kDetachRequest,   // network- or UE-originated detach
+  kDetachAccept,
+  kServiceRequest,        // 4G service request (idle -> connected)
+  kExtendedServiceRequest,  // CSFB trigger (TS 23.272)
+
+  // --- 4G ESM
+  kEsmActivateBearerRequest,
+  kEsmActivateBearerAccept,
+  kEsmDeactivateBearerRequest,
+
+  // --- 3G MM (TS 24.008, CS domain)
+  kLocationUpdateRequest,
+  kLocationUpdateAccept,
+  kLocationUpdateReject,
+  kCmServiceRequest,
+  kCmServiceAccept,
+  kCmServiceReject,
+  kImsiDetach,
+
+  // --- 3G CC (call control)
+  kCallSetup,
+  kCallConnect,
+  kCallDisconnect,
+  kPagingRequest,
+  kPagingResponse,
+
+  // --- 3G GMM (PS domain)
+  kGprsAttachRequest,
+  kGprsAttachAccept,
+  kRauRequest,
+  kRauAccept,
+  kRauReject,
+
+  // --- 3G SM
+  kPdpActivateRequest,
+  kPdpActivateAccept,
+  kPdpActivateReject,
+  kPdpDeactivateRequest,  // carries a PdpDeactCause
+  kPdpDeactivateAccept,
+
+  // --- RRC (both systems)
+  kRrcConnectionRequest,
+  kRrcConnectionSetup,
+  kRrcConnectionSetupComplete,
+  kRrcConnectionRelease,              // plain release
+  kRrcConnectionReleaseWithRedirect,  // inter-system switch option 1 (§5.3)
+  kRrcHandoverCommand,                // inter-system switch option 2
+  kRrcMeasurementReport,
+  kRrcChannelConfig,  // modulation / channel assignment (Figure 10)
+
+  // --- Core-network internal (MME <-> MSC/SGSN/HSS)
+  kContextTransferRequest,  // EPS bearer <-> PDP context migration
+  kContextTransferAck,
+  kSgsLocationUpdateRequest,  // MME relays LU to the MSC over SGs (§6.3)
+  kSgsLocationUpdateAccept,
+  kSgsLocationUpdateReject,
+  kHssUpdateLocation,
+  kHssUpdateLocationAck,
+};
+
+std::string ToString(MsgKind k);
+
+// One control-plane message. Unused fields stay default-initialized; this is
+// a modeling simplification (P.11: keep the mess in one place) that avoids a
+// 40-type variant while staying cheap to copy.
+struct Message {
+  MsgKind kind = MsgKind::kAttachRequest;
+  Protocol protocol = Protocol::kEmm;
+  Imsi imsi;
+
+  // Causes (reject / deactivate paths).
+  EmmCause emm_cause = EmmCause::kNone;
+  MmCause mm_cause = MmCause::kNone;
+  PdpDeactCause pdp_cause = PdpDeactCause::kRegularDeactivation;
+
+  // Location identifiers.
+  Lai lai;
+  Rai rai;
+  Tai tai;
+  CellId target_cell;  // for redirects / handover commands
+
+  // Session payloads.
+  PdpContext pdp;
+  EpsBearerContext eps;
+
+  // Radio configuration (kRrcChannelConfig).
+  bool use_64qam = true;
+  bool dedicated_cs_channel = false;  // solution: domain decoupling (§8)
+
+  // Sequencing for the reliable shim layer (§8, layer extension).
+  std::uint32_t seq = 0;
+  bool is_shim_ack = false;
+
+  // Monotone id for duplicate detection in experiments.
+  std::uint64_t uid = 0;
+
+  std::string Describe() const;
+};
+
+}  // namespace cnv::nas

@@ -1,0 +1,34 @@
+// 3GPP protocol timer values used by the validation stack. Names follow the
+// standards the paper cites (TS 24.301, TS 24.008, TS 25.331); values are the
+// spec defaults scaled where noted to keep simulations short.
+#pragma once
+
+#include "util/time.h"
+
+namespace cnv::nas::timers {
+
+// --- EMM (TS 24.301)
+inline constexpr SimDuration kT3410AttachGuard = Seconds(15);
+inline constexpr SimDuration kT3411AttachRetry = Seconds(10);
+inline constexpr SimDuration kT3402AttachBackoff = Minutes(12);
+inline constexpr SimDuration kT3430TauGuard = Seconds(15);
+inline constexpr int kMaxAttachAttempts = 5;
+
+// --- MM / GMM (TS 24.008)
+inline constexpr SimDuration kT3210LuGuard = Seconds(20);
+inline constexpr SimDuration kT3330RauGuard = Seconds(15);
+// Periodic updates. The spec default for T3212 is carrier-configured
+// (tens of minutes); experiments override these per scenario.
+inline constexpr SimDuration kT3212PeriodicLu = Minutes(30);
+inline constexpr SimDuration kT3312PeriodicRau = Minutes(30);
+
+// --- RRC (TS 25.331 / TS 36.331) inactivity demotions
+inline constexpr SimDuration kRrc3gDchToFach = Seconds(5);
+inline constexpr SimDuration kRrc3gFachToIdle = Seconds(12);
+inline constexpr SimDuration kRrc4gConnectedToIdle = Seconds(10);
+
+// Radio-leg one-way latencies (typical air-interface + backhaul figures).
+inline constexpr SimDuration kRadioLegDelay = Millis(30);
+inline constexpr SimDuration kCoreLegDelay = Millis(10);
+
+}  // namespace cnv::nas::timers

@@ -1,0 +1,108 @@
+#include "sim/cell.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cnv::sim {
+
+std::string ToString(SharingScheme s) {
+  switch (s) {
+    case SharingScheme::kCoupledSharedChannel:
+      return "coupled shared channel (carrier practice)";
+    case SharingScheme::kClusteredByDomain:
+      return "PS clustered / CS grouped (per-domain channels)";
+    case SharingScheme::kPerUserModulation:
+      return "per-user modulation";
+  }
+  return "?";
+}
+
+Modulation FeasibleModulation(double rssi_dbm, Direction d) {
+  Modulation m;
+  if (rssi_dbm >= -80.0) {
+    m = Modulation::k64Qam;
+  } else if (rssi_dbm >= -95.0) {
+    m = Modulation::k16Qam;
+  } else {
+    m = Modulation::kQpsk;
+  }
+  // The 3G uplink tops out at 16QAM.
+  if (d == Direction::kUplink && m == Modulation::k64Qam) {
+    m = Modulation::k16Qam;
+  }
+  return m;
+}
+
+std::size_t Cell::PsUserCount() const {
+  std::size_t n = 0;
+  for (const auto& u : users_) {
+    if (u.data_demand_mbps > 0) ++n;
+  }
+  return n;
+}
+
+bool Cell::AnyCsCall() const {
+  return std::any_of(users_.begin(), users_.end(),
+                     [](const CellUser& u) { return u.cs_call; });
+}
+
+Modulation Cell::ClusterModulation(Direction d) const {
+  // The whole cluster runs at the scheme the weakest member can decode.
+  Modulation m = d == Direction::kDownlink ? Modulation::k64Qam
+                                           : Modulation::k16Qam;
+  for (const auto& u : users_) {
+    if (u.data_demand_mbps <= 0) continue;
+    const Modulation f = FeasibleModulation(u.rssi_dbm, d);
+    if (static_cast<int>(f) < static_cast<int>(m)) m = f;
+  }
+  return m;
+}
+
+Modulation Cell::PsModulationFor(std::size_t i, Direction d) const {
+  const CellUser& u = users_.at(i);
+  switch (scheme_) {
+    case SharingScheme::kCoupledSharedChannel: {
+      // The device's own CS call forces the robust scheme (S5); otherwise
+      // the shared channel still serves every PS member at the cluster's
+      // modulation.
+      if (u.cs_call || AnyCsCall()) {
+        return d == Direction::kDownlink ? policy_.dl_with_call
+                                         : policy_.ul_with_call;
+      }
+      return ClusterModulation(d);
+    }
+    case SharingScheme::kClusteredByDomain:
+      // CS lives on its own channel; PS keeps the cluster's best scheme.
+      return ClusterModulation(d);
+    case SharingScheme::kPerUserModulation:
+      return FeasibleModulation(u.rssi_dbm, d);
+  }
+  throw std::logic_error("Cell: bad scheme");
+}
+
+double Cell::PsThroughputMbps(std::size_t i, Direction d,
+                              double load_factor) const {
+  if (load_factor < 0.0 || load_factor > 1.0) {
+    throw std::invalid_argument("Cell: load_factor not in [0,1]");
+  }
+  const CellUser& u = users_.at(i);
+  if (u.data_demand_mbps <= 0) return 0.0;
+  const std::size_t n = PsUserCount();
+  double rate = PeakRateMbps(PsModulationFor(i, d), d) * load_factor /
+                static_cast<double>(n);
+  if (scheme_ == SharingScheme::kCoupledSharedChannel && AnyCsCall()) {
+    rate *= (d == Direction::kDownlink) ? policy_.dl_call_penalty
+                                        : policy_.ul_call_penalty;
+  }
+  return std::min(rate, u.data_demand_mbps);
+}
+
+double Cell::TotalPsThroughputMbps(Direction d, double load_factor) const {
+  double total = 0;
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    total += PsThroughputMbps(i, d, load_factor);
+  }
+  return total;
+}
+
+}  // namespace cnv::sim

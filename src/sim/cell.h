@@ -1,0 +1,79 @@
+// Multi-user cell model for §6.2's discussion of alternative channel
+// sharing schemes. The paper observes that carriers put one device's CS and
+// PS traffic on a shared channel under a single modulation scheme, and
+// sketches two alternatives: cluster PS sessions of *multiple* devices on
+// one channel (CS sessions grouped on another), or let each flow adopt its
+// own modulation. This model evaluates all of them for a population of
+// users with differing radio conditions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/channel.h"
+
+namespace cnv::sim {
+
+enum class SharingScheme : std::uint8_t {
+  // Carrier practice (S5): the device's CS and PS share one channel; one
+  // modulation for everything; CS satisfied first.
+  kCoupledSharedChannel,
+  // §6.2 alternative 1: PS sessions from all devices clustered on one
+  // channel (one modulation robust enough for every member), CS sessions
+  // grouped on another.
+  kClusteredByDomain,
+  // §6.2 alternative 2: every flow uses its own modulation scheme on its
+  // share of the cell resource.
+  kPerUserModulation,
+};
+
+std::string ToString(SharingScheme s);
+
+struct CellUser {
+  bool cs_call = false;
+  double data_demand_mbps = 0;  // 0 = no PS session
+  double rssi_dbm = -70.0;      // drives the feasible modulation
+};
+
+// Highest modulation the user's radio conditions support.
+Modulation FeasibleModulation(double rssi_dbm, Direction d);
+
+class Cell {
+ public:
+  explicit Cell(SharingScheme scheme,
+                ChannelPolicy policy = ChannelPolicy{})
+      : scheme_(scheme), policy_(policy) {}
+
+  void SetUsers(std::vector<CellUser> users) { users_ = std::move(users); }
+  const std::vector<CellUser>& users() const { return users_; }
+  SharingScheme scheme() const { return scheme_; }
+
+  // Modulation applied to user i's PS traffic under the scheme.
+  Modulation PsModulationFor(std::size_t i, Direction d) const;
+
+  // Effective PS throughput (Mbps) for user i: its modulation's peak rate,
+  // scaled by cell load and split across the PS users sharing the resource,
+  // capped by the user's demand. Users without a PS session get 0.
+  double PsThroughputMbps(std::size_t i, Direction d,
+                          double load_factor) const;
+
+  // Aggregate PS throughput across the cell.
+  double TotalPsThroughputMbps(Direction d, double load_factor) const;
+
+  // Voice is always satisfied, in every scheme.
+  double CsThroughputKbps(std::size_t i) const {
+    return users_.at(i).cs_call ? kCsVoiceRateKbps : 0.0;
+  }
+
+ private:
+  std::size_t PsUserCount() const;
+  bool AnyCsCall() const;
+  // Most robust (lowest) modulation needed by any PS member of a cluster.
+  Modulation ClusterModulation(Direction d) const;
+
+  SharingScheme scheme_;
+  ChannelPolicy policy_;
+  std::vector<CellUser> users_;
+};
+
+}  // namespace cnv::sim

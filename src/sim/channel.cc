@@ -1,0 +1,79 @@
+#include "sim/channel.h"
+
+#include <stdexcept>
+
+namespace cnv::sim {
+
+std::string ToString(Modulation m) {
+  switch (m) {
+    case Modulation::kQpsk:
+      return "QPSK";
+    case Modulation::k16Qam:
+      return "16QAM";
+    case Modulation::k64Qam:
+      return "64QAM";
+  }
+  return "?";
+}
+
+double PeakRateMbps(Modulation m, Direction d) {
+  if (d == Direction::kDownlink) {
+    switch (m) {
+      case Modulation::k64Qam:
+        return 21.1;  // HSDPA cat-14, the paper's "up to 21 Mbps"
+      case Modulation::k16Qam:
+        return 11.0;  // the paper's "reduced theoretical 11 Mbps"
+      case Modulation::kQpsk:
+        return 5.5;
+    }
+  } else {
+    switch (m) {
+      case Modulation::k64Qam:  // not used on 3G uplink; treat as 16QAM
+      case Modulation::k16Qam:
+        return 4.6;
+      case Modulation::kQpsk:
+        return 2.3;
+    }
+  }
+  throw std::logic_error("PeakRateMbps: bad modulation");
+}
+
+double TimeOfDayLoad(int hour) {
+  hour = ((hour % 24) + 24) % 24;
+  // 3-hour bins matching Figure 9's x axis; evenings are busiest.
+  if (hour >= 8 && hour < 11) return 0.62;
+  if (hour >= 11 && hour < 14) return 0.58;
+  if (hour >= 14 && hour < 17) return 0.55;
+  if (hour >= 17 && hour < 20) return 0.48;
+  if (hour >= 20 && hour < 23) return 0.52;
+  return 0.70;  // 23-02 and small hours: lightly loaded
+}
+
+Modulation SharedChannel::PsModulation(Direction d) const {
+  if (decoupled_ || !cs_call_active_) {
+    // PS alone (or on its own channel) gets the high-rate scheme; 3G uplink
+    // tops out at 16QAM.
+    return d == Direction::kDownlink ? Modulation::k64Qam
+                                     : Modulation::k16Qam;
+  }
+  return d == Direction::kDownlink ? policy_.dl_with_call
+                                   : policy_.ul_with_call;
+}
+
+double SharedChannel::PsThroughputMbps(Direction d,
+                                       double load_factor) const {
+  if (load_factor < 0.0 || load_factor > 1.0) {
+    throw std::invalid_argument("PsThroughputMbps: load_factor not in [0,1]");
+  }
+  double rate = PeakRateMbps(PsModulation(d), d) * load_factor;
+  if (cs_call_active_ && !decoupled_) {
+    rate *= (d == Direction::kDownlink) ? policy_.dl_call_penalty
+                                        : policy_.ul_call_penalty;
+    // The 12.2 kbps voice flow itself is negligible but still subtracted.
+    rate -= kCsVoiceRateKbps / 1000.0;
+    if (rate < 0.0) rate = 0.0;
+  }
+  return rate;
+}
+
+}  // namespace cnv::sim

@@ -1,0 +1,75 @@
+// Shared-channel capacity model for the 3G radio (S5, §6.2). The carrier
+// configures one modulation scheme for the shared channel via RRC; when a CS
+// voice call is active on the same channel, the modulation is downgraded so
+// the voice traffic is robust (64QAM disabled -> 16QAM, Figure 10), and the
+// scheduler additionally favours the CS flow. The model computes effective
+// PS throughput from peak modulation rate x time-of-day load x CS-sharing
+// penalty; carrier policies differ (OP-I vs OP-II uplink handling).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cnv::sim {
+
+enum class Modulation : std::uint8_t { kQpsk, k16Qam, k64Qam };
+enum class Direction : std::uint8_t { kDownlink, kUplink };
+
+std::string ToString(Modulation m);
+
+// Peak physical-layer rate (Mbps) for one device on the channel. Downlink
+// follows HSDPA category figures the paper quotes (21 Mbps at 64QAM,
+// 11 Mbps at 16QAM); uplink follows HSUPA-class figures.
+double PeakRateMbps(Modulation m, Direction d);
+
+// 3GPP AMR voice codec rate (kbps), the paper's "best 3G CS voice" figure.
+inline constexpr double kCsVoiceRateKbps = 12.2;
+
+// Cell load multiplier for a 3-hour bin starting at `hour` (0-23): effective
+// throughput = peak * load. Busy evening hours are the most loaded.
+double TimeOfDayLoad(int hour);
+
+// How a carrier runs CS+PS on the shared channel (operational policy).
+struct ChannelPolicy {
+  // Modulation while a CS call shares the channel (coupled mode).
+  Modulation dl_with_call = Modulation::k16Qam;
+  Modulation ul_with_call = Modulation::kQpsk;
+  // Extra scheduler penalty on PS while the call is active (1 = none).
+  double dl_call_penalty = 0.5;
+  double ul_call_penalty = 1.0;
+};
+
+// One 3G cell's shared channel from the point of view of a single device.
+class SharedChannel {
+ public:
+  explicit SharedChannel(ChannelPolicy policy) : policy_(policy) {}
+  SharedChannel() = default;
+
+  // Solution (§8 domain decoupling): give CS its own channel so PS keeps
+  // the high-rate modulation.
+  void set_decoupled(bool d) { decoupled_ = d; }
+  bool decoupled() const { return decoupled_; }
+
+  void SetCsCallActive(bool active) { cs_call_active_ = active; }
+  bool cs_call_active() const { return cs_call_active_; }
+
+  // Modulation currently applied to PS traffic (what an RRC Channel Config
+  // trace item would report).
+  Modulation PsModulation(Direction d) const;
+
+  // Effective PS throughput for the device (Mbps).
+  double PsThroughputMbps(Direction d, double load_factor) const;
+
+  // Effective CS voice throughput (kbps); the call is always satisfied
+  // first, in both modes.
+  double CsThroughputKbps() const { return cs_call_active_ ? kCsVoiceRateKbps : 0.0; }
+
+  const ChannelPolicy& policy() const { return policy_; }
+
+ private:
+  ChannelPolicy policy_{};
+  bool decoupled_ = false;
+  bool cs_call_active_ = false;
+};
+
+}  // namespace cnv::sim

@@ -1,0 +1,41 @@
+#include "sim/link.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace cnv::sim {
+
+void Link::Send(const nas::Message& m) {
+  if (!receiver_) throw std::logic_error("Link::Send: no receiver on " + name_);
+  ++sent_;
+
+  bool drop = false;
+  if (force_drops_ > 0) {
+    --force_drops_;
+    drop = true;
+  } else if (!params_.reliable && params_.loss_prob > 0.0) {
+    drop = rng_.Bernoulli(params_.loss_prob);
+  }
+  if (drop) {
+    ++dropped_;
+    CNV_LOG_DEBUG << name_ << " drops " << m.Describe();
+    return;
+  }
+
+  SimDuration delay = params_.delay;
+  if (params_.jitter > 0) {
+    delay += static_cast<SimDuration>(
+        rng_.Uniform(0.0, static_cast<double>(params_.jitter)));
+  }
+  if (defer_next_ > 0) {
+    delay += defer_next_;
+    defer_next_ = 0;
+  }
+  sim_.ScheduleIn(delay, [this, m] {
+    ++delivered_;
+    receiver_(m);
+  });
+}
+
+}  // namespace cnv::sim

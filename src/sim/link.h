@@ -1,0 +1,71 @@
+// Message transport between protocol entities. A Link applies one-way delay
+// and (for radio legs) loss; reliability is a property the upper layers must
+// NOT assume on radio legs — that assumption is exactly the S2 defect. The
+// paper's prototype used UDP for the radio leg and TCP for backhaul (§9);
+// the Link::Params mirror that split.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "nas/messages.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace cnv::sim {
+
+class Link {
+ public:
+  struct Params {
+    SimDuration delay = Millis(30);
+    double loss_prob = 0.0;      // applied per message when !reliable
+    bool reliable = true;        // backhaul legs are reliable
+    SimDuration jitter = 0;      // uniform extra delay in [0, jitter]
+  };
+
+  using Receiver = std::function<void(const nas::Message&)>;
+
+  Link(Simulator& sim, Rng& rng, Params params, std::string name)
+      : sim_(sim), rng_(rng), params_(params), name_(std::move(name)) {}
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void SetReceiver(Receiver r) { receiver_ = std::move(r); }
+
+  // Sends a copy of `m`; it is delivered (or dropped) after the link delay.
+  void Send(const nas::Message& m);
+
+  // Experiment hook: force-drop the next `n` messages regardless of the
+  // loss probability (used by the Figure 12 drop-rate sweep and S2/S6
+  // fault-injection runs).
+  void ForceDropNext(int n) { force_drops_ += n; }
+
+  // Experiment hook: hold the next message for `extra` beyond the normal
+  // delay — models a loaded BS deferring delivery (Figure 5b).
+  void DeferNext(SimDuration extra) { defer_next_ = extra; }
+
+  void set_loss_prob(double p) { params_.loss_prob = p; }
+  const Params& params() const { return params_; }
+  const std::string& name() const { return name_; }
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  Simulator& sim_;
+  Rng& rng_;
+  Params params_;
+  std::string name_;
+  Receiver receiver_;
+  int force_drops_ = 0;
+  SimDuration defer_next_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace cnv::sim

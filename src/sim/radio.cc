@@ -1,0 +1,73 @@
+#include "sim/radio.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cnv::sim {
+
+double LossFromRssi(double rssi_dbm) {
+  if (rssi_dbm >= -95.0) return 0.001;   // good signal: essentially lossless
+  if (rssi_dbm >= -105.0) return 0.02;   // marginal
+  if (rssi_dbm >= -110.0) return 0.10;   // weak
+  if (rssi_dbm >= -115.0) return 0.35;   // very weak (paper's S2 trigger zone)
+  return 0.70;                           // edge of coverage
+}
+
+RssiProfile::RssiProfile(std::vector<Anchor> anchors)
+    : anchors_(std::move(anchors)) {
+  if (anchors_.empty()) {
+    throw std::invalid_argument("RssiProfile: no anchors");
+  }
+  if (!std::is_sorted(anchors_.begin(), anchors_.end(),
+                      [](const Anchor& a, const Anchor& b) {
+                        return a.mile < b.mile;
+                      })) {
+    throw std::invalid_argument("RssiProfile: anchors not sorted by mile");
+  }
+}
+
+double RssiProfile::At(double mile) const {
+  if (mile <= anchors_.front().mile) return anchors_.front().rssi_dbm;
+  if (mile >= anchors_.back().mile) return anchors_.back().rssi_dbm;
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    if (mile <= anchors_[i].mile) {
+      const auto& a = anchors_[i - 1];
+      const auto& b = anchors_[i];
+      const double frac = (mile - a.mile) / (b.mile - a.mile);
+      return a.rssi_dbm + frac * (b.rssi_dbm - a.rssi_dbm);
+    }
+  }
+  return anchors_.back().rssi_dbm;
+}
+
+RssiProfile Route1Profile() {
+  // Matches Figure 7's bottom panel: RSSI stays within [-51, -95] dBm, with
+  // dips near the location-update spots at 9.5 and 13.2 miles.
+  return RssiProfile({
+      {0.0, -60.0},
+      {2.0, -55.0},
+      {4.0, -70.0},
+      {6.0, -62.0},
+      {8.0, -68.0},
+      {9.5, -73.0},
+      {11.0, -65.0},
+      {13.2, -87.0},
+      {14.0, -80.0},
+      {15.0, -72.0},
+  });
+}
+
+RssiProfile Route2Profile() {
+  return RssiProfile({
+      {0.0, -58.0},
+      {5.0, -75.0},
+      {10.0, -66.0},
+      {14.0, -90.0},
+      {18.0, -72.0},
+      {22.0, -85.0},
+      {25.0, -93.0},
+      {28.3, -70.0},
+  });
+}
+
+}  // namespace cnv::sim

@@ -1,0 +1,74 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cnv::sim {
+
+Simulator::EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("ScheduleAt: time in the past");
+  if (!fn) throw std::invalid_argument("ScheduleAt: empty handler");
+  const EventId id = next_id_++;
+  handlers_.push_back(std::move(fn));
+  queue_.push({t, next_seq_++, id});
+  return id;
+}
+
+Simulator::EventId Simulator::ScheduleIn(SimDuration d,
+                                         std::function<void()> fn) {
+  if (d < 0) throw std::invalid_argument("ScheduleIn: negative delay");
+  return ScheduleAt(now_ + d, std::move(fn));
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return;
+  if (handlers_[id]) cancelled_.insert(id);
+}
+
+void Simulator::PruneCancelled() {
+  while (!queue_.empty()) {
+    const Entry& e = queue_.top();
+    const auto it = cancelled_.find(e.id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    handlers_[e.id] = nullptr;
+    queue_.pop();
+  }
+}
+
+bool Simulator::Step() {
+  PruneCancelled();
+  if (queue_.empty()) return false;
+  const Entry e = queue_.top();
+  queue_.pop();
+  now_ = e.time;
+  // Move out so re-entrant scheduling cannot alias the running handler.
+  std::function<void()> fn = std::move(handlers_[e.id]);
+  handlers_[e.id] = nullptr;
+  ++executed_;
+  fn();
+  return true;
+}
+
+void Simulator::RunUntil(SimTime t) {
+  if (t < now_) throw std::invalid_argument("RunUntil: time in the past");
+  for (;;) {
+    PruneCancelled();
+    if (queue_.empty() || queue_.top().time > t) break;
+    Step();
+  }
+  now_ = t;
+}
+
+void Simulator::RunAll(SimTime limit) {
+  for (;;) {
+    PruneCancelled();
+    if (queue_.empty() || queue_.top().time > limit) break;
+    Step();
+  }
+  if (now_ < limit && limit != std::numeric_limits<SimTime>::max()) {
+    now_ = limit;
+  }
+}
+
+}  // namespace cnv::sim

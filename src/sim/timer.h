@@ -1,0 +1,52 @@
+// Protocol guard timer (T3410, T3210, RRC inactivity, ...) bound to a
+// Simulator. Restartable; stopping or destroying the timer cancels the
+// pending expiry.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace cnv::sim {
+
+class Timer {
+ public:
+  Timer(Simulator& sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+  ~Timer() { Stop(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  // (Re)starts the timer: `on_expiry` fires once after `d` unless stopped.
+  void Start(SimDuration d, std::function<void()> on_expiry) {
+    Stop();
+    running_ = true;
+    id_ = sim_.ScheduleIn(d, [this, cb = std::move(on_expiry)] {
+      running_ = false;
+      id_ = Simulator::kInvalidEvent;
+      cb();
+    });
+  }
+
+  void Stop() {
+    if (running_) {
+      sim_.Cancel(id_);
+      running_ = false;
+      id_ = Simulator::kInvalidEvent;
+    }
+  }
+
+  bool IsRunning() const { return running_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  bool running_ = false;
+  Simulator::EventId id_ = Simulator::kInvalidEvent;
+};
+
+}  // namespace cnv::sim

@@ -1,0 +1,79 @@
+#include "solution/shim.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace cnv::solution {
+
+ShimEndpoint::ShimEndpoint(sim::Simulator& sim, std::string name,
+                           SimDuration retransmit_timeout)
+    : sim_(sim),
+      name_(std::move(name)),
+      rto_(retransmit_timeout),
+      retransmit_timer_(sim, name_ + "-rto") {}
+
+void ShimEndpoint::Send(nas::Message m) {
+  m.seq = next_seq_++;
+  m.is_shim_ack = false;
+  if (inflight_.has_value()) {
+    queue_.push_back(std::move(m));
+    return;
+  }
+  inflight_ = std::move(m);
+  TransmitInflight();
+}
+
+void ShimEndpoint::TransmitInflight() {
+  if (!transmit_) throw std::logic_error(name_ + ": no transmit function");
+  transmit_(*inflight_);
+  retransmit_timer_.Start(rto_, [this] { OnRetransmitTimeout(); });
+}
+
+void ShimEndpoint::OnRetransmitTimeout() {
+  if (!inflight_.has_value()) return;
+  ++retransmissions_;
+  CNV_LOG_DEBUG << name_ << ": retransmitting seq "
+                << inflight_->seq;
+  TransmitInflight();
+}
+
+void ShimEndpoint::SendAck(std::uint32_t seq) {
+  nas::Message ack;
+  ack.is_shim_ack = true;
+  ack.seq = seq;
+  transmit_(ack);
+}
+
+void ShimEndpoint::OnRaw(const nas::Message& m) {
+  if (m.is_shim_ack) {
+    if (inflight_.has_value() && m.seq == inflight_->seq) {
+      inflight_.reset();
+      retransmit_timer_.Stop();
+      if (!queue_.empty()) {
+        inflight_ = std::move(queue_.front());
+        queue_.pop_front();
+        TransmitInflight();
+      }
+    }
+    return;
+  }
+  // Data path: acknowledge everything at or below the expected sequence so
+  // lost acks are healed by the retransmitted copy.
+  if (m.seq == expected_seq_) {
+    ++expected_seq_;
+    SendAck(m.seq);
+    ++delivered_;
+    if (deliver_) deliver_(m);
+  } else if (m.seq < expected_seq_) {
+    // Duplicate of something already delivered: re-ack, never re-deliver.
+    ++duplicates_discarded_;
+    SendAck(m.seq);
+  } else {
+    // Ahead of sequence (should not happen with stop-and-wait): drop; the
+    // sender will retransmit in order.
+    ++duplicates_discarded_;
+  }
+}
+
+}  // namespace cnv::solution

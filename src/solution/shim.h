@@ -1,0 +1,71 @@
+// §8 "layer extension": a slim reliable-transfer layer inserted between EMM
+// and RRC. RRC does not guarantee reliable in-sequence delivery end to end
+// (the S2 root cause), so the shim adds sequence numbers, acknowledgements,
+// retransmission and duplicate suppression — restoring exactly the
+// assumptions EMM already makes. It bridges the existing interfaces: NAS
+// hands messages to Send(), raw link traffic enters through OnRaw(), and
+// in-order deliveries come out of the `deliver` callback.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "nas/messages.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+#include "util/time.h"
+
+namespace cnv::solution {
+
+class ShimEndpoint {
+ public:
+  using SendFn = std::function<void(const nas::Message&)>;
+
+  ShimEndpoint(sim::Simulator& sim, std::string name,
+               SimDuration retransmit_timeout = Millis(200));
+
+  // Raw transmit towards the peer (typically Link::Send).
+  void SetTransmit(SendFn t) { transmit_ = std::move(t); }
+  // Upward in-order delivery to the NAS layer.
+  void SetDeliver(SendFn d) { deliver_ = std::move(d); }
+
+  // Reliable send: stop-and-wait with retransmission until acknowledged.
+  void Send(nas::Message m);
+
+  // Entry point for everything arriving from the link (data + acks).
+  void OnRaw(const nas::Message& m);
+
+  bool idle() const { return !inflight_.has_value() && queue_.empty(); }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t duplicates_discarded() const { return duplicates_discarded_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  void TransmitInflight();
+  void OnRetransmitTimeout();
+  void SendAck(std::uint32_t seq);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  SimDuration rto_;
+  SendFn transmit_;
+  SendFn deliver_;
+
+  // Sender side.
+  std::uint32_t next_seq_ = 1;
+  std::optional<nas::Message> inflight_;
+  std::deque<nas::Message> queue_;
+  sim::Timer retransmit_timer_;
+
+  // Receiver side.
+  std::uint32_t expected_seq_ = 1;
+
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t duplicates_discarded_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace cnv::solution

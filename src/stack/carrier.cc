@@ -1,0 +1,73 @@
+#include "stack/carrier.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cnv::stack {
+
+SimDuration LatencyDist::Sample(Rng& rng) const {
+  const double mu = std::log(median_s);
+  const double v = rng.LogNormal(mu, sigma);
+  return FromSeconds(std::clamp(v, min_s, max_s));
+}
+
+CarrierProfile OpI() {
+  CarrierProfile p;
+  p.name = "OP-I";
+  // §5.3.2: OP-I returns to 4G within a few seconds via RRC release with
+  // redirect, disrupting the data session.
+  p.csfb_return_policy = model::SwitchPolicy::kReleaseWithRedirect;
+  // Table 6, OP-I: 1.1s / 2.3s / 52.6s (min / median / max).
+  p.csfb_return_latency = {.median_s = 2.3, .sigma = 0.6, .min_s = 1.1,
+                           .max_s = 52.6};
+
+  // §6.2: downlink drop ~73.9%; uplink only ~51% (explained by the
+  // modulation change alone).
+  p.channel_policy.dl_call_penalty = 0.5;
+  p.channel_policy.ul_call_penalty = 1.0;
+
+  // Figure 8a: all OP-I location updates take > 2 s, average ~3 s.
+  p.lau_processing = {.median_s = 3.0, .sigma = 0.18, .min_s = 2.1, .max_s = 5.0};
+  // Figure 8b: ~75% of routing updates in 1-3.6 s.
+  p.rau_processing = {.median_s = 2.1, .sigma = 0.35, .min_s = 1.0, .max_s = 4.5};
+  // Figure 4: OP-I recovers faster (lower spread of re-attach latency).
+  p.reattach_delay = {.median_s = 4.0, .sigma = 0.55, .min_s = 2.4, .max_s = 15.0};
+
+  p.mm_wait_net_cmd = Millis(4300);  // the measured 4.3 s chain effect
+  p.lu_failure_mode = LuFailureMode::kFirstUpdateDisrupted;
+  p.lu_failure_prob = 0.026;  // Table 5: 5 failures / 190 CSFB calls overall
+  p.pdp_deact_in_3g_prob = 0.031;  // Table 5: 4 / 129 switches with data on
+  p.defer_csfb_lu = true;  // OP-I defers the first update until call end
+  return p;
+}
+
+CarrierProfile OpII() {
+  CarrierProfile p;
+  p.name = "OP-II";
+  // §5.3.2: OP-II uses inter-system cell reselection, so devices with
+  // ongoing data get stuck in 3G for the lifetime of the session.
+  p.csfb_return_policy = model::SwitchPolicy::kCellReselection;
+  // Unused on the reselection path (the UE triggers it from RRC IDLE).
+  p.csfb_return_latency = {.median_s = 4.0, .sigma = 0.3, .min_s = 2.0,
+                           .max_s = 10.0};
+
+  // §6.2: OP-II throttles uplink PS during calls (96.1% drop).
+  p.channel_policy.dl_call_penalty = 0.5;
+  p.channel_policy.ul_call_penalty = 0.08;
+
+  // Figure 8a: 72% of OP-II updates take 1.2-2.1 s, average 1.9 s.
+  p.lau_processing = {.median_s = 1.8, .sigma = 0.22, .min_s = 1.2, .max_s = 3.5};
+  // Figure 8b: 90% of routing updates in 1.6-4.1 s.
+  p.rau_processing = {.median_s = 2.6, .sigma = 0.28, .min_s = 1.6, .max_s = 4.8};
+  // Figure 4: OP-II shows the long tail up to ~24.7 s.
+  p.reattach_delay = {.median_s = 7.0, .sigma = 0.65, .min_s = 3.0, .max_s = 24.7};
+
+  p.mm_wait_net_cmd = Millis(3500);
+  p.lu_failure_mode = LuFailureMode::kSecondUpdateRejected;
+  p.lu_failure_prob = 0.026;
+  p.pdp_deact_in_3g_prob = 0.031;
+  p.defer_csfb_lu = false;  // first update completes; the second one fails
+  return p;
+}
+
+}  // namespace cnv::stack

@@ -1,0 +1,92 @@
+// Carrier operational profiles. The paper validates against two anonymized
+// US operators, OP-I and OP-II, whose observed policy differences drive
+// several findings: the CSFB switch-back option (S3 / Table 6), the
+// location-update latency distributions (Figure 8), the re-attach latency
+// after a detach (Figure 4), which of the two CSFB location updates fails
+// (S6), and the uplink scheduling during voice calls (S5 / Figure 9).
+#pragma once
+
+#include <string>
+
+#include "model/vocab.h"
+#include "sim/channel.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace cnv::stack {
+
+// Clamped log-normal latency distribution (seconds).
+struct LatencyDist {
+  double median_s = 1.0;
+  double sigma = 0.3;   // log-space spread
+  double min_s = 0.0;
+  double max_s = 1e9;
+
+  SimDuration Sample(Rng& rng) const;
+};
+
+// Which of the two CSFB-related 3G location updates fails when S6 strikes
+// (§6.3): OP-I's deferred first update is disrupted by the fast switch back
+// to 4G; OP-II's network-initiated second update is refused by the MSC.
+enum class LuFailureMode {
+  kFirstUpdateDisrupted,   // OP-I: error "implicitly detach"
+  kSecondUpdateRejected,   // OP-II: error "MSC temporarily not reachable"
+};
+
+struct CarrierProfile {
+  std::string name;
+
+  // CSFB return option (Figure 6a). OP-I: release-with-redirect (fast, but
+  // disrupts data); OP-II: cell reselection (stuck while data is ongoing).
+  model::SwitchPolicy csfb_return_policy =
+      model::SwitchPolicy::kReleaseWithRedirect;
+
+  // Shared-channel scheduling during CS calls (S5).
+  sim::ChannelPolicy channel_policy;
+
+  // Network-side processing latencies.
+  LatencyDist lau_processing;   // location area update (Figure 8a)
+  LatencyDist rau_processing;   // routing area update (Figure 8b)
+  LatencyDist reattach_delay;   // operator-controlled re-attach (Figure 4)
+
+  // 3G RRC inactivity demotion timers (carrier-configured; TS 25.331).
+  // They bound how fast a device without traffic reaches RRC IDLE — and
+  // hence the minimum stuck time on the cell-reselection path (S3).
+  SimDuration rrc_dch_to_fach = Seconds(5);
+  SimDuration rrc_fach_to_idle = Seconds(12);
+
+  // MM chain effect: time spent in MM-WAIT-FOR-NET-CMD after an update,
+  // during which call requests keep being deferred (§6.1.2).
+  SimDuration mm_wait_net_cmd = Millis(4300);
+
+  // How long after the CSFB call ends the network initiates the return to
+  // 4G (applies to the release-with-redirect option). Varies with network
+  // load — Table 6 reports 1.1s to 52.6s for OP-I.
+  LatencyDist csfb_return_latency{.median_s = 2.3, .sigma = 0.6,
+                                  .min_s = 1.1, .max_s = 55.0};
+
+  // S6 (§6.3) operational failure: which update fails and how often a CSFB
+  // call hits the race.
+  LuFailureMode lu_failure_mode = LuFailureMode::kFirstUpdateDisrupted;
+  double lu_failure_prob = 0.0;
+
+  // Probability that the network deactivates the PDP context while the
+  // device camps on 3G with data enabled (feeds S1 occurrence, Table 5).
+  double pdp_deact_in_3g_prob = 0.0;
+
+  // Whether the first CSFB location update is deferred until the call ends
+  // (the standards allow it; OP-I does it, §6.3).
+  bool defer_csfb_lu = false;
+
+  // VoLTE (§2): voice over PS in 4G instead of CSFB. Most 4G operators in
+  // the paper's timeframe had not deployed it; enabling it is the designed
+  // long-term fix that removes the CSFB-specific defects (S3, S6) — used
+  // by the ablation experiments.
+  bool volte_enabled = false;
+};
+
+// The two profiles used throughout the experiments.
+CarrierProfile OpI();
+CarrierProfile OpII();
+
+}  // namespace cnv::stack

@@ -1,0 +1,39 @@
+#include "stack/hss.h"
+
+namespace cnv::stack {
+
+void Hss::UpdateLocation(nas::Imsi imsi, nas::System system) {
+  ++updates_;
+  auto& loc = locations_[imsi.value];
+  if (loc.system == nas::System::kNone && system != nas::System::kNone) {
+    loc.deregistered_total += sim_.now() - loc.since;
+  }
+  loc.system = system;
+  loc.since = sim_.now();
+}
+
+void Hss::PurgeLocation(nas::Imsi imsi) {
+  ++updates_;
+  auto& loc = locations_[imsi.value];
+  if (loc.system != nas::System::kNone) {
+    loc.system = nas::System::kNone;
+    loc.since = sim_.now();
+  }
+}
+
+nas::System Hss::CurrentSystem(nas::Imsi imsi) const {
+  const auto it = locations_.find(imsi.value);
+  return it == locations_.end() ? nas::System::kNone : it->second.system;
+}
+
+SimDuration Hss::DeregisteredTime(nas::Imsi imsi) const {
+  const auto it = locations_.find(imsi.value);
+  if (it == locations_.end()) return sim_.now();  // never registered
+  SimDuration total = it->second.deregistered_total;
+  if (it->second.system == nas::System::kNone) {
+    total += sim_.now() - it->second.since;
+  }
+  return total;
+}
+
+}  // namespace cnv::stack

@@ -1,0 +1,63 @@
+// HSS (Home Subscriber Server): stores subscription data and the current
+// registration of each subscriber (Figure 1 places one in each core
+// network; they share the subscriber view). The MME and MSC report location
+// updates here, which gives experiments a network-wide view of where the
+// subscriber is registered — and of windows during which no system has a
+// valid registration (the out-of-service windows of S1/S2/S6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nas/ids.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace cnv::stack {
+
+class Hss {
+ public:
+  explicit Hss(sim::Simulator& sim) : sim_(sim) {}
+
+  struct Subscription {
+    nas::Imsi imsi;
+    bool data_plan = true;
+    bool roaming_allowed = true;
+  };
+
+  void Provision(const Subscription& sub) {
+    subscribers_[sub.imsi.value] = sub;
+  }
+  bool IsProvisioned(nas::Imsi imsi) const {
+    return subscribers_.contains(imsi.value);
+  }
+
+  // Registration reports from the serving elements.
+  void UpdateLocation(nas::Imsi imsi, nas::System system);
+  void PurgeLocation(nas::Imsi imsi);
+
+  // Current registration (kNone when deregistered everywhere).
+  nas::System CurrentSystem(nas::Imsi imsi) const;
+
+  // Accumulated time the subscriber spent deregistered from both systems —
+  // the aggregate out-of-service exposure of the run.
+  SimDuration DeregisteredTime(nas::Imsi imsi) const;
+
+  std::uint64_t updates_processed() const { return updates_; }
+
+ private:
+  struct LocationState {
+    nas::System system = nas::System::kNone;
+    SimTime since = 0;
+    SimDuration deregistered_total = 0;
+  };
+
+  sim::Simulator& sim_;
+  std::unordered_map<std::uint64_t, Subscription> subscribers_;
+  std::unordered_map<std::uint64_t, LocationState> locations_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace cnv::stack

@@ -1,0 +1,70 @@
+#include "stack/scenarios.h"
+
+namespace cnv::stack::scenario {
+
+bool RunUntil(Testbed& tb, const std::function<bool()>& pred,
+              SimDuration limit) {
+  const SimTime deadline = tb.sim().now() + limit;
+  while (!pred() && tb.sim().now() < deadline) {
+    tb.Run(Millis(100));
+  }
+  return pred();
+}
+
+bool AttachIn4g(Testbed& tb) {
+  tb.ue().PowerOn(nas::System::k4G);
+  return RunUntil(tb,
+                  [&] {
+                    return tb.ue().emm_state() ==
+                               UeDevice::EmmState::kRegistered &&
+                           tb.ue().eps_bearer_active();
+                  },
+                  Minutes(3));
+}
+
+bool AttachIn3g(Testbed& tb) {
+  tb.ue().PowerOn(nas::System::k3G);
+  return RunUntil(
+      tb, [&] { return tb.msc().registered() && tb.sgsn().registered(); },
+      Minutes(3));
+}
+
+bool EstablishCall(Testbed& tb) {
+  tb.ue().Dial();
+  return RunUntil(tb,
+                  [&] {
+                    return tb.ue().call_state() ==
+                           UeDevice::CallState::kActive;
+                  },
+                  Minutes(2));
+}
+
+bool ProvokeS1(Testbed& tb, nas::PdpDeactCause cause) {
+  if (!AttachIn4g(tb)) return false;
+  tb.ue().SwitchTo3g(model::SwitchReason::kMobility);
+  if (!RunUntil(tb, [&] { return tb.ue().pdp_active(); }, Minutes(1))) {
+    return false;
+  }
+  tb.sgsn().DeactivatePdp(cause);
+  tb.Run(Seconds(1));
+  return !tb.ue().pdp_active();
+}
+
+bool CsfbCallRoundTrip(Testbed& tb, SimDuration hold) {
+  if (!EstablishCall(tb)) return false;
+  tb.Run(hold);
+  tb.ue().HangUp();
+  RunUntil(tb, [&] { return tb.ue().serving() == nas::System::k4G; },
+           Minutes(1));
+  if (tb.ue().serving() == nas::System::k3G &&
+      tb.ue().data_session_active()) {
+    // The S3 stuck condition: the session pins the RRC state.
+    tb.ue().StopDataSession();
+    RunUntil(tb, [&] { return tb.ue().serving() == nas::System::k4G; },
+             Minutes(2));
+  }
+  RunUntil(tb, [&] { return !tb.ue().out_of_service(); }, Minutes(2));
+  return tb.ue().serving() == nas::System::k4G;
+}
+
+}  // namespace cnv::stack::scenario

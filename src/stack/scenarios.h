@@ -1,0 +1,37 @@
+// Canned validation scenarios: the experiment scripts that the validation
+// runner, benches and examples replay on a Testbed. Each returns once the
+// scenario has settled (or the bounded wait expires), so callers can read
+// the counters/traces directly.
+#pragma once
+
+#include <functional>
+
+#include "stack/testbed.h"
+
+namespace cnv::stack::scenario {
+
+// Steps the simulation in 100 ms slices until `pred` holds or `limit`
+// simulated time has elapsed. Returns whether the predicate held.
+bool RunUntil(Testbed& tb, const std::function<bool()>& pred,
+              SimDuration limit);
+
+// Powers on in 4G and waits for the attach to complete.
+bool AttachIn4g(Testbed& tb);
+
+// Powers on in 3G and waits for both CS and PS registrations.
+bool AttachIn3g(Testbed& tb);
+
+// Dials and waits until the call is active (through CSFB when on 4G).
+bool EstablishCall(Testbed& tb);
+
+// The S1 precondition: attached in 4G, switched to 3G with data, PDP
+// context deactivated by the network with `cause`.
+bool ProvokeS1(Testbed& tb, nas::PdpDeactCause cause =
+                                nas::PdpDeactCause::kRegularDeactivation);
+
+// Full CSFB call: dial in 4G, hold `hold` of talk time, hang up, and wait
+// for the device to settle back on 4G (ending the data session if it is
+// what keeps the device stranded). Returns whether 4G was reached.
+bool CsfbCallRoundTrip(Testbed& tb, SimDuration hold = Seconds(10));
+
+}  // namespace cnv::stack::scenario

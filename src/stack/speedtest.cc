@@ -1,0 +1,28 @@
+#include "stack/speedtest.h"
+
+#include <stdexcept>
+
+namespace cnv::stack {
+
+SpeedtestResult RunSpeedtest(Testbed& tb, sim::Direction direction,
+                             int hour_of_day, SimDuration window,
+                             SimDuration sample_every) {
+  if (window <= 0 || sample_every <= 0 || sample_every > window) {
+    throw std::invalid_argument("RunSpeedtest: bad window");
+  }
+  SpeedtestResult result;
+  result.window = window;
+  const SimTime end = tb.sim().now() + window;
+  while (tb.sim().now() < end) {
+    const double rate =
+        tb.ue().CurrentPsRateMbps(direction, hour_of_day);
+    result.mbps.Add(rate);
+    const SimDuration step =
+        std::min<SimDuration>(sample_every, end - tb.sim().now());
+    tb.Run(step);
+    result.megabytes += rate * ToSeconds(step) / 8.0;
+  }
+  return result;
+}
+
+}  // namespace cnv::stack

@@ -1,0 +1,28 @@
+// Speedtest stand-in (§3.3 uses speedtest.net to measure uplink/downlink on
+// the phone): samples the device's effective PS rate over a measurement
+// window and integrates the transferred volume. Used for the Figure 9
+// measurements and the Table 5 affected-data accounting.
+#pragma once
+
+#include "sim/channel.h"
+#include "stack/testbed.h"
+#include "util/stats.h"
+
+namespace cnv::stack {
+
+struct SpeedtestResult {
+  Samples mbps;           // sampled rates over the window
+  double megabytes = 0;   // volume transferred during the window
+  SimDuration window = 0;
+
+  double MedianMbps() const { return mbps.Empty() ? 0.0 : mbps.Median(); }
+};
+
+// Runs a speed test on the testbed's device: samples the rate every
+// `sample_every` over `window` of simulated time (advancing the simulation)
+// and integrates the volume.
+SpeedtestResult RunSpeedtest(Testbed& tb, sim::Direction direction,
+                             int hour_of_day, SimDuration window = Seconds(10),
+                             SimDuration sample_every = Millis(500));
+
+}  // namespace cnv::stack

@@ -1,0 +1,986 @@
+#include "stack/ue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nas/timers.h"
+#include "sim/radio.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace cnv::stack {
+
+namespace {
+// Data demand at or above this holds the 3G DCH state (the paper's S3
+// experiments use 200 kbps UDP, which stays on DCH).
+constexpr double kDchDemandMbps = 0.15;
+// RRC state forced by the §8 CSFB-tag remedy right after the call ends.
+constexpr SimDuration kCsfbTagSwitchDelay = Millis(300);
+}  // namespace
+
+std::string ToString(UeDevice::EmmState s) {
+  switch (s) {
+    case UeDevice::EmmState::kDeregistered:
+      return "EMM-DEREGISTERED";
+    case UeDevice::EmmState::kWaitAttachAccept:
+      return "EMM-REGISTERED-INITIATED";
+    case UeDevice::EmmState::kRegistered:
+      return "EMM-REGISTERED";
+    case UeDevice::EmmState::kWaitTauAccept:
+      return "EMM-TRACKING-AREA-UPDATING-INITIATED";
+    case UeDevice::EmmState::kOutOfService:
+      return "EMM-DEREGISTERED (out of service)";
+  }
+  return "?";
+}
+
+std::string ToString(UeDevice::CallState s) {
+  switch (s) {
+    case UeDevice::CallState::kNone:
+      return "no call";
+    case UeDevice::CallState::kPending:
+      return "call pending";
+    case UeDevice::CallState::kWaitCmAccept:
+      return "awaiting CM service accept";
+    case UeDevice::CallState::kWaitConnect:
+      return "awaiting connect";
+    case UeDevice::CallState::kActive:
+      return "call active";
+  }
+  return "?";
+}
+
+UeDevice::UeDevice(sim::Simulator& sim, Rng& rng, trace::Collector& trace,
+                   const CarrierProfile& profile, SolutionConfig solutions,
+                   sim::SharedChannel& channel3g)
+    : sim_(sim),
+      rng_(rng),
+      trace_(trace),
+      profile_(profile),
+      solutions_(solutions),
+      channel3g_(channel3g),
+      t3410_(sim, "T3410"),
+      t3430_(sim, "T3430"),
+      mm_wait_timer_(sim, "MM-WAIT-FOR-NET-CMD"),
+      rrc_demote_(sim, "3G-RRC inactivity"),
+      periodic_(sim, "periodic-update") {
+  channel3g_.set_decoupled(solutions_.domain_decoupled);
+}
+
+// ------------------------------------------------------------- transmit ---
+
+void UeDevice::SendEmm(nas::Message m) {
+  if (serving_ != nas::System::k4G) {
+    CNV_LOG_WARN << "UE: EMM send while not on 4G, dropped";
+    return;
+  }
+  if (emm_transport_) {
+    emm_transport_(m);
+    return;
+  }
+  if (ul4g_ == nullptr) throw std::logic_error("UE: 4G uplink not wired");
+  ul4g_->Send(m);
+}
+
+void UeDevice::SendCs(nas::Message m) {
+  if (serving_ != nas::System::k3G) {
+    CNV_LOG_WARN << "UE: CS send while not on 3G, dropped";
+    return;
+  }
+  if (ul3g_cs_ == nullptr) throw std::logic_error("UE: 3G CS uplink not wired");
+  ul3g_cs_->Send(m);
+}
+
+void UeDevice::SendPs(nas::Message m) {
+  if (serving_ != nas::System::k3G) {
+    CNV_LOG_WARN << "UE: PS send while not on 3G, dropped";
+    return;
+  }
+  if (ul3g_ps_ == nullptr) throw std::logic_error("UE: 3G PS uplink not wired");
+  ul3g_ps_->Send(m);
+}
+
+// ------------------------------------------------------------ user ops ---
+
+void UeDevice::PowerOn(nas::System system) {
+  if (powered_) return;
+  powered_ = true;
+  serving_ = system;
+  trace_.Event(system, "UE", "device powers on");
+  if (system == nas::System::k4G) {
+    rrc4g_ = model::Rrc4g::kConnected;
+    trace_.State(nas::System::k4G, "4G-RRC", "RRC IDLE -> CONNECTED");
+    attach_attempts_ = 0;
+    StartAttach();
+  } else {
+    Promote3g(model::Rrc3g::kFach);
+    StartLau();
+    if (!gmm_attached_) {
+      gmm_ = GmmState::kRauInProgress;
+      rau_started_at_ = sim_.now();
+      trace_.Msg(nas::System::k3G, "GMM", "GPRS Attach Request sent");
+      nas::Message m;
+      m.kind = nas::MsgKind::kGprsAttachRequest;
+      m.protocol = nas::Protocol::kGmm;
+      SendPs(m);
+    }
+  }
+}
+
+void UeDevice::PowerOff() {
+  if (!powered_) return;
+  trace_.Event(serving_, "UE", "device powers off");
+  if (serving_ == nas::System::k4G && emm_ == EmmState::kRegistered) {
+    nas::Message m;
+    m.kind = nas::MsgKind::kDetachRequest;
+    m.protocol = nas::Protocol::kEmm;
+    trace_.Msg(nas::System::k4G, "EMM", "Detach Request sent (switch off)");
+    SendEmm(m);
+  } else if (serving_ == nas::System::k3G && mm_registered_) {
+    nas::Message m;
+    m.kind = nas::MsgKind::kImsiDetach;
+    m.protocol = nas::Protocol::kMm;
+    trace_.Msg(nas::System::k3G, "MM", "IMSI Detach Indication sent");
+    SendCs(m);
+  }
+  powered_ = false;
+  serving_ = nas::System::kNone;
+  emm_ = EmmState::kDeregistered;
+  mm_ = MmState::kIdle;
+  gmm_ = GmmState::kIdle;
+  call_ = CallState::kNone;
+  mm_registered_ = false;
+  gmm_attached_ = false;
+  eps_.active = false;
+  pdp_.active = false;
+  data_session_ = false;
+  in_csfb_ = false;
+  reselect_pending_ = false;
+  t3410_.Stop();
+  t3430_.Stop();
+  mm_wait_timer_.Stop();
+  rrc_demote_.Stop();
+  rrc3g_ = model::Rrc3g::kIdle;
+  rrc4g_ = model::Rrc4g::kIdle;
+}
+
+void UeDevice::Dial() {
+  if (!powered_ || call_ != CallState::kNone) return;
+  dialed_at_ = sim_.now();
+  if (serving_ == nas::System::k4G && profile_.volte_enabled) {
+    // VoLTE: carrier-grade voice over PS in 4G — no fallback, no shared
+    // 3G channel, hence none of the CSFB-specific defects (§2).
+    call_ = CallState::kWaitConnect;
+    trace_.Msg(nas::System::k4G, "EMM", "VoLTE call setup (PS voice in 4G)");
+    sim_.ScheduleIn(FromSeconds(rng_.Uniform(1.5, 3.0)), [this] {
+      if (call_ != CallState::kWaitConnect ||
+          serving_ != nas::System::k4G) {
+        return;
+      }
+      call_ = CallState::kActive;
+      ++calls_connected_;
+      call_connected_at_ = sim_.now();
+      current_call_has_data_ = false;  // no 3G shared-channel coupling
+      if (dialed_at_) call_setup_s_.Add(ToSeconds(sim_.now() - *dialed_at_));
+      trace_.Msg(nas::System::k4G, "EMM", "VoLTE call established");
+    });
+    return;
+  }
+  if (serving_ == nas::System::k4G) {
+    // CSFB: the 4G network has no CS domain; fall back to 3G (TS 23.272).
+    in_csfb_ = true;
+    call_ = CallState::kPending;
+    trace_.Msg(nas::System::k4G, "EMM",
+               "Extended Service Request (CSFB) sent");
+    nas::Message m;
+    m.kind = nas::MsgKind::kExtendedServiceRequest;
+    m.protocol = nas::Protocol::kEmm;
+    SendEmm(m);
+    return;
+  }
+  trace_.Event(nas::System::k3G, "CM/CC", "user dials an outgoing call");
+  call_ = CallState::kPending;
+  TryServePendingCall();
+}
+
+void UeDevice::TryServePendingCall() {
+  if (call_ != CallState::kPending || serving_ != nas::System::k3G) return;
+  if (!solutions_.mm_decoupled && mm_ != MmState::kIdle) {
+    // TS 24.008: MM may defer (or reject) the CM service request while a
+    // location update runs — the S4 head-of-line blocking.
+    ++deferred_service_requests_;
+    ++deferred_call_requests_;
+    trace_.Event(nas::System::k3G, "MM",
+                 "CM service request deferred: location update in progress");
+    return;
+  }
+  call_ = CallState::kWaitCmAccept;
+  Promote3g(model::Rrc3g::kFach);
+  trace_.Msg(nas::System::k3G, "MM", "CM Service Request sent");
+  nas::Message m;
+  m.kind = nas::MsgKind::kCmServiceRequest;
+  m.protocol = nas::Protocol::kMm;
+  SendCs(m);
+}
+
+void UeDevice::HangUp() {
+  if (call_ == CallState::kNone) return;
+  if (serving_ == nas::System::k3G) {
+    nas::Message m;
+    m.kind = nas::MsgKind::kCallDisconnect;
+    m.protocol = nas::Protocol::kCm;
+    trace_.Msg(nas::System::k3G, "CM/CC", "Disconnect sent (call ends)");
+    SendCs(m);
+  }
+  const bool was_active = call_ == CallState::kActive;
+  if (was_active && call_connected_at_) {
+    const double duration_s = ToSeconds(sim_.now() - *call_connected_at_);
+    call_durations_s_.Add(duration_s);
+    if (current_call_has_data_) {
+      // Data volume transferred while the call was up (the Table 5
+      // "affected data" metric): bounded by both the session's demand and
+      // the degraded shared-channel rate.
+      const double rate_mbps =
+          std::min(data_demand_mbps_,
+                   channel3g_.PsThroughputMbps(sim::Direction::kDownlink,
+                                               sim::TimeOfDayLoad(12)));
+      affected_call_data_mb_.Add(rate_mbps * duration_s / 8.0);
+    }
+  }
+  call_connected_at_.reset();
+  current_call_has_data_ = false;
+  call_ = CallState::kNone;
+  dialed_at_.reset();
+  if (channel3g_.cs_call_active()) {
+    channel3g_.SetCsCallActive(false);
+    trace_.Msg(nas::System::k3G, "3G-RRC",
+               "RRC Channel Config: 64QAM re-enabled after voice call");
+  }
+  Reevaluate3gPinning();
+  if (!was_active || !in_csfb_ || serving_ != nas::System::k3G) return;
+
+  // CSFB post-call handling: the device should move back to 4G (§5.3).
+  csfb_call_ended_at_ = sim_.now();
+  if (csfb_lu_deferred_pending_) {
+    // OP-I defers the first 3G location update until the call completes.
+    csfb_lu_deferred_pending_ = false;
+    trace_.Event(nas::System::k3G, "MM",
+                 "deferred CSFB location update starts");
+    StartLau();
+  }
+  if (solutions_.csfb_tag) {
+    // §8 domain decoupling: the BS tagged this RRC connection as
+    // CSFB-induced and forces a proper state for the switch back.
+    trace_.Event(nas::System::k3G, "3G-RRC",
+                 "CSFB tag: BS forces RRC state for inter-system switch");
+    sim_.ScheduleIn(kCsfbTagSwitchDelay, [this] { ReturnTo4gAfterCsfb(); });
+    return;
+  }
+  switch (profile_.csfb_return_policy) {
+    case model::SwitchPolicy::kReleaseWithRedirect:
+    case model::SwitchPolicy::kHandover:
+      sim_.ScheduleIn(profile_.csfb_return_latency.Sample(rng_),
+                      [this] { ReturnTo4gAfterCsfb(); });
+      break;
+    case model::SwitchPolicy::kCellReselection:
+      // Works only from RRC IDLE: the device reselects once the inactivity
+      // demotions bring RRC down — which ongoing data prevents (S3).
+      reselect_pending_ = true;
+      trace_.Event(nas::System::k3G, "3G-RRC",
+                   "awaiting RRC IDLE for inter-system cell reselection");
+      Reevaluate3gPinning();
+      TryCellReselection();
+      break;
+  }
+}
+
+void UeDevice::EnableData(bool on) {
+  if (on == data_enabled_) return;
+  data_enabled_ = on;
+  if (!on) {
+    trace_.Event(serving_, "UE", "user disables mobile data");
+    data_session_ = false;
+    if (serving_ == nas::System::k3G && pdp_.active) {
+      // Observed phone behaviour (§5.1.3): all PDP contexts deactivated.
+      nas::Message m;
+      m.kind = nas::MsgKind::kPdpDeactivateRequest;
+      m.protocol = nas::Protocol::kSm;
+      m.pdp_cause = nas::PdpDeactCause::kRegularDeactivation;
+      trace_.Msg(nas::System::k3G, "SM",
+                 "Deactivate PDP Context Request sent (regular deactivation)");
+      SendPs(m);
+      pdp_.active = false;
+    }
+    Reevaluate3gPinning();
+  } else {
+    trace_.Event(serving_, "UE", "user enables mobile data");
+    if (serving_ == nas::System::k3G && gmm_attached_) ActivatePdp();
+  }
+}
+
+void UeDevice::StartDataSession(double demand_mbps) {
+  if (!powered_ || !data_enabled_) return;
+  data_session_ = true;
+  data_demand_mbps_ = demand_mbps;
+  trace_.Event(serving_, "UE",
+               Format("data session starts (%.2f Mbps demand)", demand_mbps));
+  if (serving_ == nas::System::k3G) {
+    if (!pdp_.active) ActivatePdp();
+    Reevaluate3gPinning();
+  } else if (serving_ == nas::System::k4G && !eps_.active &&
+             emm_ == EmmState::kRegistered) {
+    nas::Message m;
+    m.kind = nas::MsgKind::kEsmActivateBearerRequest;
+    m.protocol = nas::Protocol::kEsm;
+    trace_.Msg(nas::System::k4G, "ESM", "Activate EPS Bearer Request sent");
+    SendEmm(m);
+  }
+}
+
+void UeDevice::StopDataSession() {
+  if (!data_session_) return;
+  data_session_ = false;
+  trace_.Event(serving_, "UE", "data session ends");
+  Reevaluate3gPinning();
+}
+
+void UeDevice::CrossAreaBoundary() {
+  if (!powered_) return;
+  if (serving_ == nas::System::k3G) {
+    trace_.Event(nas::System::k3G, "UE", "crossed location/routing area");
+    StartLau();
+    if (gmm_attached_) StartRau();
+  } else if (serving_ == nas::System::k4G &&
+             emm_ == EmmState::kRegistered) {
+    trace_.Event(nas::System::k4G, "UE", "crossed tracking area");
+    StartTau();
+  }
+}
+
+void UeDevice::EnablePeriodicUpdates(SimDuration interval) {
+  periodic_interval_ = interval;
+  periodic_.Stop();
+  if (interval <= 0) return;
+  periodic_.Start(interval, [this] {
+    if (powered_) {
+      if (serving_ == nas::System::k3G) {
+        trace_.Event(nas::System::k3G, "UE", "periodic location refresh");
+        StartLau();
+        if (gmm_attached_) StartRau();
+      } else if (serving_ == nas::System::k4G &&
+                 emm_ == EmmState::kRegistered) {
+        trace_.Event(nas::System::k4G, "UE", "periodic tracking area update");
+        StartTau();
+      }
+    }
+    EnablePeriodicUpdates(periodic_interval_);  // re-arm
+  });
+}
+
+void UeDevice::SetRssi(double dbm) {
+  rssi_dbm_ = dbm;
+  const double loss = sim::LossFromRssi(dbm);
+  if (ul4g_ != nullptr) ul4g_->set_loss_prob(loss);
+  if (ul3g_cs_ != nullptr) ul3g_cs_->set_loss_prob(loss);
+  if (ul3g_ps_ != nullptr) ul3g_ps_->set_loss_prob(loss);
+}
+
+// ------------------------------------------------------ system switches ---
+
+void UeDevice::MigrateContextsTo3g() {
+  // EPS bearer -> PDP context translation (§5.1.1); 4G resources released.
+  if (eps_.active && data_enabled_) {
+    pdp_ = nas::ToPdpContext(eps_);
+    trace_.Event(nas::System::k3G, "SM",
+                 "EPS bearer context migrated to PDP context");
+  } else {
+    pdp_.active = false;
+  }
+  eps_.active = false;
+  if (on_switch_away_from_4g_) on_switch_away_from_4g_(pdp_);
+}
+
+void UeDevice::SwitchTo3g(model::SwitchReason reason) {
+  if (!powered_ || serving_ != nas::System::k4G) return;
+  trace_.Event(nas::System::k3G, "UE",
+               "4G->3G switch (" + model::ToString(reason) + ")");
+  t3410_.Stop();
+  t3430_.Stop();
+  rrc4g_ = model::Rrc4g::kIdle;
+  trace_.State(nas::System::k4G, "4G-RRC", "RRC CONNECTED -> IDLE");
+  MigrateContextsTo3g();
+  serving_ = nas::System::k3G;
+  emm_ = EmmState::kDeregistered;  // single-radio: 4G context parked
+  Promote3g(pdp_.active && data_session_ &&
+                    data_demand_mbps_ >= kDchDemandMbps
+                ? model::Rrc3g::kDch
+                : model::Rrc3g::kFach);
+
+  const bool csfb = reason == model::SwitchReason::kCsfbCall;
+  if (csfb && profile_.defer_csfb_lu) {
+    csfb_lu_deferred_pending_ = true;
+    trace_.Event(nas::System::k3G, "MM",
+                 "location update deferred until the CSFB call completes");
+  } else {
+    StartLau();
+  }
+  if (!gmm_attached_) {
+    gmm_ = GmmState::kRauInProgress;
+    rau_started_at_ = sim_.now();
+    trace_.Msg(nas::System::k3G, "GMM", "GPRS Attach Request sent");
+    nas::Message m;
+    m.kind = nas::MsgKind::kGprsAttachRequest;
+    m.protocol = nas::Protocol::kGmm;
+    SendPs(m);
+  } else if (pdp_.active) {
+    StartRau();
+  }
+  if (csfb) TryServePendingCall();
+}
+
+void UeDevice::OnCsfbRedirectTo3g() {
+  if (serving_ != nas::System::k4G) return;
+  trace_.Msg(nas::System::k4G, "4G-RRC",
+             "RRC Connection Release (redirect to 3G) received");
+  SwitchTo3g(model::SwitchReason::kCsfbCall);
+}
+
+void UeDevice::ReturnTo4gAfterCsfb() {
+  if (serving_ != nas::System::k3G || !in_csfb_) return;
+  if (csfb_call_ended_at_) {
+    stuck_in_3g_s_.Add(ToSeconds(sim_.now() - *csfb_call_ended_at_));
+    csfb_call_ended_at_.reset();
+  }
+  if (data_session_ && !solutions_.csfb_tag &&
+      profile_.csfb_return_policy ==
+          model::SwitchPolicy::kReleaseWithRedirect) {
+    ++data_disruptions_;
+    trace_.Event(nas::System::k3G, "3G-RRC",
+                 "ongoing data session disrupted by RRC connection release");
+  }
+  in_csfb_ = false;
+  reselect_pending_ = false;
+  SwitchTo4g();
+  // The MME will perform the network-side SGs location update after the
+  // tracking area update completes (§6.3).
+  if (on_csfb_return_) on_csfb_return_();
+}
+
+void UeDevice::SwitchTo4g() {
+  if (!powered_ || serving_ != nas::System::k3G) return;
+  trace_.Event(nas::System::k4G, "UE", "3G->4G switch");
+  if (mm_ == MmState::kLuInProgress) {
+    trace_.Event(nas::System::k3G, "MM",
+                 "location update disrupted by inter-system switch");
+    lau_started_at_.reset();
+  }
+  mm_ = MmState::kIdle;
+  gmm_ = GmmState::kIdle;
+  mm_wait_timer_.Stop();
+  rrc_demote_.Stop();
+  if (rrc3g_ != model::Rrc3g::kIdle) {
+    trace_.State(nas::System::k3G, "3G-RRC",
+                 model::ToString(rrc3g_) + " -> IDLE (leaving 3G)");
+    rrc3g_ = model::Rrc3g::kIdle;
+  }
+  serving_ = nas::System::k4G;
+  // The PDP context is handed to the network side for migration into the
+  // EPS bearer context during the TAU (§5.1.1); it no longer lives on the
+  // 3G side of the device.
+  pdp_.active = false;
+  rrc4g_ = model::Rrc4g::kConnected;
+  trace_.State(nas::System::k4G, "4G-RRC", "RRC IDLE -> CONNECTED");
+  StartTau();
+}
+
+// ----------------------------------------------------------- EMM / ESM ---
+
+void UeDevice::StartAttach() {
+  if (!powered_ || serving_ != nas::System::k4G) return;
+  emm_ = EmmState::kWaitAttachAccept;
+  ++attach_attempts_;
+  ++attach_attempts_total_;
+  trace_.Msg(nas::System::k4G, "EMM",
+             attach_attempts_ == 1 ? "Attach Request sent"
+                                   : "Attach Request retransmitted");
+  t3410_.Start(nas::timers::kT3410AttachGuard, [this] { OnAttachTimeout(); });
+  nas::Message m;
+  m.kind = nas::MsgKind::kAttachRequest;
+  m.protocol = nas::Protocol::kEmm;
+  SendEmm(m);
+}
+
+void UeDevice::OnAttachTimeout() {
+  if (emm_ != EmmState::kWaitAttachAccept) return;
+  if (attach_attempts_ < nas::timers::kMaxAttachAttempts) {
+    trace_.Event(nas::System::k4G, "EMM", "T3410 expiry");
+    StartAttach();
+    return;
+  }
+  trace_.Event(nas::System::k4G, "EMM",
+               "maximum attach attempts reached; device stays out of service");
+  emm_ = EmmState::kOutOfService;
+}
+
+void UeDevice::StartTau() {
+  if (serving_ != nas::System::k4G) return;
+  emm_ = EmmState::kWaitTauAccept;
+  t3430_.Start(nas::timers::kT3430TauGuard, [this] {
+    if (emm_ != EmmState::kWaitTauAccept) return;
+    if (tau_attempts_ < 3) {
+      ++tau_attempts_;
+      trace_.Event(nas::System::k4G, "EMM", "T3430 expiry; TAU retransmitted");
+      StartTau();
+    } else {
+      // Give up: fall back to the registered state and retry on the next
+      // trigger (the standards eventually restart the procedure).
+      tau_attempts_ = 0;
+      emm_ = EmmState::kRegistered;
+    }
+  });
+  trace_.Msg(nas::System::k4G, "EMM", "Tracking Area Update Request sent");
+  nas::Message m;
+  m.kind = nas::MsgKind::kTauRequest;
+  m.protocol = nas::Protocol::kEmm;
+  // §8 cross-system coordination: piggy-back a request to activate a fresh
+  // EPS bearer instead of being detached when no context can be migrated.
+  m.eps.active = solutions_.reactivate_bearer;
+  SendEmm(m);
+}
+
+void UeDevice::HandleDetach(nas::EmmCause cause, const std::string& who) {
+  trace_.State(nas::System::k4G, "EMM",
+               "detached by network via " + who + " (cause: " +
+                   nas::ToString(cause) + ")");
+  switch (cause) {
+    case nas::EmmCause::kNoEpsBearerContextActive:
+      ++detaches_no_eps_bearer_;
+      break;
+    case nas::EmmCause::kImplicitlyDetached:
+      ++detaches_implicit_;
+      break;
+    case nas::EmmCause::kMscTemporarilyNotReachable:
+      ++detaches_msc_unreachable_;
+      break;
+    default:
+      break;
+  }
+  emm_ = EmmState::kOutOfService;
+  eps_.active = false;
+  ++oos_events_;
+  if (!recovery_started_at_) recovery_started_at_ = sim_.now();
+  // Observed phone behaviour (§5.1.3): immediately try to re-register; the
+  // re-attach completion is mostly operator-controlled (Figure 4).
+  attach_attempts_ = 0;
+  StartAttach();
+}
+
+void UeDevice::OnDownlink4g(const nas::Message& m) {
+  if (serving_ != nas::System::k4G) return;  // stale: device left 4G
+  switch (m.kind) {
+    case nas::MsgKind::kAttachAccept:
+      // Accepted while registered happens when the MME reprocesses a stale
+      // duplicate Attach Request (§5.2.1): the bearer is rebuilt by
+      // completing the procedure again.
+      if (emm_ != EmmState::kWaitAttachAccept &&
+          emm_ != EmmState::kRegistered) {
+        break;
+      }
+      t3410_.Stop();
+      emm_ = EmmState::kRegistered;
+      eps_ = m.eps;
+      trace_.Msg(nas::System::k4G, "EMM", "Attach Accept received");
+      trace_.State(nas::System::k4G, "EMM", "EMM-REGISTERED");
+      trace_.State(nas::System::k4G, "ESM", "EPS bearer context activated");
+      {
+        nas::Message r;
+        r.kind = nas::MsgKind::kAttachComplete;
+        r.protocol = nas::Protocol::kEmm;
+        trace_.Msg(nas::System::k4G, "EMM", "Attach Complete sent");
+        SendEmm(r);
+      }
+      attach_attempts_ = 0;
+      if (recovery_started_at_) {
+        recovery_s_.Add(ToSeconds(sim_.now() - *recovery_started_at_));
+        recovery_started_at_.reset();
+        trace_.Event(nas::System::k4G, "EMM",
+                     "service recovered: re-attach succeeded");
+      }
+      break;
+
+    case nas::MsgKind::kAttachReject:
+      trace_.Msg(nas::System::k4G, "EMM",
+                 "Attach Reject received (cause: " +
+                     nas::ToString(m.emm_cause) + ")");
+      t3410_.Stop();
+      HandleDetach(m.emm_cause, "Attach Reject");
+      break;
+
+    case nas::MsgKind::kTauAccept:
+      if (emm_ != EmmState::kWaitTauAccept) break;
+      t3430_.Stop();
+      tau_attempts_ = 0;
+      emm_ = EmmState::kRegistered;
+      eps_ = m.eps;
+      trace_.Msg(nas::System::k4G, "EMM",
+                 "Tracking Area Update Accept received");
+      break;
+
+    case nas::MsgKind::kTauReject:
+      trace_.Msg(nas::System::k4G, "EMM",
+                 "Tracking Area Update Reject received (cause: " +
+                     nas::ToString(m.emm_cause) + ")");
+      HandleDetach(m.emm_cause, "Tracking Area Update Reject");
+      break;
+
+    case nas::MsgKind::kDetachRequest:
+      trace_.Msg(nas::System::k4G, "EMM",
+                 "Detach Request received (cause: " +
+                     nas::ToString(m.emm_cause) + ")");
+      HandleDetach(m.emm_cause, "network Detach Request");
+      break;
+
+    case nas::MsgKind::kEsmActivateBearerAccept:
+      eps_ = m.eps;
+      trace_.Msg(nas::System::k4G, "ESM",
+                 "Activate EPS Bearer Accept received");
+      trace_.State(nas::System::k4G, "ESM", "EPS bearer context activated");
+      break;
+
+    default:
+      CNV_LOG_WARN << "UE(4G): unexpected " << m.Describe();
+      break;
+  }
+}
+
+// ------------------------------------------------------------- MM / CM ---
+
+void UeDevice::StartLau() {
+  if (serving_ != nas::System::k3G || mm_ == MmState::kLuInProgress) return;
+  mm_wait_timer_.Stop();
+  mm_ = MmState::kLuInProgress;
+  lau_started_at_ = sim_.now();
+  Promote3g(model::Rrc3g::kFach);
+  trace_.Msg(nas::System::k3G, "MM", "Location Updating Request sent");
+  nas::Message m;
+  m.kind = nas::MsgKind::kLocationUpdateRequest;
+  m.protocol = nas::Protocol::kMm;
+  SendCs(m);
+}
+
+void UeDevice::OnDownlink3gCs(const nas::Message& m) {
+  if (serving_ != nas::System::k3G) return;
+  switch (m.kind) {
+    case nas::MsgKind::kLocationUpdateAccept:
+      if (mm_ != MmState::kLuInProgress) break;
+      trace_.Msg(nas::System::k3G, "MM", "Location Updating Accept received");
+      mm_registered_ = true;
+      if (lau_started_at_) {
+        lau_duration_s_.Add(ToSeconds(sim_.now() - *lau_started_at_));
+        lau_started_at_.reset();
+      }
+      // Chain effect (§6.1.2): MM keeps processing MM/RRC commands before
+      // serving anything else.
+      mm_ = MmState::kWaitNetCmd;
+      trace_.State(nas::System::k3G, "MM", "MM-WAIT-FOR-NET-CMD");
+      mm_wait_timer_.Start(profile_.mm_wait_net_cmd, [this] {
+        mm_ = MmState::kIdle;
+        trace_.State(nas::System::k3G, "MM", "MM-IDLE");
+        TryServePendingCall();
+      });
+      if (solutions_.mm_decoupled) TryServePendingCall();
+      break;
+
+    case nas::MsgKind::kLocationUpdateReject:
+      trace_.Msg(nas::System::k3G, "MM",
+                 "Location Updating Reject received (cause: " +
+                     nas::ToString(m.mm_cause) + ")");
+      mm_ = MmState::kIdle;
+      mm_registered_ = false;
+      break;
+
+    case nas::MsgKind::kCmServiceAccept:
+      if (call_ != CallState::kWaitCmAccept) break;
+      trace_.Msg(nas::System::k3G, "MM", "CM Service Accept received");
+      call_ = CallState::kWaitConnect;
+      trace_.Msg(nas::System::k3G, "CM/CC", "Setup sent");
+      {
+        nas::Message r;
+        r.kind = nas::MsgKind::kCallSetup;
+        r.protocol = nas::Protocol::kCm;
+        SendCs(r);
+      }
+      break;
+
+    case nas::MsgKind::kPagingRequest:
+      // Mobile-terminated call: answer the page (§2, "MSC pages and
+      // establishes CS services").
+      if (call_ != CallState::kNone) break;
+      trace_.Msg(nas::System::k3G, "MM", "Paging Request received");
+      {
+        nas::Message r;
+        r.kind = nas::MsgKind::kPagingResponse;
+        r.protocol = nas::Protocol::kMm;
+        trace_.Msg(nas::System::k3G, "MM", "Paging Response sent");
+        Promote3g(model::Rrc3g::kFach);
+        SendCs(r);
+      }
+      call_ = CallState::kWaitConnect;
+      break;
+
+    case nas::MsgKind::kCallSetup:
+      // MT leg: the network set up the incoming call; ring, then answer.
+      if (call_ != CallState::kWaitConnect) break;
+      trace_.Msg(nas::System::k3G, "CM/CC", "Setup received (incoming call)");
+      sim_.ScheduleIn(
+          FromSeconds(rng_.Uniform(1.5, 4.0)), [this] {
+            if (call_ != CallState::kWaitConnect ||
+                serving_ != nas::System::k3G) {
+              return;
+            }
+            trace_.Msg(nas::System::k3G, "CM/CC",
+                       "Connect sent (incoming call answered)");
+            nas::Message r;
+            r.kind = nas::MsgKind::kCallConnect;
+            r.protocol = nas::Protocol::kCm;
+            SendCs(r);
+            call_ = CallState::kActive;
+            ++calls_connected_;
+            call_connected_at_ = sim_.now();
+            current_call_has_data_ = data_session_ && pdp_.active;
+            if (current_call_has_data_) ++calls_with_data_;
+            Promote3g(model::Rrc3g::kDch);
+            channel3g_.SetCsCallActive(true);
+            trace_.Msg(nas::System::k3G, "3G-RRC",
+                       solutions_.domain_decoupled
+                           ? "RRC Channel Config: dedicated CS channel "
+                             "assigned; PS keeps 64QAM"
+                           : "RRC Channel Config: 64QAM disabled during CS "
+                             "voice call (16QAM)");
+          });
+      break;
+
+    case nas::MsgKind::kCmServiceReject:
+      trace_.Msg(nas::System::k3G, "MM", "CM Service Reject received");
+      call_ = CallState::kNone;
+      dialed_at_.reset();
+      break;
+
+    case nas::MsgKind::kCallConnect:
+      if (call_ != CallState::kWaitConnect) break;
+      call_ = CallState::kActive;
+      trace_.Msg(nas::System::k3G, "CM/CC", "a call is established");
+      if (dialed_at_) {
+        call_setup_s_.Add(ToSeconds(sim_.now() - *dialed_at_));
+      }
+      ++calls_connected_;
+      call_connected_at_ = sim_.now();
+      current_call_has_data_ = data_session_ && pdp_.active;
+      if (current_call_has_data_) ++calls_with_data_;
+      Promote3g(model::Rrc3g::kDch);
+      channel3g_.SetCsCallActive(true);
+      if (solutions_.domain_decoupled) {
+        trace_.Msg(nas::System::k3G, "3G-RRC",
+                   "RRC Channel Config: dedicated CS channel assigned; PS "
+                   "keeps 64QAM");
+      } else {
+        trace_.Msg(nas::System::k3G, "3G-RRC",
+                   "RRC Channel Config: 64QAM disabled during CS voice call "
+                   "(16QAM)");
+      }
+      break;
+
+    default:
+      CNV_LOG_WARN << "UE(3G-CS): unexpected " << m.Describe();
+      break;
+  }
+}
+
+// ------------------------------------------------------------ GMM / SM ---
+
+void UeDevice::StartRau() {
+  if (serving_ != nas::System::k3G || gmm_ != GmmState::kIdle ||
+      !gmm_attached_) {
+    return;
+  }
+  gmm_ = GmmState::kRauInProgress;
+  rau_started_at_ = sim_.now();
+  Promote3g(model::Rrc3g::kFach);
+  trace_.Msg(nas::System::k3G, "GMM", "Routing Area Update Request sent");
+  nas::Message m;
+  m.kind = nas::MsgKind::kRauRequest;
+  m.protocol = nas::Protocol::kGmm;
+  SendPs(m);
+}
+
+void UeDevice::ActivatePdp() {
+  if (serving_ != nas::System::k3G || pdp_.active || !data_enabled_) return;
+  if (!solutions_.mm_decoupled && gmm_ != GmmState::kIdle) {
+    // S4, PS flavour: the SM request waits behind the routing area update.
+    ++deferred_service_requests_;
+    trace_.Event(nas::System::k3G, "GMM",
+                 "SM request deferred: routing area update in progress");
+    pdp_activation_pending_ = true;
+    return;
+  }
+  pdp_activation_pending_ = false;
+  trace_.Msg(nas::System::k3G, "SM", "Activate PDP Context Request sent");
+  nas::Message m;
+  m.kind = nas::MsgKind::kPdpActivateRequest;
+  m.protocol = nas::Protocol::kSm;
+  m.pdp = pdp_;
+  SendPs(m);
+}
+
+void UeDevice::OnDownlink3gPs(const nas::Message& m) {
+  if (serving_ != nas::System::k3G) return;
+  switch (m.kind) {
+    case nas::MsgKind::kGprsAttachAccept:
+      gmm_attached_ = true;
+      gmm_ = GmmState::kIdle;
+      trace_.Msg(nas::System::k3G, "GMM", "GPRS Attach Accept received");
+      if (rau_started_at_) {
+        rau_duration_s_.Add(ToSeconds(sim_.now() - *rau_started_at_));
+        rau_started_at_.reset();
+      }
+      if ((data_session_ || pdp_activation_pending_) && data_enabled_ &&
+          !pdp_.active) {
+        ActivatePdp();
+      }
+      break;
+
+    case nas::MsgKind::kRauAccept:
+      if (gmm_ != GmmState::kRauInProgress) break;
+      gmm_ = GmmState::kIdle;
+      trace_.Msg(nas::System::k3G, "GMM",
+                 "Routing Area Update Accept received");
+      if (rau_started_at_) {
+        rau_duration_s_.Add(ToSeconds(sim_.now() - *rau_started_at_));
+        rau_started_at_.reset();
+      }
+      if (pdp_activation_pending_) ActivatePdp();
+      break;
+
+    case nas::MsgKind::kPdpActivateAccept:
+      pdp_ = m.pdp;
+      trace_.Msg(nas::System::k3G, "SM", "Activate PDP Context Accept received");
+      trace_.State(nas::System::k3G, "SM", "PDP context activated");
+      Reevaluate3gPinning();
+      break;
+
+    case nas::MsgKind::kPdpDeactivateRequest:
+      // Network-initiated deactivation (Table 3 causes) — the S1 trigger.
+      pdp_.active = false;
+      trace_.Msg(nas::System::k3G, "SM",
+                 "Deactivate PDP Context Request received (cause: " +
+                     nas::ToString(m.pdp_cause) + ")");
+      trace_.State(nas::System::k3G, "SM", "PDP context deactivated");
+      {
+        nas::Message r;
+        r.kind = nas::MsgKind::kPdpDeactivateAccept;
+        r.protocol = nas::Protocol::kSm;
+        SendPs(r);
+      }
+      Reevaluate3gPinning();
+      break;
+
+    case nas::MsgKind::kPdpDeactivateAccept:
+      break;  // answer to a UE-initiated deactivation
+
+    default:
+      CNV_LOG_WARN << "UE(3G-PS): unexpected " << m.Describe();
+      break;
+  }
+}
+
+// ----------------------------------------------------------------- RRC ---
+
+void UeDevice::Promote3g(model::Rrc3g at_least) {
+  if (serving_ != nas::System::k3G) return;
+  if (static_cast<int>(rrc3g_) < static_cast<int>(at_least)) {
+    trace_.State(nas::System::k3G, "3G-RRC",
+                 model::ToString(rrc3g_) + " -> " + model::ToString(at_least));
+    rrc3g_ = at_least;
+  }
+  Reevaluate3gPinning();
+}
+
+model::Rrc3g UeDevice::PinnedLevel() const {
+  // What pins the RRC state: an active (or in-setup) call pins DCH; a
+  // high-rate data session pins DCH; any data session pins at least FACH.
+  if (call_ == CallState::kActive || call_ == CallState::kWaitConnect ||
+      (data_session_ && pdp_.active &&
+       data_demand_mbps_ >= kDchDemandMbps)) {
+    return model::Rrc3g::kDch;
+  }
+  if (data_session_ && pdp_.active) return model::Rrc3g::kFach;
+  return model::Rrc3g::kIdle;
+}
+
+void UeDevice::Reevaluate3gPinning() {
+  if (serving_ != nas::System::k3G) return;
+  const model::Rrc3g pinned = PinnedLevel();
+  if (static_cast<int>(rrc3g_) < static_cast<int>(pinned)) {
+    trace_.State(nas::System::k3G, "3G-RRC",
+                 model::ToString(rrc3g_) + " -> " + model::ToString(pinned));
+    rrc3g_ = pinned;
+  }
+  if (static_cast<int>(rrc3g_) > static_cast<int>(pinned)) {
+    // Above the pinned level: arm the inactivity demotion.
+    if (!rrc_demote_.IsRunning()) {
+      const SimDuration d = rrc3g_ == model::Rrc3g::kDch
+                                ? profile_.rrc_dch_to_fach
+                                : profile_.rrc_fach_to_idle;
+      rrc_demote_.Start(d, [this] { On3gDemoteTimer(); });
+    }
+  } else {
+    rrc_demote_.Stop();
+  }
+}
+
+void UeDevice::On3gDemoteTimer() {
+  if (serving_ != nas::System::k3G || rrc3g_ == model::Rrc3g::kIdle) return;
+  if (static_cast<int>(rrc3g_) <= static_cast<int>(PinnedLevel())) {
+    // Activity resumed since the timer was armed: no demotion.
+    Reevaluate3gPinning();
+    return;
+  }
+  const model::Rrc3g next = rrc3g_ == model::Rrc3g::kDch
+                                ? model::Rrc3g::kFach
+                                : model::Rrc3g::kIdle;
+  trace_.State(nas::System::k3G, "3G-RRC",
+               model::ToString(rrc3g_) + " -> " + model::ToString(next) +
+                   " (inactivity)");
+  rrc3g_ = next;
+  Reevaluate3gPinning();
+  TryCellReselection();
+}
+
+void UeDevice::TryCellReselection() {
+  if (!reselect_pending_ || serving_ != nas::System::k3G ||
+      rrc3g_ != model::Rrc3g::kIdle) {
+    return;
+  }
+  trace_.Event(nas::System::k3G, "3G-RRC",
+               "inter-system cell reselection to 4G");
+  ReturnTo4gAfterCsfb();
+}
+
+// ------------------------------------------------------------- queries ---
+
+double UeDevice::CurrentPsRateMbps(sim::Direction dir, int hour_of_day) const {
+  if (!powered_ || !data_enabled_) return 0.0;
+  const double load = sim::TimeOfDayLoad(hour_of_day);
+  if (serving_ == nas::System::k3G) {
+    if (!pdp_.active) return 0.0;
+    return channel3g_.PsThroughputMbps(dir, load);
+  }
+  if (serving_ == nas::System::k4G) {
+    if (!eps_.active || emm_ != EmmState::kRegistered) return 0.0;
+    // LTE-class rates; the experiments only use these as a baseline.
+    return (dir == sim::Direction::kDownlink ? 25.0 : 8.0) * load;
+  }
+  return 0.0;
+}
+
+}  // namespace cnv::stack

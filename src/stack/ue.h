@@ -1,0 +1,270 @@
+// The user device: a dual-mode (3G/4G) phone running the full control-plane
+// stack of Table 2 — EMM/ESM towards the MME, MM/CM towards the MSC,
+// GMM/SM towards the SGSN, and RRC state machines for both radios. One
+// radio is active at a time (§3.2.1: "the phone device uses at most one
+// network at a time"), so inter-system switches retune the device.
+//
+// The §8 solution modules are toggled through SolutionConfig; with all of
+// them off the device and network reproduce the standards-mandated (and
+// carrier-practiced) behaviours behind findings S1-S6.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "model/vocab.h"
+#include "nas/context.h"
+#include "nas/messages.h"
+#include "sim/channel.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+#include "stack/carrier.h"
+#include "trace/collector.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cnv::stack {
+
+// §8 remedies, one knob per module.
+struct SolutionConfig {
+  bool shim_layer = false;         // reliable EMM<->RRC transfer (S2)
+  bool mm_decoupled = false;       // parallel LU / service threads (S4)
+  bool domain_decoupled = false;   // per-domain channels+modulation (S5)
+  bool csfb_tag = false;           // forced post-CSFB switch state (S3)
+  bool reactivate_bearer = false;  // no detach on missing PDP context (S1)
+  bool mme_lu_recovery = false;    // absorb 3G LU failures in the core (S6)
+};
+
+class UeDevice {
+ public:
+  enum class EmmState : std::uint8_t {
+    kDeregistered,
+    kWaitAttachAccept,
+    kRegistered,
+    kWaitTauAccept,
+    kOutOfService,  // involuntarily detached; recovery in progress
+  };
+  enum class MmState : std::uint8_t { kIdle, kLuInProgress, kWaitNetCmd };
+  enum class GmmState : std::uint8_t { kIdle, kRauInProgress };
+  enum class CallState : std::uint8_t {
+    kNone,
+    kPending,        // dialed, CM service request not yet sent (HOL block)
+    kWaitCmAccept,
+    kWaitConnect,
+    kActive,
+  };
+
+  UeDevice(sim::Simulator& sim, Rng& rng, trace::Collector& trace,
+           const CarrierProfile& profile, SolutionConfig solutions,
+           sim::SharedChannel& channel3g);
+
+  // --- wiring (done by the Testbed)
+  void SetUplink4g(sim::Link* l) { ul4g_ = l; }
+  // Optional interposer for EMM/ESM uplink traffic; the Testbed routes it
+  // through the §8 reliable shim layer when that solution is enabled.
+  void SetEmmTransport(std::function<void(const nas::Message&)> t) {
+    emm_transport_ = std::move(t);
+  }
+  void SetUplink3gCs(sim::Link* l) { ul3g_cs_ = l; }
+  void SetUplink3gPs(sim::Link* l) { ul3g_ps_ = l; }
+  // Invoked when the device leaves 4G with an active EPS bearer so the
+  // network side can migrate contexts (MME -> SGSN).
+  void SetSwitchAwayHandler(std::function<void(const nas::PdpContext&)> h) {
+    on_switch_away_from_4g_ = std::move(h);
+  }
+  // Invoked when the device returns to 4G after a CSFB call so the MME can
+  // run the network-initiated SGs location update (§6.3).
+  void SetCsfbReturnHandler(std::function<void()> h) {
+    on_csfb_return_ = std::move(h);
+  }
+
+  // --- downlink entry points (receivers of the per-domain links)
+  void OnDownlink4g(const nas::Message& m);
+  void OnDownlink3gCs(const nas::Message& m);
+  void OnDownlink3gPs(const nas::Message& m);
+
+  // --- user / environment operations
+  void PowerOn(nas::System system);
+  void PowerOff();
+  void Dial();    // outgoing call; in 4G this is a CSFB call
+  void HangUp();
+  void EnableData(bool on);  // the mobile-data switch
+  void StartDataSession(double demand_mbps);
+  void StopDataSession();
+  void CrossAreaBoundary();  // roaming: triggers LAU/RAU (3G) or TAU (4G)
+  // Periodic refresh without mobility (Table 4: T3212 / T3312 class
+  // timers): every `interval` the device refreshes its location in the
+  // serving system. Pass 0 to disable.
+  void EnablePeriodicUpdates(SimDuration interval);
+  void SwitchTo3g(model::SwitchReason reason);  // network/mobility-initiated
+  void SwitchTo4g();                            // mobility-initiated return
+  void SetRssi(double dbm);
+
+  // CSFB fallback command (RRC connection release with redirect), issued by
+  // the MME through the 4G BS.
+  void OnCsfbRedirectTo3g();
+
+  // --- queries for experiments and tests
+  nas::System serving() const { return serving_; }
+  EmmState emm_state() const { return emm_; }
+  MmState mm_state() const { return mm_; }
+  CallState call_state() const { return call_; }
+  model::Rrc3g rrc3g() const { return rrc3g_; }
+  // True from the involuntary detach until the re-attach completes: the
+  // paper counts the whole recovery window as out of service (§5.1.3).
+  bool out_of_service() const {
+    return emm_ == EmmState::kOutOfService || recovery_started_at_.has_value();
+  }
+  bool eps_bearer_active() const { return eps_.active; }
+  bool pdp_active() const { return pdp_.active; }
+  bool data_session_active() const { return data_session_; }
+  bool in_csfb_call() const { return in_csfb_; }
+  bool awaiting_cell_reselection() const { return reselect_pending_; }
+
+  // Effective PS throughput right now (Mbps) for a saturating transfer.
+  double CurrentPsRateMbps(sim::Direction dir, int hour_of_day) const;
+
+  // Measurement series collected over the device's lifetime.
+  const Samples& call_setup_seconds() const { return call_setup_s_; }
+  const Samples& lau_duration_seconds() const { return lau_duration_s_; }
+  const Samples& rau_duration_seconds() const { return rau_duration_s_; }
+  const Samples& recovery_seconds() const { return recovery_s_; }
+  const Samples& stuck_in_3g_seconds() const { return stuck_in_3g_s_; }
+  std::uint64_t oos_events() const { return oos_events_; }
+  std::uint64_t attach_attempts_total() const { return attach_attempts_total_; }
+  std::uint64_t data_disruptions() const { return data_disruptions_; }
+  std::uint64_t deferred_service_requests() const {
+    return deferred_service_requests_;
+  }
+  std::uint64_t deferred_call_requests() const {
+    return deferred_call_requests_;
+  }
+  // Detach causes, split so the user study can attribute events to findings
+  // (S1: missing bearer context; S6: propagated 3G LU failures).
+  std::uint64_t detaches_no_eps_bearer() const {
+    return detaches_no_eps_bearer_;
+  }
+  std::uint64_t detaches_implicit() const { return detaches_implicit_; }
+  std::uint64_t detaches_msc_unreachable() const {
+    return detaches_msc_unreachable_;
+  }
+  // Call bookkeeping for the S5 rows of Table 5.
+  std::uint64_t calls_connected() const { return calls_connected_; }
+  std::uint64_t calls_with_data() const { return calls_with_data_; }
+  const Samples& affected_call_data_mb() const {
+    return affected_call_data_mb_;
+  }
+  const Samples& call_durations_seconds() const { return call_durations_s_; }
+
+ private:
+  // EMM / ESM (4G)
+  void StartAttach();
+  void OnAttachTimeout();
+  void StartTau();
+  void SendEmm(nas::Message m);
+  void HandleDetach(nas::EmmCause cause, const std::string& who);
+
+  // MM / CM (3G CS)
+  void StartLau();
+  void TryServePendingCall();
+  void SendCs(nas::Message m);
+
+  // GMM / SM (3G PS)
+  void StartRau();
+  void ActivatePdp();
+  void SendPs(nas::Message m);
+
+  // RRC helpers
+  model::Rrc3g PinnedLevel() const;
+  void Promote3g(model::Rrc3g at_least);
+  void Reevaluate3gPinning();
+  void On3gDemoteTimer();
+  void TryCellReselection();
+  void ReturnTo4gAfterCsfb();
+
+  void MigrateContextsTo3g();
+
+  sim::Simulator& sim_;
+  Rng& rng_;
+  trace::Collector& trace_;
+  const CarrierProfile& profile_;
+  SolutionConfig solutions_;
+  sim::SharedChannel& channel3g_;
+
+  sim::Link* ul4g_ = nullptr;
+  std::function<void(const nas::Message&)> emm_transport_;
+  sim::Link* ul3g_cs_ = nullptr;
+  sim::Link* ul3g_ps_ = nullptr;
+  std::function<void(const nas::PdpContext&)> on_switch_away_from_4g_;
+  std::function<void()> on_csfb_return_;
+
+  // Device state.
+  bool powered_ = false;
+  nas::System serving_ = nas::System::kNone;
+  EmmState emm_ = EmmState::kDeregistered;
+  MmState mm_ = MmState::kIdle;
+  GmmState gmm_ = GmmState::kIdle;
+  CallState call_ = CallState::kNone;
+  model::Rrc3g rrc3g_ = model::Rrc3g::kIdle;
+  model::Rrc4g rrc4g_ = model::Rrc4g::kIdle;
+  bool gmm_attached_ = false;  // GPRS-attached in 3G PS
+  bool mm_registered_ = false;
+  bool data_enabled_ = true;
+  bool data_session_ = false;
+  bool pdp_activation_pending_ = false;
+  double data_demand_mbps_ = 0;
+  nas::EpsBearerContext eps_;
+  nas::PdpContext pdp_;
+  double rssi_dbm_ = -70.0;
+
+  // CSFB bookkeeping.
+  bool in_csfb_ = false;
+  bool csfb_lu_deferred_pending_ = false;
+  bool reselect_pending_ = false;
+  std::optional<SimTime> csfb_call_ended_at_;
+
+  // Timers.
+  sim::Timer t3410_;         // attach guard
+  sim::Timer t3430_;         // tracking-area-update guard
+  int tau_attempts_ = 0;
+  sim::Timer mm_wait_timer_; // MM-WAIT-FOR-NET-CMD dwell
+  sim::Timer rrc_demote_;    // 3G RRC inactivity demotion
+  sim::Timer periodic_;      // periodic location refresh (T3212/T3312 class)
+  SimDuration periodic_interval_ = 0;
+
+  // Attach retry state.
+  int attach_attempts_ = 0;
+  std::optional<SimTime> recovery_started_at_;
+
+  // Measurements.
+  std::optional<SimTime> dialed_at_;
+  std::optional<SimTime> lau_started_at_;
+  std::optional<SimTime> rau_started_at_;
+  Samples call_setup_s_;
+  Samples lau_duration_s_;
+  Samples rau_duration_s_;
+  Samples recovery_s_;
+  Samples stuck_in_3g_s_;
+  std::uint64_t oos_events_ = 0;
+  std::uint64_t attach_attempts_total_ = 0;
+  std::uint64_t data_disruptions_ = 0;
+  std::uint64_t deferred_service_requests_ = 0;
+  std::uint64_t deferred_call_requests_ = 0;
+  std::uint64_t detaches_no_eps_bearer_ = 0;
+  std::uint64_t detaches_implicit_ = 0;
+  std::uint64_t detaches_msc_unreachable_ = 0;
+  std::uint64_t calls_connected_ = 0;
+  std::uint64_t calls_with_data_ = 0;
+  bool current_call_has_data_ = false;
+  std::optional<SimTime> call_connected_at_;
+  Samples affected_call_data_mb_;
+  Samples call_durations_s_;
+};
+
+std::string ToString(UeDevice::EmmState s);
+std::string ToString(UeDevice::CallState s);
+
+}  // namespace cnv::stack

@@ -1,0 +1,63 @@
+#include "trace/analyze.h"
+
+namespace cnv::trace {
+
+std::optional<SimTime> TimeOfFirst(const std::vector<TraceRecord>& records,
+                                   const std::string& needle, SimTime from) {
+  for (const auto& r : records) {
+    if (r.time >= from && r.description.find(needle) != std::string::npos) {
+      return r.time;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t CountContaining(const std::vector<TraceRecord>& records,
+                            const std::string& needle) {
+  std::size_t n = 0;
+  for (const auto& r : records) {
+    if (r.description.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+std::vector<SimDuration> IntervalsBetween(
+    const std::vector<TraceRecord>& records, const std::string& start_needle,
+    const std::string& end_needle) {
+  std::vector<SimDuration> out;
+  std::optional<SimTime> open_start;
+  for (const auto& r : records) {
+    if (!open_start &&
+        r.description.find(start_needle) != std::string::npos) {
+      open_start = r.time;
+      continue;
+    }
+    if (open_start && r.description.find(end_needle) != std::string::npos) {
+      out.push_back(r.time - *open_start);
+      open_start.reset();
+    }
+  }
+  return out;
+}
+
+Samples IntervalSecondsBetween(const std::vector<TraceRecord>& records,
+                               const std::string& start_needle,
+                               const std::string& end_needle) {
+  Samples s;
+  for (const SimDuration d :
+       IntervalsBetween(records, start_needle, end_needle)) {
+    s.Add(ToSeconds(d));
+  }
+  return s;
+}
+
+std::vector<TraceRecord> FilterByModule(
+    const std::vector<TraceRecord>& records, const std::string& module) {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records) {
+    if (r.module == module) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace cnv::trace

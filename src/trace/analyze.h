@@ -1,0 +1,41 @@
+// Trace analyzers: the measurements the paper derives from collected logs —
+// call setup time (Figure 7), location/routing update durations (Figure 8),
+// recovery time after a detach (Figure 4), stuck-in-3G duration (Table 6).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+#include "util/stats.h"
+
+namespace cnv::trace {
+
+// Time of the first record at/after `from` whose description contains
+// `needle`; std::nullopt if none.
+std::optional<SimTime> TimeOfFirst(const std::vector<TraceRecord>& records,
+                                   const std::string& needle,
+                                   SimTime from = 0);
+
+// Number of records whose description contains `needle`.
+std::size_t CountContaining(const std::vector<TraceRecord>& records,
+                            const std::string& needle);
+
+// Pairs each `start_needle` record with the next `end_needle` record after
+// it and returns the durations. Unmatched starts are skipped. This is how
+// update durations and setup times are measured from logs.
+std::vector<SimDuration> IntervalsBetween(
+    const std::vector<TraceRecord>& records, const std::string& start_needle,
+    const std::string& end_needle);
+
+// Same, but as a Samples of seconds, ready for CDF / summary rendering.
+Samples IntervalSecondsBetween(const std::vector<TraceRecord>& records,
+                               const std::string& start_needle,
+                               const std::string& end_needle);
+
+// Records whose module matches exactly (e.g. all "MM" items).
+std::vector<TraceRecord> FilterByModule(
+    const std::vector<TraceRecord>& records, const std::string& module);
+
+}  // namespace cnv::trace

@@ -1,0 +1,30 @@
+#include "trace/collector.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace cnv::trace {
+
+std::string ToString(TraceType t) {
+  switch (t) {
+    case TraceType::kState:
+      return "STATE";
+    case TraceType::kMsg:
+      return "MSG";
+    case TraceType::kEvent:
+      return "EVENT";
+  }
+  return "?";
+}
+
+void Collector::Add(TraceType type, nas::System system, std::string module,
+                    std::string description) {
+  records_.push_back(TraceRecord{sim_.now(), type, system, std::move(module),
+                                 std::move(description)});
+  const TraceRecord& r = records_.back();
+  CNV_LOG_DEBUG << FormatClock(r.time) << " [" << ToString(r.type) << "] ["
+                << nas::ToString(r.system) << "] [" << r.module << "] "
+                << r.description;
+}
+
+}  // namespace cnv::trace

@@ -1,0 +1,56 @@
+#include "trace/matcher.h"
+
+namespace cnv::trace {
+
+SequenceMatch MatchesSequence(const std::vector<TraceRecord>& records,
+                              const std::vector<std::string>& needles) {
+  std::size_t next = 0;
+  for (const auto& r : records) {
+    if (next >= needles.size()) break;
+    if (r.description.find(needles[next]) != std::string::npos) {
+      ++next;
+    }
+  }
+  if (next == needles.size()) return {true, 0, ""};
+  return {false, next, needles[next]};
+}
+
+const std::vector<std::string>& AnticipatedS1Sequence() {
+  static const std::vector<std::string> kSeq = {
+      "EPS bearer context activated",
+      "4G->3G switch",
+      "Deactivate PDP Context Request received",
+      "3G->4G switch",
+      "Tracking Area Update Request sent",
+      "Tracking Area Update Reject received",
+      "detached by network",
+      "re-attach succeeded",
+  };
+  return kSeq;
+}
+
+const std::vector<std::string>& AnticipatedS2LossSequence() {
+  static const std::vector<std::string> kSeq = {
+      "Attach Request sent",
+      "Attach Accept received",
+      "Attach Complete sent",
+      "Tracking Area Update Request sent",
+      "Tracking Area Update Reject received",
+      "detached by network",
+  };
+  return kSeq;
+}
+
+const std::vector<std::string>& AnticipatedCsfbSequence() {
+  static const std::vector<std::string> kSeq = {
+      "Extended Service Request (CSFB) sent",
+      "RRC Connection Release (redirect to 3G) received",
+      "4G->3G switch",
+      "CM Service Request sent",
+      "a call is established",
+      "Disconnect sent",
+  };
+  return kSeq;
+}
+
+}  // namespace cnv::trace

@@ -1,0 +1,32 @@
+// Sequence matching on collected traces: the validation phase compares a
+// captured log against the message sequence the screening counterexample
+// anticipates (§3.3, "compare them with the anticipated operations").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace cnv::trace {
+
+struct SequenceMatch {
+  bool matched = false;
+  // When not matched: index of the first expectation that never occurred
+  // (in order) and its text.
+  std::size_t failed_index = 0;
+  std::string missing;
+};
+
+// Checks that the records contain, in order (not necessarily adjacent), one
+// record per needle whose description contains that needle.
+SequenceMatch MatchesSequence(const std::vector<TraceRecord>& records,
+                              const std::vector<std::string>& needles);
+
+// Convenience: the anticipated sequences for the six findings, usable
+// directly against a device log from the corresponding scenario.
+const std::vector<std::string>& AnticipatedS1Sequence();
+const std::vector<std::string>& AnticipatedS2LossSequence();
+const std::vector<std::string>& AnticipatedCsfbSequence();
+
+}  // namespace cnv::trace

@@ -1,0 +1,93 @@
+#include "trace/qxdm.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace cnv::trace {
+namespace {
+
+std::optional<TraceType> ParseType(const std::string& s) {
+  if (s == "STATE") return TraceType::kState;
+  if (s == "MSG") return TraceType::kMsg;
+  if (s == "EVENT") return TraceType::kEvent;
+  return std::nullopt;
+}
+
+std::optional<nas::System> ParseSystem(const std::string& s) {
+  if (s == "3G") return nas::System::k3G;
+  if (s == "4G") return nas::System::k4G;
+  if (s == "none") return nas::System::kNone;
+  return std::nullopt;
+}
+
+// Extracts the next "[field]" starting at `pos`; advances `pos` past it.
+std::optional<std::string> TakeBracketed(const std::string& line,
+                                         std::size_t& pos) {
+  const auto open = line.find('[', pos);
+  if (open == std::string::npos) return std::nullopt;
+  const auto close = line.find(']', open);
+  if (close == std::string::npos) return std::nullopt;
+  pos = close + 1;
+  return line.substr(open + 1, close - open - 1);
+}
+
+}  // namespace
+
+std::string FormatRecord(const TraceRecord& r) {
+  return FormatClock(r.time) + " [" + ToString(r.type) + "] [" +
+         nas::ToString(r.system) + "] [" + r.module + "] " + r.description;
+}
+
+std::string FormatLog(const std::vector<TraceRecord>& records) {
+  std::string out;
+  for (const auto& r : records) {
+    out += FormatRecord(r);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<TraceRecord> ParseRecord(const std::string& line) {
+  // Timestamp: "hh:mm:ss.mmm".
+  int h = 0, m = 0, s = 0, ms = 0;
+  int consumed = 0;
+  if (std::sscanf(line.c_str(), "%d:%d:%d.%d%n", &h, &m, &s, &ms,
+                  &consumed) != 4) {
+    return std::nullopt;
+  }
+  if (m < 0 || m > 59 || s < 0 || s > 59 || ms < 0 || ms > 999 || h < 0) {
+    return std::nullopt;
+  }
+  TraceRecord r;
+  r.time = static_cast<SimTime>(h) * kHour + static_cast<SimTime>(m) * kMinute +
+           static_cast<SimTime>(s) * kSecond +
+           static_cast<SimTime>(ms) * kMillisecond;
+
+  std::size_t pos = static_cast<std::size_t>(consumed);
+  const auto type_s = TakeBracketed(line, pos);
+  const auto sys_s = TakeBracketed(line, pos);
+  const auto module_s = TakeBracketed(line, pos);
+  if (!type_s || !sys_s || !module_s) return std::nullopt;
+
+  const auto type = ParseType(*type_s);
+  const auto sys = ParseSystem(*sys_s);
+  if (!type || !sys) return std::nullopt;
+
+  r.type = *type;
+  r.system = *sys;
+  r.module = *module_s;
+  r.description = Trim(line.substr(pos));
+  return r;
+}
+
+std::vector<TraceRecord> ParseLog(const std::string& text) {
+  std::vector<TraceRecord> out;
+  for (const auto& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    if (auto r = ParseRecord(line)) out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+}  // namespace cnv::trace

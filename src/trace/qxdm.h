@@ -1,0 +1,28 @@
+// Text serialization of trace records in the modem-log style of §3.3:
+//
+//   12:01:05.250 [MSG] [3G] [MM] Location Updating Request sent
+//
+// The parser round-trips the formatter's output, so captured logs can be
+// saved and re-analyzed offline like real QXDM exports. Timestamps are
+// millisecond-granular (the paper's hh:mm:ss.ms format), so parsing a
+// formatted log truncates sub-millisecond detail.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace cnv::trace {
+
+std::string FormatRecord(const TraceRecord& r);
+std::string FormatLog(const std::vector<TraceRecord>& records);
+
+// Parses one formatted line; std::nullopt on malformed input.
+std::optional<TraceRecord> ParseRecord(const std::string& line);
+
+// Parses a whole log, skipping blank and malformed lines.
+std::vector<TraceRecord> ParseLog(const std::string& text);
+
+}  // namespace cnv::trace

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Experiments run quietly by default; tests and
+// examples can raise the level to see protocol activity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cnv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr if `level` passes the filter.
+void LogLine(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogLine(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+}  // namespace cnv
+
+#define CNV_LOG_DEBUG ::cnv::internal::LogStream(::cnv::LogLevel::kDebug)
+#define CNV_LOG_INFO ::cnv::internal::LogStream(::cnv::LogLevel::kInfo)
+#define CNV_LOG_WARN ::cnv::internal::LogStream(::cnv::LogLevel::kWarn)
+#define CNV_LOG_ERROR ::cnv::internal::LogStream(::cnv::LogLevel::kError)

@@ -1,0 +1,61 @@
+// Descriptive statistics used by the experiment harnesses: summaries
+// (min / median / max / percentiles, as in the paper's Figure 4 and
+// Table 6) and empirical CDFs (Figure 8).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cnv {
+
+// Accumulates samples and answers order-statistic queries.
+class Samples {
+ public:
+  Samples() = default;
+  explicit Samples(std::vector<double> values);
+
+  void Add(double v);
+  void Clear();
+
+  std::size_t Count() const { return values_.size(); }
+  bool Empty() const { return values_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Stddev() const;  // sample standard deviation; 0 for < 2 samples
+  double Median() const { return Percentile(50.0); }
+
+  // Linear-interpolated percentile, p in [0, 100]. Requires non-empty.
+  double Percentile(double p) const;
+
+  // Fraction of samples <= x, in [0, 1]. Requires non-empty.
+  double CdfAt(double x) const;
+
+  // Sorted copy of the samples (the empirical CDF support points).
+  std::vector<double> Sorted() const;
+
+  const std::vector<double>& Values() const { return values_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// One row of a rendered CDF: (value, cumulative fraction in percent).
+struct CdfPoint {
+  double value = 0;
+  double percent = 0;
+};
+
+// Samples the empirical CDF of `s` at `points` evenly spaced quantiles.
+std::vector<CdfPoint> RenderCdf(const Samples& s, std::size_t points);
+
+// "min / median / max (90th, avg)" rendering used in several tables.
+std::string SummaryLine(const Samples& s, const std::string& unit);
+
+}  // namespace cnv

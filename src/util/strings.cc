@@ -1,0 +1,94 @@
+#include "util/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/time.h"
+
+namespace cnv {
+
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n < 0) {
+    va_end(args2);
+    throw std::runtime_error("Format: encoding error");
+  }
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+std::string PadLeft(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string PadRight(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+// Defined here (declared in time.h) to keep util a single small library.
+std::string FormatClock(SimTime t) {
+  const std::int64_t total_ms = t / kMillisecond;
+  const std::int64_t ms = total_ms % 1000;
+  const std::int64_t total_s = total_ms / 1000;
+  const std::int64_t s = total_s % 60;
+  const std::int64_t m = (total_s / 60) % 60;
+  const std::int64_t h = total_s / 3600;
+  return Format("%02lld:%02lld:%02lld.%03lld", static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s),
+                static_cast<long long>(ms));
+}
+
+std::string FormatDuration(SimDuration d) {
+  if (d < kMillisecond) {
+    return Format("%lldus", static_cast<long long>(d));
+  }
+  if (d < kSecond) {
+    return Format("%lldms", static_cast<long long>(d / kMillisecond));
+  }
+  return Format("%.2fs", ToSeconds(d));
+}
+
+}  // namespace cnv

@@ -1,0 +1,26 @@
+// Small string helpers used by trace formatting and report rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cnv {
+
+// Joins the pieces with `sep` between them.
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Left-pads / right-pads with spaces to a minimum width.
+std::string PadLeft(const std::string& s, std::size_t width);
+std::string PadRight(const std::string& s, std::size_t width);
+
+}  // namespace cnv

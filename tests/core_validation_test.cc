@@ -1,0 +1,87 @@
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+namespace cnv::core {
+namespace {
+
+TEST(ValidationTest, AllSixObservedWithoutSolutionsOnOpII) {
+  ValidationRunner runner;
+  const auto results = runner.RunAll(stack::OpII());
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.observed) << ToString(r.id) << ": " << r.evidence;
+    EXPECT_FALSE(r.evidence.empty());
+  }
+}
+
+TEST(ValidationTest, OpIObservesAllButS3) {
+  // §5.3.2: on OP-I the device returns to 4G within seconds (via release
+  // with redirect), so S3's stuck condition is not observed there.
+  ValidationRunner runner;
+  const auto results = runner.RunAll(stack::OpI());
+  for (const auto& r : results) {
+    if (r.id == FindingId::kS3) {
+      EXPECT_FALSE(r.observed) << r.evidence;
+    } else {
+      EXPECT_TRUE(r.observed) << ToString(r.id) << ": " << r.evidence;
+    }
+  }
+}
+
+TEST(ValidationTest, S1EvidenceQuotesTheRejectCause) {
+  ValidationRunner runner;
+  const auto r = runner.RunS1(stack::OpI());
+  EXPECT_TRUE(r.observed);
+  EXPECT_NE(r.evidence.find("No EPS Bearer Context Activated"),
+            std::string::npos);
+}
+
+TEST(ValidationTest, S5EvidenceShowsLargeDownlinkDrop) {
+  ValidationRunner runner;
+  const auto r = runner.RunS5(stack::OpII());
+  EXPECT_TRUE(r.observed);
+  EXPECT_NE(r.evidence.find("drop"), std::string::npos);
+}
+
+TEST(ValidationTest, SolutionsSuppressEveryFinding) {
+  ValidationOptions opt;
+  opt.solutions = {.shim_layer = true,
+                   .mm_decoupled = true,
+                   .domain_decoupled = true,
+                   .csfb_tag = true,
+                   .reactivate_bearer = true,
+                   .mme_lu_recovery = true};
+  ValidationRunner runner(opt);
+  for (const auto& profile : {stack::OpI(), stack::OpII()}) {
+    const auto results = runner.RunAll(profile);
+    for (const auto& r : results) {
+      EXPECT_FALSE(r.observed)
+          << profile.name << " " << ToString(r.id) << ": " << r.evidence;
+    }
+  }
+}
+
+TEST(ValidationTest, FormatRendersOneLinePerFinding) {
+  ValidationRunner runner;
+  const auto results = runner.RunAll(stack::OpII());
+  const auto text = ValidationRunner::Format(results);
+  for (const char* code : {"S1", "S2", "S3", "S4", "S5", "S6"}) {
+    EXPECT_NE(text.find(code), std::string::npos);
+  }
+  EXPECT_NE(text.find("OBSERVED"), std::string::npos);
+}
+
+TEST(ValidationTest, S6FailureShapeDiffersPerCarrier) {
+  ValidationRunner runner;
+  const auto op1 = runner.RunS6(stack::OpI());
+  const auto op2 = runner.RunS6(stack::OpII());
+  EXPECT_TRUE(op1.observed);
+  EXPECT_TRUE(op2.observed);
+  EXPECT_NE(op1.evidence.find("implicitly detach"), std::string::npos);
+  EXPECT_NE(op2.evidence.find("MSC temporarily not reachable"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cnv::core

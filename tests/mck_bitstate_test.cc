@@ -1,0 +1,116 @@
+#include "mck/bitstate.h"
+
+#include <gtest/gtest.h>
+
+#include "mck/toy_models.h"
+#include "model/s1_model.h"
+#include "model/s2_model.h"
+#include "model/s4_model.h"
+
+namespace cnv::mck {
+namespace {
+
+using toys::CounterModel;
+using toys::PetersonModel;
+
+PropertySet<CounterModel::State> BelowCap(int cap) {
+  return {{"below_cap",
+           [cap](const CounterModel::State& s) { return s.value <= cap; },
+           ""}};
+}
+
+TEST(BitstateTest, AgreesWithExactSearchOnCleanModel) {
+  CounterModel m;
+  const auto exact = Explore(m, BelowCap(m.cap));
+  const auto bit = BitstateExplore(m, BelowCap(m.cap));
+  EXPECT_TRUE(exact.Holds("below_cap"));
+  EXPECT_TRUE(bit.Holds("below_cap"));
+  EXPECT_EQ(bit.stats.states_stored, exact.stats.states_visited);
+  EXPECT_FALSE(bit.stats.truncated);
+}
+
+TEST(BitstateTest, FindsTheBugWithAReplayableTrace) {
+  CounterModel m;
+  m.buggy = true;
+  const auto bit = BitstateExplore(m, BelowCap(m.cap));
+  ASSERT_FALSE(bit.Holds("below_cap"));
+  const auto& v = bit.violations.front();
+  // Counterexamples come from executed paths: they always replay.
+  CounterModel::State s = m.initial();
+  for (const auto& a : v.trace) s = m.apply(s, a);
+  EXPECT_TRUE(s == v.state);
+  EXPECT_GT(s.value, m.cap);
+}
+
+TEST(BitstateTest, PetersonMutexHoldsUnderBitstate) {
+  PetersonModel m;
+  PropertySet<PetersonModel::State> props = {
+      {"mutex",
+       [](const PetersonModel::State& s) {
+         return !PetersonModel::BothCritical(s);
+       },
+       ""}};
+  const auto bit = BitstateExplore(m, props);
+  EXPECT_TRUE(bit.Holds("mutex"));
+  // The exact reachable count is 109; the bloom filter may merge a few.
+  const auto exact = Explore(m, props);
+  EXPECT_LE(bit.stats.states_stored, exact.stats.states_visited);
+  EXPECT_GE(bit.stats.states_stored, exact.stats.states_visited * 9 / 10);
+}
+
+TEST(BitstateTest, ScreeningModelsGiveTheSameVerdicts) {
+  {
+    model::S1Model m;
+    const auto bit = BitstateExplore(m, model::S1Model::Properties());
+    EXPECT_FALSE(bit.Holds(model::kPacketServiceOk));
+  }
+  {
+    model::S2Model::Config cfg;
+    cfg.reliable_shim = true;
+    model::S2Model m(cfg);
+    const auto bit = BitstateExplore(m, model::S2Model::Properties());
+    EXPECT_TRUE(bit.Holds(model::kPacketServiceOk));
+  }
+  {
+    model::S4Model m;
+    const auto bit = BitstateExplore(m, model::S4Model::Properties());
+    EXPECT_FALSE(bit.Holds(model::kCallServiceOk));
+  }
+}
+
+TEST(BitstateTest, TinyFilterTruncatesGracefully) {
+  // An absurdly small filter saturates: the search misses states but never
+  // crashes or reports spurious violations.
+  CounterModel m;
+  m.cap = 5000;
+  BitstateOptions opt;
+  opt.log2_bits = 8;  // 256 bits for 5000 states
+  const auto bit = BitstateExplore(m, BelowCap(m.cap), opt);
+  EXPECT_TRUE(bit.Holds("below_cap"));
+  EXPECT_LT(bit.stats.states_stored, 5000u);
+  // Saturated enough that SPIN's hash-factor warning would fire.
+  EXPECT_GT(bit.stats.fill_ratio, 0.2);
+}
+
+TEST(BitstateTest, DepthBoundTruncates) {
+  CounterModel m;
+  m.cap = 1000;
+  BitstateOptions opt;
+  opt.max_depth = 10;
+  const auto bit = BitstateExplore(m, BelowCap(m.cap), opt);
+  EXPECT_TRUE(bit.stats.truncated);
+  EXPECT_LE(bit.stats.max_depth_reached, 11u);
+}
+
+TEST(BitstateTest, TransitionBudgetTruncates) {
+  CounterModel m;
+  m.cap = 100000;
+  BitstateOptions opt;
+  opt.max_transitions = 50;
+  const auto bit = BitstateExplore(m, BelowCap(m.cap), opt);
+  EXPECT_TRUE(bit.stats.truncated);
+  EXPECT_LE(bit.stats.transitions, 50u);
+}
+
+}  // namespace
+}  // namespace cnv::mck

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "nas/causes.h"
+#include "nas/context.h"
+#include "nas/ids.h"
+#include "nas/messages.h"
+#include "nas/timers.h"
+
+namespace cnv::nas {
+namespace {
+
+TEST(IdsTest, SystemNames) {
+  EXPECT_EQ(ToString(System::k3G), "3G");
+  EXPECT_EQ(ToString(System::k4G), "4G");
+  EXPECT_EQ(ToString(System::kNone), "none");
+}
+
+TEST(IdsTest, AreaIdentityOrderingAndEquality) {
+  const Lai a{{310}, 1};
+  const Lai b{{310}, 2};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, (Lai{{310}, 1}));
+  const Rai ra{a, 7};
+  EXPECT_NE(ra, (Rai{b, 7}));
+  const Tai ta{{310}, 100};
+  EXPECT_EQ(ta, (Tai{{310}, 100}));
+}
+
+TEST(IdsTest, ToStringIsInformative) {
+  EXPECT_EQ(ToString(Lai{{310}, 5}), "LAI(310,5)");
+  EXPECT_EQ(ToString(Rai{{{310}, 5}, 2}), "RAI(310,5,2)");
+  EXPECT_EQ(ToString(Tai{{310}, 9}), "TAI(310,9)");
+  EXPECT_EQ(ToString(CellId{System::k4G, 12}), "4G-cell-12");
+  EXPECT_EQ(ToString(Imsi{99}), "IMSI99");
+}
+
+TEST(IdsTest, ImsiHashSpreads) {
+  EXPECT_NE(HashValue(Imsi{1}), HashValue(Imsi{2}));
+}
+
+TEST(CausesTest, Table3HasAllSixRows) {
+  const auto& causes = AllPdpDeactCauses();
+  ASSERT_EQ(causes.size(), 6u);
+  // Paper Table 3 originators.
+  EXPECT_EQ(causes[0].originator, CauseOriginator::kUserDevice);
+  EXPECT_EQ(causes[1].originator, CauseOriginator::kUserDevice);
+  EXPECT_EQ(causes[2].originator, CauseOriginator::kEither);
+  EXPECT_EQ(causes[3].originator, CauseOriginator::kEither);
+  EXPECT_EQ(causes[4].originator, CauseOriginator::kNetwork);
+  EXPECT_EQ(causes[5].originator, CauseOriginator::kNetwork);
+}
+
+TEST(CausesTest, AvoidableCausesMatchPaperArgument) {
+  // §5.1.2 argues QoS-not-accepted, incompatible-context and regular
+  // deactivation need not delete the context.
+  for (const auto& info : AllPdpDeactCauses()) {
+    const bool expect_avoidable =
+        info.cause == PdpDeactCause::kQosNotAccepted ||
+        info.cause == PdpDeactCause::kRegularDeactivation ||
+        info.cause == PdpDeactCause::kIncompatiblePdpContext;
+    EXPECT_EQ(info.avoidable, expect_avoidable) << info.description;
+  }
+}
+
+TEST(CausesTest, CauseNamesAreHuman) {
+  EXPECT_EQ(ToString(EmmCause::kNoEpsBearerContextActive),
+            "no EPS bearer context activated");
+  EXPECT_EQ(ToString(MmCause::kMscTemporarilyNotReachable),
+            "MSC temporarily not reachable");
+  EXPECT_EQ(ToString(PdpDeactCause::kQosNotAccepted), "QoS not accepted");
+}
+
+TEST(ContextTest, EpsToPdpPreservesSessionState) {
+  EpsBearerContext eps;
+  eps.ip_address = 0x0A000001;
+  eps.qos.max_bitrate_kbps = 5000;
+  eps.qos.qci = 6;
+  eps.active = true;
+  const PdpContext pdp = ToPdpContext(eps);
+  EXPECT_EQ(pdp.ip_address, eps.ip_address);
+  EXPECT_EQ(pdp.qos, eps.qos);
+  EXPECT_TRUE(pdp.active);
+}
+
+TEST(ContextTest, PdpToEpsRoundTripKeepsIpAddress) {
+  PdpContext pdp;
+  pdp.ip_address = 42;
+  pdp.active = true;
+  const auto eps = ToEpsBearerContext(pdp);
+  ASSERT_TRUE(eps.has_value());
+  EXPECT_EQ(eps->ip_address, 42u);
+  EXPECT_TRUE(eps->active);
+  EXPECT_EQ(ToPdpContext(*eps).ip_address, 42u);
+}
+
+TEST(ContextTest, InactivePdpCannotBecomeEpsBearer) {
+  PdpContext pdp;
+  pdp.active = false;  // the S1 failure condition
+  EXPECT_FALSE(ToEpsBearerContext(pdp).has_value());
+}
+
+TEST(ContextTest, RetainOnDeactivationKeepsAvoidableCauses) {
+  PdpContext pdp;
+  pdp.active = true;
+  pdp.qos.max_bitrate_kbps = 8000;
+
+  const auto kept_qos =
+      RetainOnDeactivation(pdp, PdpDeactCause::kQosNotAccepted);
+  ASSERT_TRUE(kept_qos.has_value());
+  EXPECT_LT(kept_qos->qos.max_bitrate_kbps, 8000u);  // downgraded, kept
+
+  const auto kept_reg =
+      RetainOnDeactivation(pdp, PdpDeactCause::kRegularDeactivation);
+  ASSERT_TRUE(kept_reg.has_value());
+  EXPECT_EQ(kept_reg->qos.max_bitrate_kbps, 8000u);  // kept unchanged
+
+  EXPECT_FALSE(
+      RetainOnDeactivation(pdp, PdpDeactCause::kOperatorDeterminedBarring)
+          .has_value());
+  EXPECT_FALSE(RetainOnDeactivation(pdp, PdpDeactCause::kLowLayerFailure)
+                   .has_value());
+}
+
+TEST(MessagesTest, ProtocolNamesMatchTable2) {
+  EXPECT_EQ(ToString(Protocol::kCm), "CM/CC");
+  EXPECT_EQ(ToString(Protocol::kEmm), "EMM");
+  EXPECT_EQ(ToString(Protocol::kRrc3g), "3G-RRC");
+  EXPECT_EQ(ToString(Protocol::kRrc4g), "4G-RRC");
+}
+
+TEST(MessagesTest, DescribeIncludesCauses) {
+  Message m;
+  m.kind = MsgKind::kTauReject;
+  m.protocol = Protocol::kEmm;
+  m.emm_cause = EmmCause::kImplicitlyDetached;
+  const auto text = m.Describe();
+  EXPECT_NE(text.find("Tracking Area Update Reject"), std::string::npos);
+  EXPECT_NE(text.find("implicitly detached"), std::string::npos);
+}
+
+TEST(MessagesTest, DescribeChannelConfigShowsModulation) {
+  Message m;
+  m.kind = MsgKind::kRrcChannelConfig;
+  m.protocol = Protocol::kRrc3g;
+  m.use_64qam = false;
+  EXPECT_NE(m.Describe().find("64QAM disabled"), std::string::npos);
+  m.use_64qam = true;
+  EXPECT_NE(m.Describe().find("64QAM enabled"), std::string::npos);
+}
+
+TEST(MessagesTest, AllKindsHaveNames) {
+  for (int k = 0; k <= static_cast<int>(MsgKind::kHssUpdateLocationAck); ++k) {
+    EXPECT_NE(ToString(static_cast<MsgKind>(k)), "?") << k;
+  }
+}
+
+TEST(TimersTest, SaneOrderings) {
+  using namespace timers;
+  EXPECT_LT(kRadioLegDelay, kT3410AttachGuard);
+  EXPECT_LT(kRrc3gDchToFach, kRrc3gFachToIdle);
+  EXPECT_GT(kMaxAttachAttempts, 1);
+  EXPECT_GT(kT3212PeriodicLu, kT3210LuGuard);
+}
+
+}  // namespace
+}  // namespace cnv::nas

@@ -1,0 +1,68 @@
+// Property sweep for the §8 reliable shim layer: for every loss rate and
+// traffic size, delivery is exactly-once and in order.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "sim/link.h"
+#include "solution/shim.h"
+
+namespace cnv::solution {
+namespace {
+
+class ShimSweep
+    : public ::testing::TestWithParam<std::tuple<double, int, int>> {};
+
+TEST_P(ShimSweep, ExactlyOnceInOrderDelivery) {
+  const double loss = std::get<0>(GetParam());
+  const int messages = std::get<1>(GetParam());
+  const int seed = std::get<2>(GetParam());
+
+  sim::Simulator sim;
+  Rng rng(static_cast<std::uint64_t>(seed));
+  sim::Link ab(sim, rng,
+               {.delay = Millis(30), .loss_prob = loss, .reliable = false},
+               "a->b");
+  sim::Link ba(sim, rng,
+               {.delay = Millis(30), .loss_prob = loss, .reliable = false},
+               "b->a");
+  ShimEndpoint a(sim, "A");
+  ShimEndpoint b(sim, "B");
+  a.SetTransmit([&](const nas::Message& m) { ab.Send(m); });
+  b.SetTransmit([&](const nas::Message& m) { ba.Send(m); });
+  ab.SetReceiver([&](const nas::Message& m) { b.OnRaw(m); });
+  ba.SetReceiver([&](const nas::Message& m) { a.OnRaw(m); });
+
+  std::vector<std::uint64_t> delivered;
+  b.SetDeliver([&](const nas::Message& m) { delivered.push_back(m.uid); });
+
+  for (int i = 0; i < messages; ++i) {
+    nas::Message m;
+    m.kind = nas::MsgKind::kTauRequest;
+    m.uid = static_cast<std::uint64_t>(i + 1);
+    a.Send(m);
+  }
+  sim.RunAll(Minutes(60 * 5));
+
+  // Exactly once, in order, none lost.
+  ASSERT_EQ(delivered.size(), static_cast<std::size_t>(messages));
+  for (int i = 0; i < messages; ++i) {
+    EXPECT_EQ(delivered[static_cast<std::size_t>(i)],
+              static_cast<std::uint64_t>(i + 1));
+  }
+  EXPECT_TRUE(a.idle());
+  // Retransmissions only happen when the link actually loses frames.
+  if (loss == 0.0) {
+    EXPECT_EQ(a.retransmissions(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossAndVolume, ShimSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.3, 0.5, 0.7),
+                       ::testing::Values(1, 10, 40),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace cnv::solution

@@ -1,0 +1,88 @@
+// Randomized-fuzz properties of the discrete-event kernel: for arbitrary
+// schedule/cancel sequences, exactly the non-cancelled events fire, in
+// non-decreasing time order, at their scheduled timestamps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace cnv::sim {
+namespace {
+
+class SimFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimFuzz, ScheduleCancelFuzz) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Simulator sim;
+
+  std::map<Simulator::EventId, SimTime> scheduled;
+  std::set<Simulator::EventId> cancelled;
+  std::vector<std::pair<Simulator::EventId, SimTime>> fired;
+
+  const int n = 200;
+  std::vector<Simulator::EventId> ids;
+  for (int i = 0; i < n; ++i) {
+    const SimTime t = rng.UniformInt(0, 10'000) * kMillisecond;
+    auto idp = std::make_shared<Simulator::EventId>(0);
+    const Simulator::EventId id = sim.ScheduleAt(
+        t, [&fired, &sim, idp] { fired.push_back({*idp, sim.now()}); });
+    *idp = id;  // set before RunAll, so the handler reads the real id
+    ids.push_back(id);
+    scheduled[id] = t;
+  }
+  // Cancel a random ~third, including repeated and bogus cancels.
+  for (int i = 0; i < n / 3; ++i) {
+    const auto id = ids[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(ids.size()) - 1))];
+    sim.Cancel(id);
+    sim.Cancel(id);
+    cancelled.insert(id);
+  }
+  sim.Cancel(999'999'999);  // unknown id: no-op
+
+  sim.RunAll();
+
+  // Exactly the non-cancelled events fired.
+  EXPECT_EQ(fired.size(), scheduled.size() - cancelled.size());
+  SimTime prev = -1;
+  std::set<Simulator::EventId> fired_ids;
+  for (const auto& [id, at] : fired) {
+    EXPECT_FALSE(cancelled.contains(id));
+    EXPECT_EQ(scheduled.at(id), at);  // fired at its scheduled time
+    EXPECT_GE(at, prev);              // time is monotone
+    prev = at;
+    EXPECT_TRUE(fired_ids.insert(id).second);  // fired exactly once
+  }
+}
+
+TEST_P(SimFuzz, NestedSchedulingKeepsOrder) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  Simulator sim;
+  std::vector<SimTime> fire_times;
+  int remaining = 100;
+  std::function<void()> spawn = [&] {
+    fire_times.push_back(sim.now());
+    if (remaining-- > 0) {
+      sim.ScheduleIn(rng.UniformInt(0, 50) * kMillisecond, spawn);
+      if (rng.Bernoulli(0.4)) {
+        sim.ScheduleIn(rng.UniformInt(0, 50) * kMillisecond, spawn);
+      }
+    }
+  };
+  sim.ScheduleIn(0, spawn);
+  sim.RunAll();
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
+  EXPECT_GT(fire_times.size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cnv::sim

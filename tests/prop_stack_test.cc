@@ -1,0 +1,152 @@
+// End-to-end property sweep on the validation stack: for every carrier and
+// seed, a mixed usage scenario must leave the device in a consistent state,
+// and the collected trace must round-trip through the QXDM serializer.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <tuple>
+
+#include "stack/testbed.h"
+#include "trace/qxdm.h"
+
+namespace cnv::stack {
+namespace {
+
+void RunUntil(Testbed& tb, const std::function<bool()>& pred,
+              SimDuration limit) {
+  const SimTime deadline = tb.sim().now() + limit;
+  while (!pred() && tb.sim().now() < deadline) {
+    tb.Run(Millis(100));
+  }
+}
+
+enum class Carrier { kOpI, kOpII };
+
+class StackSweep
+    : public ::testing::TestWithParam<std::tuple<Carrier, int, bool>> {
+ protected:
+  TestbedConfig MakeConfig() const {
+    TestbedConfig cfg;
+    cfg.profile = std::get<0>(GetParam()) == Carrier::kOpI ? OpI() : OpII();
+    cfg.seed = static_cast<std::uint64_t>(std::get<1>(GetParam()));
+    if (std::get<2>(GetParam())) {
+      cfg.solutions = {.shim_layer = true,
+                       .mm_decoupled = true,
+                       .domain_decoupled = true,
+                       .csfb_tag = true,
+                       .reactivate_bearer = true,
+                       .mme_lu_recovery = true};
+    }
+    return cfg;
+  }
+};
+
+void CheckConsistency(Testbed& tb) {
+  const auto& ue = tb.ue();
+  // Single radio: states of the system not being served are quiescent.
+  if (ue.serving() == nas::System::k4G) {
+    EXPECT_EQ(ue.rrc3g(), model::Rrc3g::kIdle);
+    EXPECT_FALSE(ue.pdp_active());
+  }
+  if (ue.serving() == nas::System::k3G) {
+    EXPECT_FALSE(ue.eps_bearer_active());
+  }
+  // The shared channel carries a call exactly when a 3G call is up.
+  if (ue.call_state() == UeDevice::CallState::kNone) {
+    EXPECT_FALSE(tb.channel3g().cs_call_active());
+  }
+  // A registered device is not out of service and vice versa.
+  if (ue.emm_state() == UeDevice::EmmState::kRegistered) {
+    EXPECT_FALSE(ue.out_of_service() &&
+                 ue.emm_state() == UeDevice::EmmState::kOutOfService);
+  }
+}
+
+TEST_P(StackSweep, MixedScenarioEndsConsistent) {
+  Testbed tb(MakeConfig());
+  Rng rng(static_cast<std::uint64_t>(std::get<1>(GetParam())) * 31 + 7);
+
+  tb.ue().PowerOn(nas::System::k4G);
+  tb.Run(Seconds(3));
+  CheckConsistency(tb);
+
+  for (int step = 0; step < 12; ++step) {
+    switch (rng.UniformInt(0, 6)) {
+      case 0:
+        tb.ue().StartDataSession(rng.Uniform(0.05, 3.0));
+        break;
+      case 1:
+        tb.ue().StopDataSession();
+        break;
+      case 2: {
+        tb.ue().Dial();
+        RunUntil(tb,
+                 [&] {
+                   return tb.ue().call_state() ==
+                              UeDevice::CallState::kActive ||
+                          tb.ue().call_state() == UeDevice::CallState::kNone;
+                 },
+                 Minutes(2));
+        tb.Run(Seconds(rng.UniformInt(5, 40)));
+        tb.ue().HangUp();
+        break;
+      }
+      case 3:
+        tb.ue().CrossAreaBoundary();
+        break;
+      case 4:
+        if (tb.ue().serving() == nas::System::k4G) {
+          tb.ue().SwitchTo3g(model::SwitchReason::kMobility);
+        } else {
+          tb.ue().SwitchTo4g();
+        }
+        break;
+      case 5:
+        if (tb.sgsn().pdp_active()) {
+          tb.sgsn().DeactivatePdp(nas::PdpDeactCause::kRegularDeactivation);
+        }
+        break;
+      case 6:
+        tb.ue().EnableData(!tb.ue().data_session_active());
+        break;
+    }
+    tb.Run(Seconds(20));
+    RunUntil(tb, [&] { return !tb.ue().out_of_service(); }, Minutes(2));
+  }
+
+  // Settle: end sessions, let CSFB returns and recoveries finish.
+  tb.ue().HangUp();
+  tb.ue().StopDataSession();
+  RunUntil(tb, [&] { return !tb.ue().out_of_service(); }, Minutes(3));
+  tb.Run(Minutes(1));
+  CheckConsistency(tb);
+
+  // With all remedies on, the scenario must never have lost service.
+  if (std::get<2>(GetParam())) {
+    EXPECT_EQ(tb.ue().oos_events(), 0u);
+    EXPECT_EQ(tb.ue().deferred_service_requests(), 0u);
+  }
+
+  // The collected log round-trips through the QXDM text format, modulo the
+  // format's millisecond timestamp granularity.
+  const auto& records = tb.traces().records();
+  ASSERT_FALSE(records.empty());
+  const auto parsed = trace::ParseLog(trace::FormatLog(records));
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].time, records[i].time / kMillisecond * kMillisecond);
+    EXPECT_EQ(parsed[i].type, records[i].type);
+    EXPECT_EQ(parsed[i].system, records[i].system);
+    EXPECT_EQ(parsed[i].module, records[i].module);
+    EXPECT_EQ(parsed[i].description, records[i].description);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CarriersSeedsSolutions, StackSweep,
+    ::testing::Combine(::testing::Values(Carrier::kOpI, Carrier::kOpII),
+                       ::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace cnv::stack

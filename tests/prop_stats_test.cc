@@ -1,0 +1,82 @@
+// Property sweeps for the statistics utilities over random datasets.
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cnv {
+namespace {
+
+class StatsSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Samples RandomSamples(std::size_t n) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    Samples s;
+    for (std::size_t i = 0; i < n; ++i) {
+      s.Add(rng.LogNormal(0.5, 1.2));
+    }
+    return s;
+  }
+};
+
+TEST_P(StatsSweep, PercentileIsMonotoneInP) {
+  const auto s = RandomSamples(257);
+  double prev = s.Percentile(0);
+  for (double p = 1; p <= 100; p += 1) {
+    const double v = s.Percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), s.Min());
+  EXPECT_DOUBLE_EQ(s.Percentile(100), s.Max());
+}
+
+TEST_P(StatsSweep, CdfAndPercentileAgree) {
+  const auto s = RandomSamples(100);
+  for (double p = 5; p <= 100; p += 5) {
+    // At least p% of the mass lies at or below the p-th percentile.
+    EXPECT_GE(s.CdfAt(s.Percentile(p)) * 100.0, p - 1e-9);
+  }
+}
+
+TEST_P(StatsSweep, CdfIsMonotoneAndBounded) {
+  const auto s = RandomSamples(64);
+  double prev = 0;
+  for (double x = 0; x < 30; x += 0.25) {
+    const double c = s.CdfAt(x);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST_P(StatsSweep, MeanLiesWithinRange) {
+  const auto s = RandomSamples(128);
+  EXPECT_GE(s.Mean(), s.Min());
+  EXPECT_LE(s.Mean(), s.Max());
+  EXPECT_GE(s.Stddev(), 0.0);
+}
+
+TEST_P(StatsSweep, RenderCdfMatchesPercentiles) {
+  const auto s = RandomSamples(99);
+  const auto curve = RenderCdf(s, 21);
+  ASSERT_EQ(curve.size(), 21u);
+  for (const auto& pt : curve) {
+    EXPECT_DOUBLE_EQ(pt.value, s.Percentile(pt.percent));
+  }
+}
+
+TEST_P(StatsSweep, SortedIsAPermutation) {
+  const auto s = RandomSamples(50);
+  auto sorted = s.Sorted();
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  auto values = s.Values();
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, sorted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsSweep, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace cnv

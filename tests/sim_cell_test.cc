@@ -1,0 +1,129 @@
+#include "sim/cell.h"
+
+#include <gtest/gtest.h>
+
+namespace cnv::sim {
+namespace {
+
+constexpr double kLoad = 0.62;
+
+std::vector<CellUser> DataUsers(int n, double rssi = -70.0) {
+  std::vector<CellUser> users;
+  for (int i = 0; i < n; ++i) {
+    users.push_back({.cs_call = false, .data_demand_mbps = 50.0,
+                     .rssi_dbm = rssi});
+  }
+  return users;
+}
+
+TEST(CellTest, FeasibleModulationTracksRssi) {
+  EXPECT_EQ(FeasibleModulation(-60, Direction::kDownlink),
+            Modulation::k64Qam);
+  EXPECT_EQ(FeasibleModulation(-85, Direction::kDownlink),
+            Modulation::k16Qam);
+  EXPECT_EQ(FeasibleModulation(-100, Direction::kDownlink),
+            Modulation::kQpsk);
+  // Uplink caps at 16QAM even in good conditions.
+  EXPECT_EQ(FeasibleModulation(-60, Direction::kUplink), Modulation::k16Qam);
+}
+
+TEST(CellTest, CapacitySplitsEvenlyAmongPsUsers) {
+  Cell cell(SharingScheme::kClusteredByDomain);
+  cell.SetUsers(DataUsers(4));
+  const double each = cell.PsThroughputMbps(0, Direction::kDownlink, kLoad);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(cell.PsThroughputMbps(i, Direction::kDownlink, kLoad),
+                     each);
+  }
+  EXPECT_NEAR(each * 4, 21.1 * kLoad, 1e-9);
+}
+
+TEST(CellTest, CoupledSchemeCollapsesWhenAnyCallIsActive) {
+  auto users = DataUsers(3);
+  users.push_back({.cs_call = true, .data_demand_mbps = 0, .rssi_dbm = -75});
+
+  Cell coupled(SharingScheme::kCoupledSharedChannel);
+  coupled.SetUsers(users);
+  Cell clustered(SharingScheme::kClusteredByDomain);
+  clustered.SetUsers(users);
+
+  const double c = coupled.TotalPsThroughputMbps(Direction::kDownlink, kLoad);
+  const double d =
+      clustered.TotalPsThroughputMbps(Direction::kDownlink, kLoad);
+  // Coupled: 16QAM + CS penalty; clustered: 64QAM untouched.
+  EXPECT_NEAR(1.0 - c / d, 0.74, 0.02);
+}
+
+TEST(CellTest, NoCallMakesCoupledAndClusteredEquivalent) {
+  Cell coupled(SharingScheme::kCoupledSharedChannel);
+  coupled.SetUsers(DataUsers(5));
+  Cell clustered(SharingScheme::kClusteredByDomain);
+  clustered.SetUsers(DataUsers(5));
+  EXPECT_DOUBLE_EQ(
+      coupled.TotalPsThroughputMbps(Direction::kDownlink, kLoad),
+      clustered.TotalPsThroughputMbps(Direction::kDownlink, kLoad));
+}
+
+TEST(CellTest, WeakMemberDragsDownTheClusterButNotPerUser) {
+  auto users = DataUsers(3);
+  users.push_back({.cs_call = false, .data_demand_mbps = 50.0,
+                   .rssi_dbm = -100.0});  // edge-of-cell user
+
+  Cell clustered(SharingScheme::kClusteredByDomain);
+  clustered.SetUsers(users);
+  Cell per_user(SharingScheme::kPerUserModulation);
+  per_user.SetUsers(users);
+
+  // Clustered: everyone at QPSK. Per-user: only the weak user is at QPSK.
+  EXPECT_EQ(clustered.PsModulationFor(0, Direction::kDownlink),
+            Modulation::kQpsk);
+  EXPECT_EQ(per_user.PsModulationFor(0, Direction::kDownlink),
+            Modulation::k64Qam);
+  EXPECT_EQ(per_user.PsModulationFor(3, Direction::kDownlink),
+            Modulation::kQpsk);
+  EXPECT_GT(per_user.TotalPsThroughputMbps(Direction::kDownlink, kLoad),
+            clustered.TotalPsThroughputMbps(Direction::kDownlink, kLoad));
+}
+
+TEST(CellTest, VoiceAlwaysSatisfiedInEveryScheme) {
+  auto users = DataUsers(2);
+  users.push_back({.cs_call = true});
+  for (const auto scheme : {SharingScheme::kCoupledSharedChannel,
+                            SharingScheme::kClusteredByDomain,
+                            SharingScheme::kPerUserModulation}) {
+    Cell cell(scheme);
+    cell.SetUsers(users);
+    EXPECT_DOUBLE_EQ(cell.CsThroughputKbps(2), kCsVoiceRateKbps);
+    EXPECT_DOUBLE_EQ(cell.CsThroughputKbps(0), 0.0);
+  }
+}
+
+TEST(CellTest, DemandCapsTheRate) {
+  Cell cell(SharingScheme::kPerUserModulation);
+  cell.SetUsers({{.cs_call = false, .data_demand_mbps = 0.2,
+                  .rssi_dbm = -65.0}});
+  EXPECT_DOUBLE_EQ(cell.PsThroughputMbps(0, Direction::kDownlink, kLoad),
+                   0.2);
+}
+
+TEST(CellTest, UsersWithoutDataGetZeroAndDontConsumeShare) {
+  Cell cell(SharingScheme::kClusteredByDomain);
+  std::vector<CellUser> users = DataUsers(2);
+  users.push_back({.cs_call = false, .data_demand_mbps = 0});
+  cell.SetUsers(users);
+  EXPECT_DOUBLE_EQ(cell.PsThroughputMbps(2, Direction::kDownlink, kLoad),
+                   0.0);
+  // The two active users still split the channel in half each.
+  EXPECT_NEAR(cell.PsThroughputMbps(0, Direction::kDownlink, kLoad),
+              21.1 * kLoad / 2, 1e-9);
+}
+
+TEST(CellTest, InvalidLoadThrows) {
+  Cell cell(SharingScheme::kPerUserModulation);
+  cell.SetUsers(DataUsers(1));
+  EXPECT_THROW(cell.PsThroughputMbps(0, Direction::kDownlink, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnv::sim

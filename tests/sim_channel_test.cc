@@ -1,0 +1,122 @@
+#include "sim/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace cnv::sim {
+namespace {
+
+TEST(ChannelTest, PeakRatesMatchPaperFigures) {
+  EXPECT_DOUBLE_EQ(PeakRateMbps(Modulation::k64Qam, Direction::kDownlink),
+                   21.1);
+  EXPECT_DOUBLE_EQ(PeakRateMbps(Modulation::k16Qam, Direction::kDownlink),
+                   11.0);
+  EXPECT_GT(PeakRateMbps(Modulation::k16Qam, Direction::kUplink),
+            PeakRateMbps(Modulation::kQpsk, Direction::kUplink));
+}
+
+TEST(ChannelTest, IdleChannelUses64QamDownlink) {
+  SharedChannel ch;
+  EXPECT_EQ(ch.PsModulation(Direction::kDownlink), Modulation::k64Qam);
+  EXPECT_EQ(ch.PsModulation(Direction::kUplink), Modulation::k16Qam);
+}
+
+TEST(ChannelTest, CsCallDisables64Qam) {
+  // Figure 10: once the voice call starts, 64QAM is disabled.
+  SharedChannel ch;
+  ch.SetCsCallActive(true);
+  EXPECT_EQ(ch.PsModulation(Direction::kDownlink), Modulation::k16Qam);
+  EXPECT_EQ(ch.PsModulation(Direction::kUplink), Modulation::kQpsk);
+}
+
+TEST(ChannelTest, DecouplingKeepsHighRateModulation) {
+  SharedChannel ch;
+  ch.set_decoupled(true);
+  ch.SetCsCallActive(true);
+  EXPECT_EQ(ch.PsModulation(Direction::kDownlink), Modulation::k64Qam);
+  EXPECT_EQ(ch.PsModulation(Direction::kUplink), Modulation::k16Qam);
+}
+
+TEST(ChannelTest, DownlinkDropIsLargeAndBeyondModulationAlone) {
+  // §6.2: the PS rate degrades "beyond expectation": ~74% down, although
+  // the modulation halving alone would predict ~48%.
+  SharedChannel ch;  // default policy: 16QAM + 0.5 scheduler penalty
+  const double load = 0.6;
+  const double without = ch.PsThroughputMbps(Direction::kDownlink, load);
+  ch.SetCsCallActive(true);
+  const double with = ch.PsThroughputMbps(Direction::kDownlink, load);
+  const double drop = 1.0 - with / without;
+  EXPECT_NEAR(drop, 0.74, 0.02);
+}
+
+TEST(ChannelTest, OpIUplinkDropMatchesModulationChange) {
+  // OP-I's 51.1% uplink drop is explained by 16QAM -> QPSK alone.
+  ChannelPolicy op1;
+  op1.ul_call_penalty = 1.0;
+  SharedChannel ch(op1);
+  const double load = 0.6;
+  const double without = ch.PsThroughputMbps(Direction::kUplink, load);
+  ch.SetCsCallActive(true);
+  const double with = ch.PsThroughputMbps(Direction::kUplink, load);
+  EXPECT_NEAR(1.0 - with / without, 0.51, 0.02);
+}
+
+TEST(ChannelTest, OpIIUplinkCollapses) {
+  // OP-II throttles uplink PS to near nothing during calls (96.1% drop).
+  ChannelPolicy op2;
+  op2.ul_call_penalty = 0.08;
+  SharedChannel ch(op2);
+  const double load = 0.6;
+  const double without = ch.PsThroughputMbps(Direction::kUplink, load);
+  ch.SetCsCallActive(true);
+  const double with = ch.PsThroughputMbps(Direction::kUplink, load);
+  EXPECT_NEAR(1.0 - with / without, 0.96, 0.02);
+}
+
+TEST(ChannelTest, DecoupledThroughputUnaffectedByCall) {
+  SharedChannel ch;
+  ch.set_decoupled(true);
+  const double before = ch.PsThroughputMbps(Direction::kDownlink, 0.6);
+  ch.SetCsCallActive(true);
+  const double after = ch.PsThroughputMbps(Direction::kDownlink, 0.6);
+  EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(ChannelTest, VoiceAlwaysSatisfied) {
+  SharedChannel coupled;
+  coupled.SetCsCallActive(true);
+  EXPECT_DOUBLE_EQ(coupled.CsThroughputKbps(), kCsVoiceRateKbps);
+  SharedChannel idle;
+  EXPECT_DOUBLE_EQ(idle.CsThroughputKbps(), 0.0);
+}
+
+TEST(ChannelTest, ThroughputScalesWithLoad) {
+  SharedChannel ch;
+  EXPECT_GT(ch.PsThroughputMbps(Direction::kDownlink, 0.8),
+            ch.PsThroughputMbps(Direction::kDownlink, 0.4));
+  EXPECT_DOUBLE_EQ(ch.PsThroughputMbps(Direction::kDownlink, 0.0), 0.0);
+  EXPECT_THROW(ch.PsThroughputMbps(Direction::kDownlink, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(ch.PsThroughputMbps(Direction::kDownlink, -0.1),
+               std::invalid_argument);
+}
+
+TEST(ChannelTest, TimeOfDayLoadCoversAllBinsAndWraps) {
+  for (int h = 0; h < 24; ++h) {
+    const double l = TimeOfDayLoad(h);
+    EXPECT_GT(l, 0.3) << h;
+    EXPECT_LT(l, 0.9) << h;
+  }
+  EXPECT_DOUBLE_EQ(TimeOfDayLoad(25), TimeOfDayLoad(1));
+  EXPECT_DOUBLE_EQ(TimeOfDayLoad(-1), TimeOfDayLoad(23));
+  // Evenings are busier than nights.
+  EXPECT_LT(TimeOfDayLoad(18), TimeOfDayLoad(0));
+}
+
+TEST(ChannelTest, ModulationNames) {
+  EXPECT_EQ(ToString(Modulation::k64Qam), "64QAM");
+  EXPECT_EQ(ToString(Modulation::k16Qam), "16QAM");
+  EXPECT_EQ(ToString(Modulation::kQpsk), "QPSK");
+}
+
+}  // namespace
+}  // namespace cnv::sim

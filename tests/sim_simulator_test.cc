@@ -1,0 +1,182 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/timer.h"
+
+namespace cnv::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZeroAndIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Millis(30), [&] { order.push_back(3); });
+  sim.ScheduleAt(Millis(10), [&] { order.push_back(1); });
+  sim.ScheduleAt(Millis(20), [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Millis(30));
+}
+
+TEST(SimulatorTest, EqualTimestampsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(Millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ScheduleInIsRelative) {
+  Simulator sim;
+  SimTime fired = -1;
+  sim.ScheduleAt(Millis(10), [&] {
+    sim.ScheduleIn(Millis(5), [&] { fired = sim.now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(fired, Millis(15));
+}
+
+TEST(SimulatorTest, RejectsPastAndInvalid) {
+  Simulator sim;
+  sim.ScheduleAt(Millis(10), [] {});
+  sim.RunAll();
+  EXPECT_THROW(sim.ScheduleAt(Millis(5), [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.ScheduleIn(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.ScheduleAt(Millis(20), nullptr), std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(sim.now(), Seconds(5));
+  EXPECT_THROW(sim.RunUntil(Seconds(1)), std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(Millis(10), [&] { ++fired; });
+  sim.ScheduleAt(Millis(30), [&] { ++fired; });
+  sim.RunUntil(Millis(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Millis(20));
+  sim.RunUntil(Millis(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.ScheduleAt(Millis(10), [&] { ++fired; });
+  sim.Cancel(id);
+  sim.RunAll();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.ExecutedEvents(), 0u);
+}
+
+TEST(SimulatorTest, CancelledHeadDoesNotBlockRunUntil) {
+  // Regression: a cancelled event at the queue head must not let a later
+  // event run past the RunUntil boundary.
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.ScheduleAt(Millis(10), [&] { ++fired; });
+  sim.ScheduleAt(Millis(50), [&] { ++fired; });
+  sim.Cancel(id);
+  sim.RunUntil(Millis(20));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), Millis(20));
+}
+
+TEST(SimulatorTest, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.ScheduleAt(Millis(10), [&] { ++fired; });
+  sim.RunAll();
+  sim.Cancel(id);          // already fired: no-op
+  sim.Cancel(id);          // repeated: no-op
+  sim.Cancel(987654321u);  // unknown: no-op
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, HandlerMayScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.ScheduleIn(Millis(1), chain);
+  };
+  sim.ScheduleIn(Millis(1), chain);
+  sim.RunAll();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), Millis(10));
+  EXPECT_EQ(sim.ExecutedEvents(), 10u);
+}
+
+TEST(SimulatorTest, RunAllHonorsLimit) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(Seconds(1), [&] { ++fired; });
+  sim.ScheduleAt(Seconds(10), [&] { ++fired; });
+  sim.RunAll(Seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Seconds(5));
+}
+
+TEST(TimerTest, FiresOnceAfterDuration) {
+  Simulator sim;
+  Timer t(sim, "T3410");
+  int fired = 0;
+  t.Start(Seconds(15), [&] { ++fired; });
+  EXPECT_TRUE(t.IsRunning());
+  sim.RunAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.IsRunning());
+  EXPECT_EQ(sim.now(), Seconds(15));
+}
+
+TEST(TimerTest, StopCancels) {
+  Simulator sim;
+  Timer t(sim, "T3410");
+  int fired = 0;
+  t.Start(Seconds(15), [&] { ++fired; });
+  t.Stop();
+  sim.RunAll();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(t.IsRunning());
+}
+
+TEST(TimerTest, RestartSupersedesPreviousDeadline) {
+  Simulator sim;
+  Timer t(sim, "guard");
+  std::vector<SimTime> fires;
+  t.Start(Seconds(10), [&] { fires.push_back(sim.now()); });
+  sim.RunUntil(Seconds(5));
+  t.Start(Seconds(10), [&] { fires.push_back(sim.now()); });  // re-arm
+  sim.RunAll();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], Seconds(15));
+}
+
+TEST(TimerTest, DestructionCancelsPending) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer t(sim, "scoped");
+    t.Start(Seconds(1), [&] { ++fired; });
+  }
+  sim.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace cnv::sim

@@ -1,0 +1,136 @@
+#include "solution/shim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/link.h"
+
+namespace cnv::solution {
+namespace {
+
+// Two shim endpoints over a pair of lossy links — the §8 layer-extension
+// deployment shape (UE shim <-> radio <-> MME shim).
+struct Pair {
+  sim::Simulator sim;
+  Rng rng{7};
+  sim::Link ab;
+  sim::Link ba;
+  ShimEndpoint a;
+  ShimEndpoint b;
+  std::vector<nas::MsgKind> delivered_at_b;
+
+  explicit Pair(double loss)
+      : ab(sim, rng, {.delay = Millis(30), .loss_prob = loss, .reliable = false},
+           "a->b"),
+        ba(sim, rng, {.delay = Millis(30), .loss_prob = loss, .reliable = false},
+           "b->a"),
+        a(sim, "A"),
+        b(sim, "B") {
+    a.SetTransmit([this](const nas::Message& m) { ab.Send(m); });
+    b.SetTransmit([this](const nas::Message& m) { ba.Send(m); });
+    ab.SetReceiver([this](const nas::Message& m) { b.OnRaw(m); });
+    ba.SetReceiver([this](const nas::Message& m) { a.OnRaw(m); });
+    b.SetDeliver([this](const nas::Message& m) {
+      delivered_at_b.push_back(m.kind);
+    });
+  }
+
+  nas::Message Msg(nas::MsgKind k) {
+    nas::Message m;
+    m.kind = k;
+    return m;
+  }
+};
+
+TEST(ShimTest, DeliversOverPerfectLink) {
+  Pair p(0.0);
+  p.a.Send(p.Msg(nas::MsgKind::kAttachRequest));
+  p.sim.RunAll();
+  ASSERT_EQ(p.delivered_at_b.size(), 1u);
+  EXPECT_EQ(p.delivered_at_b[0], nas::MsgKind::kAttachRequest);
+  EXPECT_TRUE(p.a.idle());
+  EXPECT_EQ(p.a.retransmissions(), 0u);
+}
+
+TEST(ShimTest, RecoversFromSingleLoss) {
+  Pair p(0.0);
+  p.ab.ForceDropNext(1);
+  p.a.Send(p.Msg(nas::MsgKind::kAttachComplete));
+  p.sim.RunAll();
+  ASSERT_EQ(p.delivered_at_b.size(), 1u);
+  EXPECT_GE(p.a.retransmissions(), 1u);
+  EXPECT_TRUE(p.a.idle());
+}
+
+TEST(ShimTest, RecoversFromLostAckWithoutDuplicateDelivery) {
+  Pair p(0.0);
+  p.ba.ForceDropNext(1);  // the ack is lost; the data must not re-deliver
+  p.a.Send(p.Msg(nas::MsgKind::kAttachRequest));
+  p.sim.RunAll();
+  EXPECT_EQ(p.delivered_at_b.size(), 1u);
+  EXPECT_GE(p.b.duplicates_discarded(), 1u);
+  EXPECT_TRUE(p.a.idle());
+}
+
+TEST(ShimTest, PreservesOrderUnderHeavyLoss) {
+  Pair p(0.4);
+  const std::vector<nas::MsgKind> sent = {
+      nas::MsgKind::kAttachRequest, nas::MsgKind::kAttachComplete,
+      nas::MsgKind::kTauRequest,    nas::MsgKind::kServiceRequest,
+      nas::MsgKind::kDetachRequest,
+  };
+  for (auto k : sent) p.a.Send(p.Msg(k));
+  p.sim.RunAll(Minutes(10));
+  EXPECT_EQ(p.delivered_at_b, sent);
+  EXPECT_TRUE(p.a.idle());
+}
+
+TEST(ShimTest, BidirectionalTrafficDoesNotInterfere) {
+  Pair p(0.2);
+  std::vector<nas::MsgKind> delivered_at_a;
+  p.a.SetDeliver([&](const nas::Message& m) {
+    delivered_at_a.push_back(m.kind);
+  });
+  p.a.Send(p.Msg(nas::MsgKind::kAttachRequest));
+  p.b.Send(p.Msg(nas::MsgKind::kAttachAccept));
+  p.a.Send(p.Msg(nas::MsgKind::kAttachComplete));
+  p.sim.RunAll(Minutes(10));
+  EXPECT_EQ(p.delivered_at_b,
+            (std::vector<nas::MsgKind>{nas::MsgKind::kAttachRequest,
+                                       nas::MsgKind::kAttachComplete}));
+  EXPECT_EQ(delivered_at_a,
+            (std::vector<nas::MsgKind>{nas::MsgKind::kAttachAccept}));
+}
+
+TEST(ShimTest, QueuesWhileInflight) {
+  Pair p(0.0);
+  for (int i = 0; i < 10; ++i) {
+    p.a.Send(p.Msg(nas::MsgKind::kTauRequest));
+  }
+  EXPECT_FALSE(p.a.idle());
+  p.sim.RunAll();
+  EXPECT_EQ(p.delivered_at_b.size(), 10u);
+  EXPECT_EQ(p.b.delivered(), 10u);
+  EXPECT_TRUE(p.a.idle());
+}
+
+TEST(ShimTest, ManyMessagesOverVeryLossyLinkAllArrive) {
+  Pair p(0.6);
+  for (int i = 0; i < 50; ++i) {
+    p.a.Send(p.Msg(nas::MsgKind::kTauRequest));
+  }
+  p.sim.RunAll(Minutes(60));
+  EXPECT_EQ(p.delivered_at_b.size(), 50u);
+  EXPECT_GT(p.a.retransmissions(), 0u);
+}
+
+TEST(ShimTest, ThrowsWithoutTransmit) {
+  sim::Simulator sim;
+  ShimEndpoint e(sim, "lonely");
+  nas::Message m;
+  EXPECT_THROW(e.Send(m), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cnv::solution

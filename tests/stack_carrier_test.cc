@@ -1,0 +1,86 @@
+// Carrier profile facts: the OP-I / OP-II policy splits the experiments
+// depend on, and the latency-distribution sampling contract.
+#include <gtest/gtest.h>
+
+#include "stack/carrier.h"
+#include "util/stats.h"
+
+namespace cnv::stack {
+namespace {
+
+TEST(CarrierTest, PolicySplitMatchesThePaper) {
+  const auto op1 = OpI();
+  const auto op2 = OpII();
+  // §5.3.2: OP-I redirects (fast), OP-II reselects (stuck while data).
+  EXPECT_EQ(op1.csfb_return_policy, model::SwitchPolicy::kReleaseWithRedirect);
+  EXPECT_EQ(op2.csfb_return_policy, model::SwitchPolicy::kCellReselection);
+  // §6.3: OP-I defers the first CSFB update, OP-II does not.
+  EXPECT_TRUE(op1.defer_csfb_lu);
+  EXPECT_FALSE(op2.defer_csfb_lu);
+  EXPECT_EQ(op1.lu_failure_mode, LuFailureMode::kFirstUpdateDisrupted);
+  EXPECT_EQ(op2.lu_failure_mode, LuFailureMode::kSecondUpdateRejected);
+  // §6.2: only OP-II collapses the uplink during calls.
+  EXPECT_GT(op1.channel_policy.ul_call_penalty, 0.9);
+  EXPECT_LT(op2.channel_policy.ul_call_penalty, 0.2);
+  // Neither deployed VoLTE in the paper's timeframe.
+  EXPECT_FALSE(op1.volte_enabled);
+  EXPECT_FALSE(op2.volte_enabled);
+}
+
+TEST(CarrierTest, UpdateLatencyOrderingMatchesFigure8) {
+  Rng rng(5);
+  Samples lau1, lau2;
+  for (int i = 0; i < 400; ++i) {
+    lau1.Add(ToSeconds(OpI().lau_processing.Sample(rng)));
+    lau2.Add(ToSeconds(OpII().lau_processing.Sample(rng)));
+  }
+  // OP-I: all > 2 s, average ~3 s. OP-II: average ~1.9 s.
+  EXPECT_GT(lau1.Min(), 2.0);
+  EXPECT_NEAR(lau1.Mean(), 3.0, 0.4);
+  EXPECT_NEAR(lau2.Mean(), 1.9, 0.3);
+  EXPECT_LT(lau2.Mean(), lau1.Mean());
+}
+
+TEST(CarrierTest, ReattachTailsMatchFigure4) {
+  Rng rng(6);
+  Samples r1, r2;
+  for (int i = 0; i < 400; ++i) {
+    r1.Add(ToSeconds(OpI().reattach_delay.Sample(rng)));
+    r2.Add(ToSeconds(OpII().reattach_delay.Sample(rng)));
+  }
+  EXPECT_GE(r1.Min(), 2.4);
+  EXPECT_LE(r1.Max(), 15.0);
+  EXPECT_LE(r2.Max(), 24.7);
+  EXPECT_GT(r2.Median(), r1.Median());  // OP-II recovers slower
+}
+
+class LatencyDistSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LatencyDistSweep, SamplesRespectTheClampAndCenter) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const LatencyDist d{.median_s = 2.0, .sigma = 0.5, .min_s = 0.8,
+                      .max_s = 6.0};
+  Samples s;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = ToSeconds(d.Sample(rng));
+    EXPECT_GE(v, 0.8);
+    EXPECT_LE(v, 6.0);
+    s.Add(v);
+  }
+  // Log-normal: the median of samples sits near the configured median.
+  EXPECT_NEAR(s.Median(), 2.0, 0.25);
+}
+
+TEST_P(LatencyDistSweep, DegenerateDistributionIsConstant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const LatencyDist d{.median_s = 3.0, .sigma = 1e-9, .min_s = 3.0,
+                      .max_s = 3.0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(d.Sample(rng), Seconds(3));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatencyDistSweep, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace cnv::stack

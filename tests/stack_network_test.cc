@@ -1,0 +1,120 @@
+// Direct unit tests of the network-side elements (MME / MSC / SGSN),
+// exercised through the Testbed wiring.
+#include <gtest/gtest.h>
+
+#include "stack/scenarios.h"
+#include "stack/testbed.h"
+
+namespace cnv::stack {
+namespace {
+
+TEST(SgsnTest, ContextTransferIsOneShot) {
+  Testbed tb({});
+  nas::PdpContext pdp;
+  pdp.active = true;
+  pdp.ip_address = 77;
+  tb.sgsn().StoreMigratedContext(pdp);
+  EXPECT_TRUE(tb.sgsn().registered());
+  const auto taken = tb.sgsn().TakeContextFor4g();
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->ip_address, 77u);
+  // Resources released: a second take finds nothing (the S1 condition).
+  EXPECT_FALSE(tb.sgsn().TakeContextFor4g().has_value());
+  EXPECT_FALSE(tb.sgsn().pdp_active());
+}
+
+TEST(SgsnTest, DeactivateWithoutContextIsNoOp) {
+  Testbed tb({});
+  tb.sgsn().DeactivatePdp(nas::PdpDeactCause::kRegularDeactivation);
+  tb.Run(Seconds(1));
+  EXPECT_FALSE(tb.sgsn().pdp_active());  // nothing sent, nothing crashed
+}
+
+TEST(MscTest, CallSetupLatencyIsConfigurable) {
+  Testbed tb({});
+  tb.msc().set_call_setup_latency(
+      {.median_s = 2.0, .sigma = 0.001, .min_s = 2.0, .max_s = 2.0});
+  ASSERT_TRUE(scenario::AttachIn3g(tb));
+  tb.Run(Seconds(10));
+  ASSERT_TRUE(scenario::EstablishCall(tb));
+  // Setup = CM service (~0.1s) + Setup leg + configured 2s connect.
+  EXPECT_LT(tb.ue().call_setup_seconds().Values().back(), 3.5);
+}
+
+TEST(MscTest, DisruptNextLocationUpdateSwallowsTheAccept) {
+  Testbed tb({});
+  tb.msc().DisruptNextLocationUpdate();
+  tb.ue().PowerOn(nas::System::k3G);
+  tb.Run(Seconds(10));
+  EXPECT_FALSE(tb.msc().last_lu_completed());
+  EXPECT_FALSE(tb.msc().registered());
+  // The device keeps waiting: the MM state never saw an accept.
+  EXPECT_EQ(tb.ue().mm_state(), UeDevice::MmState::kLuInProgress);
+}
+
+TEST(MscTest, SgsFailureModesFollowTheCarrierProfile) {
+  {
+    Testbed tb({.profile = OpI(), .solutions = {}});
+    // OP-I: a disrupted first update propagates as such.
+    EXPECT_EQ(tb.msc().OnSgsLocationUpdate(/*first_update_completed=*/false),
+              nas::MmCause::kUpdateDisrupted);
+    // A completed first update is fine.
+    EXPECT_EQ(tb.msc().OnSgsLocationUpdate(true), nas::MmCause::kNone);
+  }
+  {
+    Testbed tb({.profile = OpII(), .solutions = {}});
+    // OP-II: the MSC refuses the second update once already registered.
+    EXPECT_EQ(tb.msc().OnSgsLocationUpdate(true), nas::MmCause::kNone);
+    EXPECT_EQ(tb.msc().OnSgsLocationUpdate(true),
+              nas::MmCause::kMscTemporarilyNotReachable);
+  }
+}
+
+TEST(MmeTest, ReattachDelayOnlyAppliesAfterADetach) {
+  Testbed tb({});
+  const SimTime start = tb.sim().now();
+  ASSERT_TRUE(scenario::AttachIn4g(tb));
+  // A fresh attach is fast: core processing + RTTs only.
+  EXPECT_LT(ToSeconds(tb.sim().now() - start), 1.0);
+
+  // Force a detach; the next attach is operator-delayed (Figure 4).
+  tb.mme().RunSgsLocationUpdate(/*race_hit=*/true);
+  const SimTime detach_at = tb.sim().now();
+  scenario::RunUntil(tb, [&] { return tb.ue().oos_events() > 0; },
+                     Seconds(10));
+  scenario::RunUntil(tb, [&] { return !tb.ue().out_of_service(); },
+                     Minutes(2));
+  EXPECT_FALSE(tb.ue().out_of_service());
+  EXPECT_GT(ToSeconds(tb.sim().now() - detach_at), 1.0);
+}
+
+TEST(MmeTest, BearerSurvivesTauButNotSwitchAway) {
+  Testbed tb({});
+  ASSERT_TRUE(scenario::AttachIn4g(tb));
+  tb.ue().CrossAreaBoundary();
+  tb.Run(Seconds(2));
+  EXPECT_TRUE(tb.mme().bearer_active());
+  tb.mme().ReleaseBearerOnSwitchAway();
+  EXPECT_FALSE(tb.mme().bearer_active());
+  // The registration itself survives the inter-system switch.
+  EXPECT_EQ(tb.mme().state(), Mme::EmmState::kRegistered);
+}
+
+TEST(MmeTest, EsmActivatesFreshBearerOnRequest) {
+  Testbed tb({});
+  ASSERT_TRUE(scenario::AttachIn4g(tb));
+  tb.mme().ReleaseBearerOnSwitchAway();
+  ASSERT_FALSE(tb.mme().bearer_active());
+  // An ESM bearer activation request rebuilds the default bearer and the
+  // accept reaches the device.
+  nas::Message m;
+  m.kind = nas::MsgKind::kEsmActivateBearerRequest;
+  m.protocol = nas::Protocol::kEsm;
+  tb.mme().OnUplink(m);
+  tb.Run(Seconds(1));
+  EXPECT_TRUE(tb.mme().bearer_active());
+  EXPECT_TRUE(tb.ue().eps_bearer_active());
+}
+
+}  // namespace
+}  // namespace cnv::stack

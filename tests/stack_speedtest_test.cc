@@ -1,0 +1,63 @@
+#include "stack/speedtest.h"
+
+#include <gtest/gtest.h>
+
+#include "stack/scenarios.h"
+
+namespace cnv::stack {
+namespace {
+
+TEST(SpeedtestTest, MeasuresSteadyRateAndVolume) {
+  Testbed tb({});
+  ASSERT_TRUE(scenario::AttachIn3g(tb));
+  tb.ue().StartDataSession(50.0);
+  tb.Run(Seconds(2));
+  const auto r = RunSpeedtest(tb, sim::Direction::kDownlink, 12);
+  EXPECT_GT(r.MedianMbps(), 5.0);
+  // Volume = rate x window (constant conditions).
+  EXPECT_NEAR(r.megabytes, r.MedianMbps() * ToSeconds(r.window) / 8.0,
+              r.megabytes * 0.01);
+  EXPECT_EQ(r.window, Seconds(10));
+}
+
+TEST(SpeedtestTest, CapturesTheRateDropWhenACallStarts) {
+  Testbed tb({});
+  ASSERT_TRUE(scenario::AttachIn3g(tb));
+  tb.Run(Seconds(10));
+  tb.ue().StartDataSession(50.0);
+  tb.Run(Seconds(2));
+  const auto before = RunSpeedtest(tb, sim::Direction::kDownlink, 12);
+  ASSERT_TRUE(scenario::EstablishCall(tb));
+  const auto during = RunSpeedtest(tb, sim::Direction::kDownlink, 12);
+  EXPECT_NEAR(1.0 - during.MedianMbps() / before.MedianMbps(), 0.74, 0.03);
+  EXPECT_LT(during.megabytes, before.megabytes * 0.35);
+}
+
+TEST(SpeedtestTest, ZeroWithoutDataPath) {
+  Testbed tb({});
+  ASSERT_TRUE(scenario::AttachIn3g(tb));
+  // Data enabled but no PDP context yet and no session: rate is 0.
+  const auto r = RunSpeedtest(tb, sim::Direction::kUplink, 12, Seconds(2));
+  EXPECT_DOUBLE_EQ(r.MedianMbps(), 0.0);
+  EXPECT_DOUBLE_EQ(r.megabytes, 0.0);
+}
+
+TEST(SpeedtestTest, RejectsBadWindows) {
+  Testbed tb({});
+  EXPECT_THROW(RunSpeedtest(tb, sim::Direction::kDownlink, 12, 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      RunSpeedtest(tb, sim::Direction::kDownlink, 12, Seconds(1), Seconds(2)),
+      std::invalid_argument);
+}
+
+TEST(SpeedtestTest, AdvancesSimulatedTimeExactly) {
+  Testbed tb({});
+  ASSERT_TRUE(scenario::AttachIn4g(tb));
+  const SimTime before = tb.sim().now();
+  RunSpeedtest(tb, sim::Direction::kDownlink, 12, Seconds(7), Millis(300));
+  EXPECT_EQ(tb.sim().now() - before, Seconds(7));
+}
+
+}  // namespace
+}  // namespace cnv::stack

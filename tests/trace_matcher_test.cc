@@ -1,0 +1,123 @@
+#include "trace/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "stack/testbed.h"
+
+namespace cnv::trace {
+namespace {
+
+TraceRecord Rec(SimTime t, const std::string& desc) {
+  return {t, TraceType::kMsg, nas::System::k4G, "EMM", desc};
+}
+
+TEST(MatcherTest, MatchesInOrderWithGaps) {
+  const std::vector<TraceRecord> log = {
+      Rec(1, "Attach Request sent"), Rec(2, "noise"),
+      Rec(3, "Attach Accept received"), Rec(4, "more noise"),
+      Rec(5, "Attach Complete sent")};
+  const auto m = MatchesSequence(
+      log, {"Attach Request", "Attach Accept", "Attach Complete"});
+  EXPECT_TRUE(m.matched);
+}
+
+TEST(MatcherTest, OutOfOrderFails) {
+  const std::vector<TraceRecord> log = {Rec(1, "Attach Accept received"),
+                                        Rec(2, "Attach Request sent")};
+  const auto m =
+      MatchesSequence(log, {"Attach Request", "Attach Accept"});
+  EXPECT_FALSE(m.matched);
+  EXPECT_EQ(m.failed_index, 1u);
+  EXPECT_EQ(m.missing, "Attach Accept");
+}
+
+TEST(MatcherTest, EmptyExpectationAlwaysMatches) {
+  EXPECT_TRUE(MatchesSequence({}, {}).matched);
+  EXPECT_TRUE(MatchesSequence({Rec(1, "x")}, {}).matched);
+}
+
+TEST(MatcherTest, EmptyLogFailsOnFirstNeedle) {
+  const auto m = MatchesSequence({}, {"anything"});
+  EXPECT_FALSE(m.matched);
+  EXPECT_EQ(m.failed_index, 0u);
+}
+
+TEST(MatcherTest, OneRecordCannotSatisfyTwoNeedles) {
+  // Each needle must be discharged by a distinct record in order.
+  const std::vector<TraceRecord> log = {Rec(1, "Attach Request sent")};
+  const auto m =
+      MatchesSequence(log, {"Attach Request", "Attach Request"});
+  EXPECT_FALSE(m.matched);
+}
+
+void RunUntil(stack::Testbed& tb, const std::function<bool()>& pred,
+              SimDuration limit) {
+  const SimTime deadline = tb.sim().now() + limit;
+  while (!pred() && tb.sim().now() < deadline) tb.Run(Millis(100));
+}
+
+TEST(MatcherTest, AnticipatedS1SequenceMatchesTheRealScenario) {
+  stack::Testbed tb({});
+  tb.ue().PowerOn(nas::System::k4G);
+  tb.Run(Seconds(2));
+  tb.ue().SwitchTo3g(model::SwitchReason::kMobility);
+  tb.Run(Seconds(10));
+  tb.sgsn().DeactivatePdp(nas::PdpDeactCause::kRegularDeactivation);
+  tb.Run(Seconds(1));
+  tb.ue().SwitchTo4g();
+  RunUntil(tb, [&] { return !tb.ue().out_of_service(); }, Minutes(2));
+  RunUntil(tb, [&] { return tb.ue().recovery_seconds().Count() == 1; },
+           Minutes(2));
+  const auto m =
+      MatchesSequence(tb.traces().records(), AnticipatedS1Sequence());
+  EXPECT_TRUE(m.matched) << "missing: " << m.missing;
+}
+
+TEST(MatcherTest, AnticipatedS2SequenceMatchesLossScenario) {
+  stack::Testbed tb({});
+  tb.ue().PowerOn(nas::System::k4G);
+  tb.ul4g().ForceDropNext(1);
+  tb.Run(Seconds(2));
+  tb.ue().CrossAreaBoundary();
+  RunUntil(tb, [&] { return tb.ue().oos_events() > 0; }, Seconds(10));
+  const auto m =
+      MatchesSequence(tb.traces().records(), AnticipatedS2LossSequence());
+  EXPECT_TRUE(m.matched) << "missing: " << m.missing;
+}
+
+TEST(MatcherTest, AnticipatedCsfbSequenceMatchesCallFlow) {
+  stack::TestbedConfig cfg;
+  cfg.profile = stack::OpI();
+  cfg.profile.lu_failure_prob = 0;
+  stack::Testbed tb(cfg);
+  tb.ue().PowerOn(nas::System::k4G);
+  tb.Run(Seconds(2));
+  tb.ue().Dial();
+  RunUntil(tb,
+           [&] {
+             return tb.ue().call_state() ==
+                    stack::UeDevice::CallState::kActive;
+           },
+           Minutes(2));
+  tb.Run(Seconds(5));
+  tb.ue().HangUp();
+  tb.Run(Seconds(5));
+  const auto m =
+      MatchesSequence(tb.traces().records(), AnticipatedCsfbSequence());
+  EXPECT_TRUE(m.matched) << "missing: " << m.missing;
+}
+
+TEST(MatcherTest, WrongScenarioDoesNotMatchS1Sequence) {
+  // A clean attach with no inter-system switch must not look like S1.
+  stack::Testbed tb({});
+  tb.ue().PowerOn(nas::System::k4G);
+  tb.Run(Seconds(3));
+  const auto m =
+      MatchesSequence(tb.traces().records(), AnticipatedS1Sequence());
+  EXPECT_FALSE(m.matched);
+}
+
+}  // namespace
+}  // namespace cnv::trace

@@ -1,0 +1,75 @@
+// Fuzz the QXDM parser: arbitrary byte soup must never crash or produce a
+// record from garbage; near-miss lines must be rejected; valid records with
+// adversarial descriptions must round-trip.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "trace/qxdm.h"
+#include "util/rng.h"
+
+namespace cnv::trace {
+namespace {
+
+class QxdmFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(QxdmFuzz, RandomBytesNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 500; ++i) {
+    std::string line;
+    const auto len = rng.UniformInt(0, 120);
+    for (int c = 0; c < len; ++c) {
+      line += static_cast<char>(rng.UniformInt(32, 126));
+    }
+    (void)ParseRecord(line);  // must not crash; result may be anything
+  }
+}
+
+TEST_P(QxdmFuzz, MutatedValidLinesParseOrRejectCleanly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  const std::string valid =
+      "01:02:03.045 [MSG] [3G] [MM] Location Updating Request sent";
+  for (int i = 0; i < 500; ++i) {
+    std::string line = valid;
+    const auto pos = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(line.size()) - 1));
+    line[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    const auto r = ParseRecord(line);
+    if (r.has_value()) {
+      // Whatever parsed must re-serialize to a parseable line.
+      const auto again = ParseRecord(FormatRecord(*r));
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(*again, *r);
+    }
+  }
+}
+
+TEST_P(QxdmFuzz, AdversarialDescriptionsRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  for (int i = 0; i < 200; ++i) {
+    TraceRecord r;
+    r.time = rng.UniformInt(0, 86'400'000) * kMillisecond;
+    r.type = static_cast<TraceType>(rng.UniformInt(0, 2));
+    r.system = rng.Bernoulli(0.5) ? nas::System::k3G : nas::System::k4G;
+    r.module = "EMM";
+    // Descriptions containing brackets, colons and digits must survive.
+    std::string desc;
+    const auto len = rng.UniformInt(1, 60);
+    const std::string alphabet =
+        "abc [](){}:.->0123456789QAM% \"quoted\" / ,";
+    for (int c = 0; c < len; ++c) {
+      desc += alphabet[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+    }
+    // The parser trims surrounding whitespace, so normalize expectations.
+    r.description = "x" + desc + "x";
+    const auto parsed = ParseRecord(FormatRecord(r));
+    ASSERT_TRUE(parsed.has_value()) << FormatRecord(r);
+    EXPECT_EQ(*parsed, r) << FormatRecord(r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QxdmFuzz, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace cnv::trace

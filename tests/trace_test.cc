@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "trace/analyze.h"
+#include "trace/collector.h"
+#include "trace/qxdm.h"
+
+namespace cnv::trace {
+namespace {
+
+TEST(CollectorTest, StampsRecordsWithSimulatedTime) {
+  sim::Simulator sim;
+  Collector c(sim);
+  c.Msg(nas::System::k4G, "EMM", "Attach Request sent");
+  sim.RunUntil(Millis(1234));
+  c.State(nas::System::k4G, "EMM", "EMM-REGISTERED");
+  ASSERT_EQ(c.records().size(), 2u);
+  EXPECT_EQ(c.records()[0].time, 0);
+  EXPECT_EQ(c.records()[1].time, Millis(1234));
+  EXPECT_EQ(c.records()[0].type, TraceType::kMsg);
+  EXPECT_EQ(c.records()[1].type, TraceType::kState);
+}
+
+TEST(CollectorTest, ClearEmptiesTheLog) {
+  sim::Simulator sim;
+  Collector c(sim);
+  c.Event(nas::System::k3G, "MM", "x");
+  c.Clear();
+  EXPECT_TRUE(c.records().empty());
+}
+
+TEST(QxdmTest, FormatContainsAllFiveFields) {
+  TraceRecord r{Millis(61'250), TraceType::kMsg, nas::System::k3G, "MM",
+                "Location Updating Request sent"};
+  const auto line = FormatRecord(r);
+  EXPECT_EQ(line,
+            "00:01:01.250 [MSG] [3G] [MM] Location Updating Request sent");
+}
+
+TEST(QxdmTest, ParseRoundTrip) {
+  TraceRecord r{kHour + Minutes(2) + Seconds(3) + Millis(45), TraceType::kState,
+                nas::System::k4G, "4G-RRC", "RRC CONNECTED -> IDLE"};
+  const auto parsed = ParseRecord(FormatRecord(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, r);
+}
+
+TEST(QxdmTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(ParseRecord("").has_value());
+  EXPECT_FALSE(ParseRecord("garbage").has_value());
+  EXPECT_FALSE(ParseRecord("12:00:00.000 missing brackets").has_value());
+  EXPECT_FALSE(ParseRecord("12:00:00.000 [BOGUS] [3G] [MM] x").has_value());
+  EXPECT_FALSE(ParseRecord("12:00:00.000 [MSG] [5G] [MM] x").has_value());
+  EXPECT_FALSE(ParseRecord("12:99:00.000 [MSG] [3G] [MM] x").has_value());
+}
+
+TEST(QxdmTest, LogRoundTripSkipsBlankLines) {
+  sim::Simulator sim;
+  Collector c(sim);
+  c.Msg(nas::System::k4G, "EMM", "Attach Request sent");
+  c.Msg(nas::System::k4G, "EMM", "Attach Accept received");
+  c.State(nas::System::k4G, "ESM", "EPS bearer activated");
+  const auto text = FormatLog(c.records()) + "\n\n";
+  const auto parsed = ParseLog(text);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[2].module, "ESM");
+  EXPECT_EQ(parsed, c.records());
+}
+
+std::vector<TraceRecord> SampleTrace() {
+  return {
+      {Seconds(1), TraceType::kMsg, nas::System::k3G, "MM",
+       "Location Updating Request sent"},
+      {Seconds(4), TraceType::kMsg, nas::System::k3G, "MM",
+       "Location Updating Accept received"},
+      {Seconds(5), TraceType::kMsg, nas::System::k3G, "CM/CC",
+       "call dialed"},
+      {Seconds(9), TraceType::kMsg, nas::System::k3G, "CM/CC",
+       "call connected"},
+      {Seconds(20), TraceType::kMsg, nas::System::k3G, "MM",
+       "Location Updating Request sent"},
+      {Seconds(22), TraceType::kMsg, nas::System::k3G, "MM",
+       "Location Updating Accept received"},
+  };
+}
+
+TEST(AnalyzeTest, TimeOfFirstHonorsFromBound) {
+  const auto t = SampleTrace();
+  EXPECT_EQ(TimeOfFirst(t, "Location Updating Request"), Seconds(1));
+  EXPECT_EQ(TimeOfFirst(t, "Location Updating Request", Seconds(2)),
+            Seconds(20));
+  EXPECT_FALSE(TimeOfFirst(t, "not there").has_value());
+}
+
+TEST(AnalyzeTest, CountContaining) {
+  const auto t = SampleTrace();
+  EXPECT_EQ(CountContaining(t, "Location Updating"), 4u);
+  EXPECT_EQ(CountContaining(t, "call"), 2u);
+  EXPECT_EQ(CountContaining(t, "zzz"), 0u);
+}
+
+TEST(AnalyzeTest, IntervalsPairStartsWithNextEnd) {
+  const auto t = SampleTrace();
+  const auto updates = IntervalsBetween(t, "Location Updating Request",
+                                        "Location Updating Accept");
+  ASSERT_EQ(updates.size(), 2u);
+  EXPECT_EQ(updates[0], Seconds(3));
+  EXPECT_EQ(updates[1], Seconds(2));
+  const auto setups = IntervalsBetween(t, "call dialed", "call connected");
+  ASSERT_EQ(setups.size(), 1u);
+  EXPECT_EQ(setups[0], Seconds(4));
+}
+
+TEST(AnalyzeTest, UnmatchedStartIsDropped) {
+  std::vector<TraceRecord> t = {
+      {Seconds(1), TraceType::kMsg, nas::System::k3G, "MM", "start"},
+  };
+  EXPECT_TRUE(IntervalsBetween(t, "start", "end").empty());
+}
+
+TEST(AnalyzeTest, IntervalSecondsFeedsStats) {
+  const auto s = IntervalSecondsBetween(SampleTrace(),
+                                        "Location Updating Request",
+                                        "Location Updating Accept");
+  ASSERT_EQ(s.Count(), 2u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+}
+
+TEST(AnalyzeTest, FilterByModuleIsExact) {
+  const auto t = SampleTrace();
+  EXPECT_EQ(FilterByModule(t, "MM").size(), 4u);
+  EXPECT_EQ(FilterByModule(t, "CM/CC").size(), 2u);
+  EXPECT_TRUE(FilterByModule(t, "M").empty());
+}
+
+}  // namespace
+}  // namespace cnv::trace

@@ -1,0 +1,118 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cnv {
+namespace {
+
+TEST(SamplesTest, EmptyQueriesThrow) {
+  Samples s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_THROW(s.Min(), std::logic_error);
+  EXPECT_THROW(s.Max(), std::logic_error);
+  EXPECT_THROW(s.Mean(), std::logic_error);
+  EXPECT_THROW(s.Percentile(50), std::logic_error);
+  EXPECT_THROW(s.CdfAt(0), std::logic_error);
+}
+
+TEST(SamplesTest, SingleValue) {
+  Samples s({7.0});
+  EXPECT_EQ(s.Min(), 7.0);
+  EXPECT_EQ(s.Max(), 7.0);
+  EXPECT_EQ(s.Mean(), 7.0);
+  EXPECT_EQ(s.Median(), 7.0);
+  EXPECT_EQ(s.Percentile(0), 7.0);
+  EXPECT_EQ(s.Percentile(100), 7.0);
+  EXPECT_EQ(s.Stddev(), 0.0);
+}
+
+TEST(SamplesTest, BasicOrderStatistics) {
+  Samples s({5, 1, 4, 2, 3});
+  EXPECT_EQ(s.Count(), 5u);
+  EXPECT_EQ(s.Min(), 1);
+  EXPECT_EQ(s.Max(), 5);
+  EXPECT_EQ(s.Median(), 3);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+}
+
+TEST(SamplesTest, PercentileInterpolates) {
+  Samples s({0, 10});
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 2.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(90), 9.0);
+}
+
+TEST(SamplesTest, PercentileClampsArgument) {
+  Samples s({1, 2, 3});
+  EXPECT_EQ(s.Percentile(-10), 1);
+  EXPECT_EQ(s.Percentile(200), 3);
+}
+
+TEST(SamplesTest, AddInvalidatesSortCache) {
+  Samples s({2, 4});
+  EXPECT_EQ(s.Median(), 3);
+  s.Add(100);
+  EXPECT_EQ(s.Max(), 100);
+  EXPECT_EQ(s.Median(), 4);
+}
+
+TEST(SamplesTest, CdfAtCountsInclusive) {
+  Samples s({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(s.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.CdfAt(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.CdfAt(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(99.0), 1.0);
+}
+
+TEST(SamplesTest, StddevOfKnownSet) {
+  Samples s({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_NEAR(s.Stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(SamplesTest, ClearResets) {
+  Samples s({1, 2});
+  s.Clear();
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+}
+
+TEST(RenderCdfTest, ProducesMonotoneCurve) {
+  Samples s;
+  for (int i = 100; i >= 1; --i) s.Add(i);
+  const auto curve = RenderCdf(s, 11);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().percent, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().percent, 100.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].value, curve[i - 1].value);
+    EXPECT_GT(curve[i].percent, curve[i - 1].percent);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().value, 100.0);
+}
+
+TEST(RenderCdfTest, EmptyInputsGiveEmptyCurve) {
+  Samples s;
+  EXPECT_TRUE(RenderCdf(s, 10).empty());
+  Samples one({1.0});
+  EXPECT_TRUE(RenderCdf(one, 0).empty());
+}
+
+TEST(SummaryLineTest, ContainsKeyNumbers) {
+  Samples s({1, 2, 3, 4, 5});
+  const auto line = SummaryLine(s, "s");
+  EXPECT_NE(line.find("1.0s"), std::string::npos);
+  EXPECT_NE(line.find("3.0s"), std::string::npos);
+  EXPECT_NE(line.find("5.0s"), std::string::npos);
+}
+
+TEST(SummaryLineTest, HandlesEmpty) {
+  Samples s;
+  EXPECT_EQ(SummaryLine(s, "s"), "(no samples)");
+}
+
+}  // namespace
+}  // namespace cnv

@@ -1,0 +1,69 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "util/time.h"
+
+namespace cnv {
+namespace {
+
+TEST(StringsTest, JoinBasics) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split(",", ',').size(), 2u);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  const auto parts = Split("a,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringsTest, SplitJoinRoundTrip) {
+  const std::string s = "x|y||z";
+  EXPECT_EQ(Join(Split(s, '|'), "|"), s);
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(StringsTest, FormatWorksLikePrintf) {
+  EXPECT_EQ(Format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(Format("%.2f", 1.005), "1.00");  // printf rounding semantics
+}
+
+TEST(StringsTest, Padding) {
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("abcd", 2), "abcd");
+  EXPECT_EQ(PadRight("abcd", 2), "abcd");
+}
+
+TEST(TimeFormatTest, FormatClockMatchesPaperTraceFormat) {
+  EXPECT_EQ(FormatClock(0), "00:00:00.000");
+  EXPECT_EQ(FormatClock(Millis(1234)), "00:00:01.234");
+  EXPECT_EQ(FormatClock(kHour + Minutes(2) + Seconds(3) + Millis(45)),
+            "01:02:03.045");
+}
+
+TEST(TimeFormatTest, FormatDurationPicksUnit) {
+  EXPECT_EQ(FormatDuration(500), "500us");
+  EXPECT_EQ(FormatDuration(Millis(20)), "20ms");
+  EXPECT_EQ(FormatDuration(Millis(2400)), "2.40s");
+}
+
+TEST(TimeTest, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_EQ(FromSeconds(1.5), Millis(1500));
+  EXPECT_EQ(Seconds(1), 1000 * Millis(1));
+}
+
+}  // namespace
+}  // namespace cnv
