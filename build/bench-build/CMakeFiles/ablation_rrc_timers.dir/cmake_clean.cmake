@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rrc_timers"
+  "../bench/ablation_rrc_timers.pdb"
+  "CMakeFiles/ablation_rrc_timers.dir/ablation_rrc_timers.cc.o"
+  "CMakeFiles/ablation_rrc_timers.dir/ablation_rrc_timers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rrc_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_rrc_timers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_volte"
+  "../bench/ablation_volte.pdb"
+  "CMakeFiles/ablation_volte.dir/ablation_volte.cc.o"
+  "CMakeFiles/ablation_volte.dir/ablation_volte.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_volte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_modulation_trace"
+  "../bench/fig10_modulation_trace.pdb"
+  "CMakeFiles/fig10_modulation_trace.dir/fig10_modulation_trace.cc.o"
+  "CMakeFiles/fig10_modulation_trace.dir/fig10_modulation_trace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_modulation_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

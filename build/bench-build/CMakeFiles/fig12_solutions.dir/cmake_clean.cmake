@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_solutions"
+  "../bench/fig12_solutions.pdb"
+  "CMakeFiles/fig12_solutions.dir/fig12_solutions.cc.o"
+  "CMakeFiles/fig12_solutions.dir/fig12_solutions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_decoupling"
+  "../bench/fig13_decoupling.pdb"
+  "CMakeFiles/fig13_decoupling.dir/fig13_decoupling.cc.o"
+  "CMakeFiles/fig13_decoupling.dir/fig13_decoupling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_recovery_time"
+  "../bench/fig4_recovery_time.pdb"
+  "CMakeFiles/fig4_recovery_time.dir/fig4_recovery_time.cc.o"
+  "CMakeFiles/fig4_recovery_time.dir/fig4_recovery_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_recovery_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_signal_faults"
+  "../bench/fig5_signal_faults.pdb"
+  "CMakeFiles/fig5_signal_faults.dir/fig5_signal_faults.cc.o"
+  "CMakeFiles/fig5_signal_faults.dir/fig5_signal_faults.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_signal_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_rrc_states"
+  "../bench/fig6_rrc_states.pdb"
+  "CMakeFiles/fig6_rrc_states.dir/fig6_rrc_states.cc.o"
+  "CMakeFiles/fig6_rrc_states.dir/fig6_rrc_states.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rrc_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_drive_route"
+  "../bench/fig7_drive_route.pdb"
+  "CMakeFiles/fig7_drive_route.dir/fig7_drive_route.cc.o"
+  "CMakeFiles/fig7_drive_route.dir/fig7_drive_route.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_drive_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_update_cdf"
+  "../bench/fig8_update_cdf.pdb"
+  "CMakeFiles/fig8_update_cdf.dir/fig8_update_cdf.cc.o"
+  "CMakeFiles/fig8_update_cdf.dir/fig8_update_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_update_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

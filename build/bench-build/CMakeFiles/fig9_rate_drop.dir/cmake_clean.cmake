@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_rate_drop"
+  "../bench/fig9_rate_drop.pdb"
+  "CMakeFiles/fig9_rate_drop.dir/fig9_rate_drop.cc.o"
+  "CMakeFiles/fig9_rate_drop.dir/fig9_rate_drop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_rate_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/screening_sampling"
+  "../bench/screening_sampling.pdb"
+  "CMakeFiles/screening_sampling.dir/screening_sampling.cc.o"
+  "CMakeFiles/screening_sampling.dir/screening_sampling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screening_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

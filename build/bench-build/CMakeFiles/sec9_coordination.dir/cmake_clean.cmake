@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec9_coordination"
+  "../bench/sec9_coordination.pdb"
+  "CMakeFiles/sec9_coordination.dir/sec9_coordination.cc.o"
+  "CMakeFiles/sec9_coordination.dir/sec9_coordination.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec9_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sensitivity_deact_rate"
+  "../bench/sensitivity_deact_rate.pdb"
+  "CMakeFiles/sensitivity_deact_rate.dir/sensitivity_deact_rate.cc.o"
+  "CMakeFiles/sensitivity_deact_rate.dir/sensitivity_deact_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_deact_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_findings"
+  "../bench/table1_findings.pdb"
+  "CMakeFiles/table1_findings.dir/table1_findings.cc.o"
+  "CMakeFiles/table1_findings.dir/table1_findings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

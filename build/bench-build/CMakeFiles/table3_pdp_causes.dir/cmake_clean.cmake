@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_pdp_causes"
+  "../bench/table3_pdp_causes.pdb"
+  "CMakeFiles/table3_pdp_causes.dir/table3_pdp_causes.cc.o"
+  "CMakeFiles/table3_pdp_causes.dir/table3_pdp_causes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pdp_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

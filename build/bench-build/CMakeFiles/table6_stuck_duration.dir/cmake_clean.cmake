@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_stuck_duration"
+  "../bench/table6_stuck_duration.pdb"
+  "CMakeFiles/table6_stuck_duration.dir/table6_stuck_duration.cc.o"
+  "CMakeFiles/table6_stuck_duration.dir/table6_stuck_duration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_stuck_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/csfb_call_flow"
+  "../examples/csfb_call_flow.pdb"
+  "CMakeFiles/csfb_call_flow.dir/csfb_call_flow.cpp.o"
+  "CMakeFiles/csfb_call_flow.dir/csfb_call_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csfb_call_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for csfb_call_flow.
+# This may be replaced when dependencies are built.

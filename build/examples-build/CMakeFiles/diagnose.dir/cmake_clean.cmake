@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/diagnose"
+  "../examples/diagnose.pdb"
+  "CMakeFiles/diagnose.dir/diagnose.cpp.o"
+  "CMakeFiles/diagnose.dir/diagnose.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

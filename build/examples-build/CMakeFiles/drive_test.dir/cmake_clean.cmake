@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/drive_test"
+  "../examples/drive_test.pdb"
+  "CMakeFiles/drive_test.dir/drive_test.cpp.o"
+  "CMakeFiles/drive_test.dir/drive_test.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_core.dir/findings.cc.o"
+  "CMakeFiles/cnv_core.dir/findings.cc.o.d"
+  "CMakeFiles/cnv_core.dir/report.cc.o"
+  "CMakeFiles/cnv_core.dir/report.cc.o.d"
+  "CMakeFiles/cnv_core.dir/screening.cc.o"
+  "CMakeFiles/cnv_core.dir/screening.cc.o.d"
+  "CMakeFiles/cnv_core.dir/user_study.cc.o"
+  "CMakeFiles/cnv_core.dir/user_study.cc.o.d"
+  "CMakeFiles/cnv_core.dir/validation.cc.o"
+  "CMakeFiles/cnv_core.dir/validation.cc.o.d"
+  "libcnv_core.a"
+  "libcnv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_mck.dir/toy_models.cc.o"
+  "CMakeFiles/cnv_mck.dir/toy_models.cc.o.d"
+  "libcnv_mck.a"
+  "libcnv_mck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_mck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

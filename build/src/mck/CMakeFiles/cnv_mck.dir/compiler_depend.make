@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cnv_mck.
+# This may be replaced when dependencies are built.

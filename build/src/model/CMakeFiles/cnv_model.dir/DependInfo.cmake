@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/s1_model.cc" "src/model/CMakeFiles/cnv_model.dir/s1_model.cc.o" "gcc" "src/model/CMakeFiles/cnv_model.dir/s1_model.cc.o.d"
+  "/root/repo/src/model/s2_model.cc" "src/model/CMakeFiles/cnv_model.dir/s2_model.cc.o" "gcc" "src/model/CMakeFiles/cnv_model.dir/s2_model.cc.o.d"
+  "/root/repo/src/model/s3_model.cc" "src/model/CMakeFiles/cnv_model.dir/s3_model.cc.o" "gcc" "src/model/CMakeFiles/cnv_model.dir/s3_model.cc.o.d"
+  "/root/repo/src/model/s4_model.cc" "src/model/CMakeFiles/cnv_model.dir/s4_model.cc.o" "gcc" "src/model/CMakeFiles/cnv_model.dir/s4_model.cc.o.d"
+  "/root/repo/src/model/vocab.cc" "src/model/CMakeFiles/cnv_model.dir/vocab.cc.o" "gcc" "src/model/CMakeFiles/cnv_model.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mck/CMakeFiles/cnv_mck.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/cnv_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cnv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

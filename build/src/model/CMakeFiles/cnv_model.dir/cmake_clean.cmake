@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_model.dir/s1_model.cc.o"
+  "CMakeFiles/cnv_model.dir/s1_model.cc.o.d"
+  "CMakeFiles/cnv_model.dir/s2_model.cc.o"
+  "CMakeFiles/cnv_model.dir/s2_model.cc.o.d"
+  "CMakeFiles/cnv_model.dir/s3_model.cc.o"
+  "CMakeFiles/cnv_model.dir/s3_model.cc.o.d"
+  "CMakeFiles/cnv_model.dir/s4_model.cc.o"
+  "CMakeFiles/cnv_model.dir/s4_model.cc.o.d"
+  "CMakeFiles/cnv_model.dir/vocab.cc.o"
+  "CMakeFiles/cnv_model.dir/vocab.cc.o.d"
+  "libcnv_model.a"
+  "libcnv_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/causes.cc" "src/nas/CMakeFiles/cnv_nas.dir/causes.cc.o" "gcc" "src/nas/CMakeFiles/cnv_nas.dir/causes.cc.o.d"
+  "/root/repo/src/nas/context.cc" "src/nas/CMakeFiles/cnv_nas.dir/context.cc.o" "gcc" "src/nas/CMakeFiles/cnv_nas.dir/context.cc.o.d"
+  "/root/repo/src/nas/ids.cc" "src/nas/CMakeFiles/cnv_nas.dir/ids.cc.o" "gcc" "src/nas/CMakeFiles/cnv_nas.dir/ids.cc.o.d"
+  "/root/repo/src/nas/messages.cc" "src/nas/CMakeFiles/cnv_nas.dir/messages.cc.o" "gcc" "src/nas/CMakeFiles/cnv_nas.dir/messages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cnv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mck/CMakeFiles/cnv_mck.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_nas.dir/causes.cc.o"
+  "CMakeFiles/cnv_nas.dir/causes.cc.o.d"
+  "CMakeFiles/cnv_nas.dir/context.cc.o"
+  "CMakeFiles/cnv_nas.dir/context.cc.o.d"
+  "CMakeFiles/cnv_nas.dir/ids.cc.o"
+  "CMakeFiles/cnv_nas.dir/ids.cc.o.d"
+  "CMakeFiles/cnv_nas.dir/messages.cc.o"
+  "CMakeFiles/cnv_nas.dir/messages.cc.o.d"
+  "libcnv_nas.a"
+  "libcnv_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cell.cc" "src/sim/CMakeFiles/cnv_sim.dir/cell.cc.o" "gcc" "src/sim/CMakeFiles/cnv_sim.dir/cell.cc.o.d"
+  "/root/repo/src/sim/channel.cc" "src/sim/CMakeFiles/cnv_sim.dir/channel.cc.o" "gcc" "src/sim/CMakeFiles/cnv_sim.dir/channel.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/sim/CMakeFiles/cnv_sim.dir/link.cc.o" "gcc" "src/sim/CMakeFiles/cnv_sim.dir/link.cc.o.d"
+  "/root/repo/src/sim/radio.cc" "src/sim/CMakeFiles/cnv_sim.dir/radio.cc.o" "gcc" "src/sim/CMakeFiles/cnv_sim.dir/radio.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/cnv_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/cnv_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cnv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/cnv_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/mck/CMakeFiles/cnv_mck.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

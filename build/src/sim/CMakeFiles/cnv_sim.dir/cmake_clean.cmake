@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_sim.dir/cell.cc.o"
+  "CMakeFiles/cnv_sim.dir/cell.cc.o.d"
+  "CMakeFiles/cnv_sim.dir/channel.cc.o"
+  "CMakeFiles/cnv_sim.dir/channel.cc.o.d"
+  "CMakeFiles/cnv_sim.dir/link.cc.o"
+  "CMakeFiles/cnv_sim.dir/link.cc.o.d"
+  "CMakeFiles/cnv_sim.dir/radio.cc.o"
+  "CMakeFiles/cnv_sim.dir/radio.cc.o.d"
+  "CMakeFiles/cnv_sim.dir/simulator.cc.o"
+  "CMakeFiles/cnv_sim.dir/simulator.cc.o.d"
+  "libcnv_sim.a"
+  "libcnv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

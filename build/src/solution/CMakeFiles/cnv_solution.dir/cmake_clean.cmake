@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_solution.dir/shim.cc.o"
+  "CMakeFiles/cnv_solution.dir/shim.cc.o.d"
+  "libcnv_solution.a"
+  "libcnv_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

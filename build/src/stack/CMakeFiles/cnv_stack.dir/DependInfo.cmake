@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/carrier.cc" "src/stack/CMakeFiles/cnv_stack.dir/carrier.cc.o" "gcc" "src/stack/CMakeFiles/cnv_stack.dir/carrier.cc.o.d"
+  "/root/repo/src/stack/hss.cc" "src/stack/CMakeFiles/cnv_stack.dir/hss.cc.o" "gcc" "src/stack/CMakeFiles/cnv_stack.dir/hss.cc.o.d"
+  "/root/repo/src/stack/network.cc" "src/stack/CMakeFiles/cnv_stack.dir/network.cc.o" "gcc" "src/stack/CMakeFiles/cnv_stack.dir/network.cc.o.d"
+  "/root/repo/src/stack/scenarios.cc" "src/stack/CMakeFiles/cnv_stack.dir/scenarios.cc.o" "gcc" "src/stack/CMakeFiles/cnv_stack.dir/scenarios.cc.o.d"
+  "/root/repo/src/stack/speedtest.cc" "src/stack/CMakeFiles/cnv_stack.dir/speedtest.cc.o" "gcc" "src/stack/CMakeFiles/cnv_stack.dir/speedtest.cc.o.d"
+  "/root/repo/src/stack/testbed.cc" "src/stack/CMakeFiles/cnv_stack.dir/testbed.cc.o" "gcc" "src/stack/CMakeFiles/cnv_stack.dir/testbed.cc.o.d"
+  "/root/repo/src/stack/ue.cc" "src/stack/CMakeFiles/cnv_stack.dir/ue.cc.o" "gcc" "src/stack/CMakeFiles/cnv_stack.dir/ue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cnv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/cnv_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cnv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cnv_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/solution/CMakeFiles/cnv_solution.dir/DependInfo.cmake"
+  "/root/repo/build/src/mck/CMakeFiles/cnv_mck.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_stack.dir/carrier.cc.o"
+  "CMakeFiles/cnv_stack.dir/carrier.cc.o.d"
+  "CMakeFiles/cnv_stack.dir/hss.cc.o"
+  "CMakeFiles/cnv_stack.dir/hss.cc.o.d"
+  "CMakeFiles/cnv_stack.dir/network.cc.o"
+  "CMakeFiles/cnv_stack.dir/network.cc.o.d"
+  "CMakeFiles/cnv_stack.dir/scenarios.cc.o"
+  "CMakeFiles/cnv_stack.dir/scenarios.cc.o.d"
+  "CMakeFiles/cnv_stack.dir/speedtest.cc.o"
+  "CMakeFiles/cnv_stack.dir/speedtest.cc.o.d"
+  "CMakeFiles/cnv_stack.dir/testbed.cc.o"
+  "CMakeFiles/cnv_stack.dir/testbed.cc.o.d"
+  "CMakeFiles/cnv_stack.dir/ue.cc.o"
+  "CMakeFiles/cnv_stack.dir/ue.cc.o.d"
+  "libcnv_stack.a"
+  "libcnv_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

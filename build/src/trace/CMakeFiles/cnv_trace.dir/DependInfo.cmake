@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyze.cc" "src/trace/CMakeFiles/cnv_trace.dir/analyze.cc.o" "gcc" "src/trace/CMakeFiles/cnv_trace.dir/analyze.cc.o.d"
+  "/root/repo/src/trace/collector.cc" "src/trace/CMakeFiles/cnv_trace.dir/collector.cc.o" "gcc" "src/trace/CMakeFiles/cnv_trace.dir/collector.cc.o.d"
+  "/root/repo/src/trace/matcher.cc" "src/trace/CMakeFiles/cnv_trace.dir/matcher.cc.o" "gcc" "src/trace/CMakeFiles/cnv_trace.dir/matcher.cc.o.d"
+  "/root/repo/src/trace/qxdm.cc" "src/trace/CMakeFiles/cnv_trace.dir/qxdm.cc.o" "gcc" "src/trace/CMakeFiles/cnv_trace.dir/qxdm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cnv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/cnv_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mck/CMakeFiles/cnv_mck.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_trace.dir/analyze.cc.o"
+  "CMakeFiles/cnv_trace.dir/analyze.cc.o.d"
+  "CMakeFiles/cnv_trace.dir/collector.cc.o"
+  "CMakeFiles/cnv_trace.dir/collector.cc.o.d"
+  "CMakeFiles/cnv_trace.dir/matcher.cc.o"
+  "CMakeFiles/cnv_trace.dir/matcher.cc.o.d"
+  "CMakeFiles/cnv_trace.dir/qxdm.cc.o"
+  "CMakeFiles/cnv_trace.dir/qxdm.cc.o.d"
+  "libcnv_trace.a"
+  "libcnv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_util.dir/log.cc.o"
+  "CMakeFiles/cnv_util.dir/log.cc.o.d"
+  "CMakeFiles/cnv_util.dir/rng.cc.o"
+  "CMakeFiles/cnv_util.dir/rng.cc.o.d"
+  "CMakeFiles/cnv_util.dir/stats.cc.o"
+  "CMakeFiles/cnv_util.dir/stats.cc.o.d"
+  "CMakeFiles/cnv_util.dir/strings.cc.o"
+  "CMakeFiles/cnv_util.dir/strings.cc.o.d"
+  "libcnv_util.a"
+  "libcnv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

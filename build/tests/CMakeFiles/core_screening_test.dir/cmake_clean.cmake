@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_screening_test.dir/core_screening_test.cc.o"
+  "CMakeFiles/core_screening_test.dir/core_screening_test.cc.o.d"
+  "core_screening_test"
+  "core_screening_test.pdb"
+  "core_screening_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_screening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

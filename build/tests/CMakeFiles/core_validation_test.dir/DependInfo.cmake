@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_validation_test.cc" "tests/CMakeFiles/core_validation_test.dir/core_validation_test.cc.o" "gcc" "tests/CMakeFiles/core_validation_test.dir/core_validation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cnv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/cnv_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cnv_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/solution/CMakeFiles/cnv_solution.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cnv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/cnv_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/mck/CMakeFiles/cnv_mck.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cnv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

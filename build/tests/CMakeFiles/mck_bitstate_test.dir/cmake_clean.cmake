@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_bitstate_test.dir/mck_bitstate_test.cc.o"
+  "CMakeFiles/mck_bitstate_test.dir/mck_bitstate_test.cc.o.d"
+  "mck_bitstate_test"
+  "mck_bitstate_test.pdb"
+  "mck_bitstate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_bitstate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

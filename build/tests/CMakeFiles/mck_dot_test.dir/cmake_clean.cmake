@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_dot_test.dir/mck_dot_test.cc.o"
+  "CMakeFiles/mck_dot_test.dir/mck_dot_test.cc.o.d"
+  "mck_dot_test"
+  "mck_dot_test.pdb"
+  "mck_dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_explorer_test.dir/mck_explorer_test.cc.o"
+  "CMakeFiles/mck_explorer_test.dir/mck_explorer_test.cc.o.d"
+  "mck_explorer_test"
+  "mck_explorer_test.pdb"
+  "mck_explorer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_explorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_random_walk_test.dir/mck_random_walk_test.cc.o"
+  "CMakeFiles/mck_random_walk_test.dir/mck_random_walk_test.cc.o.d"
+  "mck_random_walk_test"
+  "mck_random_walk_test.pdb"
+  "mck_random_walk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_random_walk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

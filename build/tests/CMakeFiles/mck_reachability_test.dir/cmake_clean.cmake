@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_reachability_test.dir/mck_reachability_test.cc.o"
+  "CMakeFiles/mck_reachability_test.dir/mck_reachability_test.cc.o.d"
+  "mck_reachability_test"
+  "mck_reachability_test.pdb"
+  "mck_reachability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_reachability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_s2_test.dir/model_s2_test.cc.o"
+  "CMakeFiles/model_s2_test.dir/model_s2_test.cc.o.d"
+  "model_s2_test"
+  "model_s2_test.pdb"
+  "model_s2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_s2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_models_test.dir/prop_models_test.cc.o"
+  "CMakeFiles/prop_models_test.dir/prop_models_test.cc.o.d"
+  "prop_models_test"
+  "prop_models_test.pdb"
+  "prop_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

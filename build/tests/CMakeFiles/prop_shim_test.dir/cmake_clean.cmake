@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_shim_test.dir/prop_shim_test.cc.o"
+  "CMakeFiles/prop_shim_test.dir/prop_shim_test.cc.o.d"
+  "prop_shim_test"
+  "prop_shim_test.pdb"
+  "prop_shim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_shim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_sim_test.dir/prop_sim_test.cc.o"
+  "CMakeFiles/prop_sim_test.dir/prop_sim_test.cc.o.d"
+  "prop_sim_test"
+  "prop_sim_test.pdb"
+  "prop_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_stack_test.dir/prop_stack_test.cc.o"
+  "CMakeFiles/prop_stack_test.dir/prop_stack_test.cc.o.d"
+  "prop_stack_test"
+  "prop_stack_test.pdb"
+  "prop_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

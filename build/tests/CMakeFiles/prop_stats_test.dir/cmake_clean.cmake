@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_stats_test.dir/prop_stats_test.cc.o"
+  "CMakeFiles/prop_stats_test.dir/prop_stats_test.cc.o.d"
+  "prop_stats_test"
+  "prop_stats_test.pdb"
+  "prop_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_cell_test.dir/sim_cell_test.cc.o"
+  "CMakeFiles/sim_cell_test.dir/sim_cell_test.cc.o.d"
+  "sim_cell_test"
+  "sim_cell_test.pdb"
+  "sim_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

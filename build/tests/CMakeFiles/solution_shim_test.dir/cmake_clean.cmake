@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solution_shim_test.dir/solution_shim_test.cc.o"
+  "CMakeFiles/solution_shim_test.dir/solution_shim_test.cc.o.d"
+  "solution_shim_test"
+  "solution_shim_test.pdb"
+  "solution_shim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solution_shim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

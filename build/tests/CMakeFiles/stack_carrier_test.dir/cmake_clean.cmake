@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_carrier_test.dir/stack_carrier_test.cc.o"
+  "CMakeFiles/stack_carrier_test.dir/stack_carrier_test.cc.o.d"
+  "stack_carrier_test"
+  "stack_carrier_test.pdb"
+  "stack_carrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_carrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_hss_test.dir/stack_hss_test.cc.o"
+  "CMakeFiles/stack_hss_test.dir/stack_hss_test.cc.o.d"
+  "stack_hss_test"
+  "stack_hss_test.pdb"
+  "stack_hss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_hss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_network_test.dir/stack_network_test.cc.o"
+  "CMakeFiles/stack_network_test.dir/stack_network_test.cc.o.d"
+  "stack_network_test"
+  "stack_network_test.pdb"
+  "stack_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_s1_s2_test.dir/stack_s1_s2_test.cc.o"
+  "CMakeFiles/stack_s1_s2_test.dir/stack_s1_s2_test.cc.o.d"
+  "stack_s1_s2_test"
+  "stack_s1_s2_test.pdb"
+  "stack_s1_s2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_s1_s2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for stack_s1_s2_test.
+# This may be replaced when dependencies are built.

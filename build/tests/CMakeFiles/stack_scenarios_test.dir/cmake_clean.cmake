@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_scenarios_test.dir/stack_scenarios_test.cc.o"
+  "CMakeFiles/stack_scenarios_test.dir/stack_scenarios_test.cc.o.d"
+  "stack_scenarios_test"
+  "stack_scenarios_test.pdb"
+  "stack_scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_speedtest_test.dir/stack_speedtest_test.cc.o"
+  "CMakeFiles/stack_speedtest_test.dir/stack_speedtest_test.cc.o.d"
+  "stack_speedtest_test"
+  "stack_speedtest_test.pdb"
+  "stack_speedtest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_speedtest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
