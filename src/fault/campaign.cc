@@ -1,0 +1,99 @@
+#include "fault/campaign.h"
+
+#include "trace/qxdm.h"
+#include "util/strings.h"
+
+namespace cnv::fault {
+
+void CampaignRunner::ScheduleWorkload(stack::Testbed& tb) {
+  auto& sim = tb.sim();
+  auto& ue = tb.ue();
+  sim.ScheduleAt(0, [&ue] {
+    ue.PowerOn(nas::System::k4G);
+    ue.EnablePeriodicUpdates(Seconds(300));
+  });
+  sim.ScheduleAt(Seconds(30), [&ue] { ue.StartDataSession(0.2); });
+  sim.ScheduleAt(Seconds(120), [&ue] { ue.Dial(); });
+  sim.ScheduleAt(Seconds(180), [&ue] { ue.HangUp(); });
+  sim.ScheduleAt(Seconds(240), [&ue] { ue.CrossAreaBoundary(); });
+  sim.ScheduleAt(Seconds(250), [&ue] { ue.Dial(); });
+  sim.ScheduleAt(Seconds(310), [&ue] { ue.HangUp(); });
+  sim.ScheduleAt(Seconds(400), [&ue] { ue.CrossAreaBoundary(); });
+  sim.ScheduleAt(Seconds(420), [&ue] { ue.Dial(); });
+  sim.ScheduleAt(Seconds(480), [&ue] { ue.HangUp(); });
+}
+
+RunOutcome CampaignRunner::RunOne(
+    std::uint64_t seed, const FaultPlan& plan,
+    const stack::CarrierProfile& profile) const {
+  stack::TestbedConfig cfg;
+  cfg.profile = profile;
+  cfg.solutions = config_.solutions;
+  cfg.robustness = config_.robustness;
+  cfg.seed = seed;
+  stack::Testbed tb(cfg);
+
+  FaultInjector injector(tb);
+  injector.Apply(plan);
+  RecoveryMonitor monitor(tb, config_.slo);
+  monitor.Start();
+  ScheduleWorkload(tb);
+  tb.Run(config_.duration);
+
+  RunOutcome out;
+  out.seed = seed;
+  out.plan = plan.name;
+  out.profile = profile.name;
+  out.report = monitor.Finalize();
+  out.faults_injected = injector.injected();
+  if (keep_traces_) out.trace_log = trace::FormatLog(tb.traces().records());
+  return out;
+}
+
+CampaignResult CampaignRunner::Run() const {
+  CampaignResult result;
+  std::vector<stack::CarrierProfile> profiles = config_.profiles;
+  if (profiles.empty()) profiles.push_back(stack::OpI());
+  for (const auto& profile : profiles) {
+    for (const auto& plan : config_.plans) {
+      for (const std::uint64_t seed : config_.seeds) {
+        RunOutcome run = RunOne(seed, plan, profile);
+        if (run.report.all_within_slo()) ++result.runs_within_slo;
+        if (!run.report.findings.empty()) ++result.runs_with_findings;
+        result.runs.push_back(std::move(run));
+      }
+    }
+  }
+  return result;
+}
+
+std::string CampaignResult::Summary() const {
+  std::string out = Format(
+      "%zu run(s): %zu within SLO, %zu with findings\n", runs.size(),
+      runs_within_slo, runs_with_findings);
+  for (const auto& r : runs) {
+    out += Format("  seed=%llu plan=%s profile=%s faults=%zu -> %s",
+                  static_cast<unsigned long long>(r.seed), r.plan.c_str(),
+                  r.profile.c_str(), r.faults_injected,
+                  r.report.all_within_slo() ? "OK" : "SLO-VIOLATION");
+    if (!r.report.findings.empty()) {
+      out += " [";
+      for (std::size_t i = 0; i < r.report.findings.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += r.report.findings[i].id;
+      }
+      out += ']';
+    }
+    out += '\n';
+    for (const auto& p : r.report.properties) {
+      if (p.within_slo() && p.outages == 0) continue;
+      out += Format("    %-16s outages=%d longest=%.1fs total=%.1fs %s\n",
+                    p.name.c_str(), p.outages, ToSeconds(p.longest_outage),
+                    ToSeconds(p.total_outage),
+                    p.within_slo() ? "recovered-within-SLO" : "VIOLATION");
+    }
+  }
+  return out;
+}
+
+}  // namespace cnv::fault

@@ -1,0 +1,72 @@
+// Sweeps seeds x fault plans x carrier profiles, running each combination
+// through a fresh Testbed with the standard workload, a FaultInjector and
+// a RecoveryMonitor. Every run is fully deterministic: the same (seed,
+// plan, profile) triple produces an identical trace, report and findings.
+//
+// The standard workload (all times from t=0):
+//   0 s     power on in 4G, periodic updates every 300 s
+//   30 s    data session starts (0.2 Mbps demand)
+//   120 s   dial (CSFB when in 4G), hang up at 180 s
+//   240 s   area crossing; dial at 250 s, hang up at 310 s
+//   400 s   area crossing; dial at 420 s, hang up at 480 s
+// Canned fault plans reference these times (see plan.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/injector.h"
+#include "fault/monitor.h"
+#include "fault/plan.h"
+#include "stack/testbed.h"
+
+namespace cnv::fault {
+
+struct CampaignConfig {
+  std::vector<std::uint64_t> seeds = {1, 2, 3};
+  std::vector<FaultPlan> plans = plans::Findings();
+  std::vector<stack::CarrierProfile> profiles;  // empty -> {OpI()}
+  stack::SolutionConfig solutions;
+  stack::RobustnessConfig robustness;
+  SloBounds slo;
+  SimDuration duration = Seconds(600);
+};
+
+struct RunOutcome {
+  std::uint64_t seed = 0;
+  std::string plan;
+  std::string profile;
+  MonitorReport report;
+  std::size_t faults_injected = 0;
+  // The QXDM-formatted trace of the run; kept only when
+  // CampaignConfig-independent callers ask for it via keep_traces.
+  std::string trace_log;
+};
+
+struct CampaignResult {
+  std::vector<RunOutcome> runs;
+  std::size_t runs_within_slo = 0;
+  std::size_t runs_with_findings = 0;
+  std::string Summary() const;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignConfig config, bool keep_traces = false)
+      : config_(std::move(config)), keep_traces_(keep_traces) {}
+
+  CampaignResult Run() const;
+
+  // One deterministic run; exposed for tests and the determinism checks.
+  RunOutcome RunOne(std::uint64_t seed, const FaultPlan& plan,
+                    const stack::CarrierProfile& profile) const;
+
+ private:
+  static void ScheduleWorkload(stack::Testbed& tb);
+
+  CampaignConfig config_;
+  bool keep_traces_;
+};
+
+}  // namespace cnv::fault

@@ -1,0 +1,204 @@
+#include "fault/monitor.h"
+
+#include "util/strings.h"
+
+namespace cnv::fault {
+
+namespace {
+// Hour used for the time-of-day load factor in throughput sampling; noon
+// keeps the factor deterministic and non-degenerate.
+constexpr int kSampleHour = 12;
+// A CSFB device stranded in 3G longer than this counts as the S3 defect.
+constexpr double kStuckIn3gThresholdS = 10.0;
+}  // namespace
+
+RecoveryMonitor::RecoveryMonitor(stack::Testbed& tb, SloBounds slo,
+                                 SimDuration period)
+    : tb_(tb), slo_(slo), period_(period) {
+  mm_.name = "MM_OK";
+  mm_.slo = slo_.mm_recovery;
+  ps_.name = "PacketService_OK";
+  ps_.slo = slo_.ps_recovery;
+  cs_.name = "CallService_OK";
+  cs_.slo = slo_.cs_recovery;
+}
+
+bool RecoveryMonitor::MmOk() const {
+  const auto& ue = tb_.ue();
+  switch (ue.serving()) {
+    case nas::System::k4G:
+      return ue.emm_state() == stack::UeDevice::EmmState::kRegistered ||
+             ue.emm_state() == stack::UeDevice::EmmState::kWaitTauAccept;
+    case nas::System::k3G:
+      return tb_.msc().registered();
+    default:
+      return false;
+  }
+}
+
+bool RecoveryMonitor::PsOk() const {
+  auto& tb = tb_;
+  const auto& ue = tb.ue();
+  bool path_ok = false;
+  switch (ue.serving()) {
+    case nas::System::k4G:
+      path_ok = (ue.emm_state() == stack::UeDevice::EmmState::kRegistered ||
+                 ue.emm_state() == stack::UeDevice::EmmState::kWaitTauAccept) &&
+                tb.mme().available();
+      break;
+    case nas::System::k3G:
+      path_ok = tb.sgsn().available() && tb.sgsn().registered();
+      break;
+    default:
+      return false;
+  }
+  if (!path_ok) return false;
+  // With a data session up, "the path exists" is not enough: the user sees
+  // throughput, so sample it.
+  if (ue.data_session_active()) {
+    return ue.CurrentPsRateMbps(sim::Direction::kDownlink, kSampleHour) > 0.0;
+  }
+  return true;
+}
+
+bool RecoveryMonitor::CsOk() const {
+  auto& tb = tb_;
+  if (!MmOk()) return false;
+  // VoLTE carriers serve calls in 4G without the MSC; everyone else anchors
+  // call service on it (directly in 3G, via CSFB from 4G).
+  if (tb.profile().volte_enabled &&
+      tb.ue().serving() == nas::System::k4G) {
+    return true;
+  }
+  return tb.msc().available();
+}
+
+void RecoveryMonitor::Observe(Tracker& t, bool ok_now) {
+  if (!t.established) {
+    if (ok_now) {
+      t.established = true;
+      t.ok = true;
+      tb_.traces().Recovery(nas::System::kNone, "MONITOR",
+                            t.name + " established");
+    }
+    return;
+  }
+  if (t.ok && !ok_now) {
+    t.ok = false;
+    t.outage_started = tb_.sim().now();
+    ++t.outages;
+    tb_.traces().Recovery(nas::System::kNone, "MONITOR",
+                          t.name + " outage begins");
+  } else if (!t.ok && ok_now) {
+    t.ok = true;
+    const SimDuration d = tb_.sim().now() - t.outage_started;
+    t.total_outage += d;
+    t.longest_outage = std::max(t.longest_outage, d);
+    tb_.traces().Recovery(
+        nas::System::kNone, "MONITOR",
+        Format("%s recovered after %.1f s", t.name.c_str(), ToSeconds(d)));
+  }
+}
+
+void RecoveryMonitor::Sample() {
+  if (!running_) return;
+  Observe(mm_, MmOk());
+  Observe(ps_, PsOk());
+  Observe(cs_, CsOk());
+  tb_.sim().ScheduleIn(period_, [this] { Sample(); });
+}
+
+void RecoveryMonitor::Start() {
+  if (running_) return;
+  running_ = true;
+  tb_.sim().ScheduleIn(period_, [this] { Sample(); });
+}
+
+MonitorReport RecoveryMonitor::Finalize() {
+  running_ = false;
+  MonitorReport report;
+  for (Tracker* t : {&mm_, &ps_, &cs_}) {
+    // Close an open outage window at the current time.
+    if (t->established && !t->ok) {
+      const SimDuration d = tb_.sim().now() - t->outage_started;
+      t->total_outage += d;
+      t->longest_outage = std::max(t->longest_outage, d);
+    }
+    PropertyReport p;
+    p.name = t->name;
+    p.established = t->established;
+    p.ok_at_end = t->established && t->ok;
+    p.outages = t->outages;
+    p.total_outage = t->total_outage;
+    p.longest_outage = t->longest_outage;
+    p.slo = t->slo;
+    if (!t->established) {
+      // Never came up: the whole run is one outage.
+      p.outages = 1;
+      p.total_outage = tb_.sim().now();
+      p.longest_outage = tb_.sim().now();
+    }
+    report.properties.push_back(std::move(p));
+  }
+  report.findings = ProbeFindings(tb_);
+  return report;
+}
+
+std::vector<Finding> RecoveryMonitor::ProbeFindings(stack::Testbed& tb) {
+  std::vector<Finding> out;
+  const auto& ue = tb.ue();
+  if (ue.detaches_no_eps_bearer() > 0) {
+    out.push_back(
+        {"S1", Format("%llu detach(es) for missing EPS bearer context",
+                      static_cast<unsigned long long>(
+                          ue.detaches_no_eps_bearer()))});
+  }
+  if (tb.mme().stale_attach_detaches() > 0) {
+    out.push_back(
+        {"S2", Format("%llu detach(es) from stale/duplicated attach "
+                      "signaling at the MME",
+                      static_cast<unsigned long long>(
+                          tb.mme().stale_attach_detaches()))});
+  }
+  // Completed stuck periods are sampled on the return to 4G; a device still
+  // pinned in 3G when the run ends never gets to record one.
+  const bool stranded_now = ue.serving() == nas::System::k3G &&
+                            ue.awaiting_cell_reselection();
+  if (!ue.stuck_in_3g_seconds().Empty() &&
+      ue.stuck_in_3g_seconds().Max() > kStuckIn3gThresholdS) {
+    out.push_back({"S3", Format("stranded in 3G for up to %.1f s after a "
+                                "CSFB call",
+                                ue.stuck_in_3g_seconds().Max())});
+  } else if (stranded_now) {
+    out.push_back({"S3", "still stranded in 3G awaiting cell reselection "
+                         "at end of run"});
+  }
+  if (ue.deferred_call_requests() > 0) {
+    out.push_back(
+        {"S4", Format("%llu call request(s) head-of-line blocked behind a "
+                      "location update",
+                      static_cast<unsigned long long>(
+                          ue.deferred_call_requests()))});
+  }
+  if (ue.calls_with_data() > 0) {
+    out.push_back(
+        {"S5", Format("%llu call(s) overlapped a data session on the "
+                      "shared 3G channel (PS rate degraded)",
+                      static_cast<unsigned long long>(ue.calls_with_data()))});
+  }
+  if (tb.mme().sgs_update_failures() > 0) {
+    out.push_back(
+        {"S6", Format("3G location-update failure reached the 4G core "
+                      "(%llu SGs failure(s): %llu detach(es), %llu core-side "
+                      "recover(ies))",
+                      static_cast<unsigned long long>(
+                          tb.mme().sgs_update_failures()),
+                      static_cast<unsigned long long>(
+                          ue.detaches_msc_unreachable()),
+                      static_cast<unsigned long long>(
+                          tb.mme().lu_recoveries()))});
+  }
+  return out;
+}
+
+}  // namespace cnv::fault

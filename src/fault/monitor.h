@@ -1,0 +1,109 @@
+// Watches a Testbed during a fault campaign and reports, per user-visible
+// property, the outage and recovery times against configurable SLO bounds.
+// The three properties are the ones the paper's user study cares about:
+//
+//   MM_OK            the device is registered with its serving system
+//   PacketService_OK the packet-service path works end to end (and, when a
+//                    data session is up, delivers non-zero throughput)
+//   CallService_OK   the device could get call service right now
+//
+// Sampling is periodic on the testbed's simulator, so a monitored run is
+// exactly as deterministic as the run itself. Property transitions emit
+// RECOV trace records; finding probes translate the testbed's defect
+// counters into the paper's S1-S6 findings after the run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stack/testbed.h"
+
+namespace cnv::fault {
+
+struct SloBounds {
+  // Longest tolerated single outage per property.
+  SimDuration mm_recovery = Seconds(120);
+  SimDuration ps_recovery = Seconds(120);
+  SimDuration cs_recovery = Seconds(120);
+};
+
+struct PropertyReport {
+  std::string name;
+  bool established = false;  // the property was OK at least once
+  bool ok_at_end = false;
+  int outages = 0;
+  SimDuration total_outage = 0;
+  SimDuration longest_outage = 0;
+  SimDuration slo = 0;
+  // Recovered from every outage and never exceeded the SLO bound. A
+  // property that never came up fails by definition.
+  bool within_slo() const {
+    return established && ok_at_end && longest_outage <= slo;
+  }
+};
+
+// A structured finding: a known protocol-interaction defect the run
+// reproduced, attributed via the testbed's defect counters.
+struct Finding {
+  std::string id;      // "S1" .. "S6"
+  std::string detail;  // what the counters showed
+};
+
+struct MonitorReport {
+  std::vector<PropertyReport> properties;  // MM, PS, CS (in that order)
+  std::vector<Finding> findings;
+  bool all_within_slo() const {
+    for (const auto& p : properties) {
+      if (!p.within_slo()) return false;
+    }
+    return true;
+  }
+};
+
+class RecoveryMonitor {
+ public:
+  explicit RecoveryMonitor(stack::Testbed& tb, SloBounds slo = {},
+                           SimDuration period = Millis(100));
+  RecoveryMonitor(const RecoveryMonitor&) = delete;
+  RecoveryMonitor& operator=(const RecoveryMonitor&) = delete;
+
+  // Begins periodic sampling (idempotent).
+  void Start();
+
+  // Stops sampling, closes open outage windows at the current simulation
+  // time, probes the finding counters, and returns the report.
+  MonitorReport Finalize();
+
+  // Probes the testbed's defect counters for the paper's findings. Usable
+  // standalone (the validation experiments reuse it).
+  static std::vector<Finding> ProbeFindings(stack::Testbed& tb);
+
+ private:
+  struct Tracker {
+    std::string name;
+    SimDuration slo = 0;
+    bool established = false;
+    bool ok = false;
+    SimTime outage_started = 0;
+    int outages = 0;
+    SimDuration total_outage = 0;
+    SimDuration longest_outage = 0;
+  };
+
+  void Sample();
+  void Observe(Tracker& t, bool ok_now);
+
+  bool MmOk() const;
+  bool PsOk() const;
+  bool CsOk() const;
+
+  stack::Testbed& tb_;
+  SloBounds slo_;
+  SimDuration period_;
+  bool running_ = false;
+  Tracker mm_;
+  Tracker ps_;
+  Tracker cs_;
+};
+
+}  // namespace cnv::fault

@@ -1,0 +1,332 @@
+#include "fault/plan.h"
+
+#include "util/strings.h"
+
+namespace cnv::fault {
+
+std::string ToString(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDropNext:
+      return "drop-next";
+    case FaultKind::kDeferNext:
+      return "defer-next";
+    case FaultKind::kDuplicateNext:
+      return "duplicate-next";
+    case FaultKind::kReorderNext:
+      return "reorder-next";
+    case FaultKind::kCorruptNext:
+      return "corrupt-next";
+    case FaultKind::kExtraDelay:
+      return "extra-delay";
+    case FaultKind::kLinkLoss:
+      return "link-loss";
+    case FaultKind::kElementOutage:
+      return "element-outage";
+    case FaultKind::kElementRestart:
+      return "element-restart";
+    case FaultKind::kPdpDeactivate:
+      return "pdp-deactivate";
+    case FaultKind::kDisruptNextLu:
+      return "disrupt-next-lu";
+    case FaultKind::kForceSgsRace:
+      return "force-sgs-race";
+    case FaultKind::kTimerSkew:
+      return "timer-skew";
+  }
+  return "?";
+}
+
+std::string ToString(FaultTarget t) {
+  switch (t) {
+    case FaultTarget::kUl4g:
+      return "UE->MME";
+    case FaultTarget::kDl4g:
+      return "MME->UE";
+    case FaultTarget::kUl3gCs:
+      return "UE->MSC";
+    case FaultTarget::kDl3gCs:
+      return "MSC->UE";
+    case FaultTarget::kUl3gPs:
+      return "UE->SGSN";
+    case FaultTarget::kDl3gPs:
+      return "SGSN->UE";
+    case FaultTarget::kMme:
+      return "MME";
+    case FaultTarget::kMsc:
+      return "MSC";
+    case FaultTarget::kSgsn:
+      return "SGSN";
+    case FaultTarget::kHss:
+      return "HSS";
+    case FaultTarget::kUe:
+      return "UE";
+  }
+  return "?";
+}
+
+std::string Describe(const FaultAction& a) {
+  switch (a.kind) {
+    case FaultKind::kDropNext:
+    case FaultKind::kDuplicateNext:
+    case FaultKind::kCorruptNext:
+      return Format("%s on %s (n=%d)", ToString(a.kind).c_str(),
+                    ToString(a.target).c_str(), a.count);
+    case FaultKind::kDeferNext:
+    case FaultKind::kExtraDelay:
+      return Format("%s on %s (%.3f s)", ToString(a.kind).c_str(),
+                    ToString(a.target).c_str(), a.value);
+    case FaultKind::kLinkLoss:
+      return Format("%s on %s (p=%.2f)", ToString(a.kind).c_str(),
+                    ToString(a.target).c_str(), a.value);
+    case FaultKind::kTimerSkew:
+      return Format("%s on %s (x%.2f)", ToString(a.kind).c_str(),
+                    ToString(a.target).c_str(), a.value);
+    case FaultKind::kElementRestart:
+      return Format("%s of %s (%s)", ToString(a.kind).c_str(),
+                    ToString(a.target).c_str(),
+                    a.lose_state ? "state lost" : "state kept");
+    default:
+      return ToString(a.kind) + " on " + ToString(a.target);
+  }
+}
+
+namespace plans {
+
+FaultPlan S1MissingBearerContext() {
+  return {
+      .name = "s1-missing-bearer-context",
+      .description = "network deactivates the PDP context while the device "
+                     "is in 3G for a CSFB call; the return TAU finds no "
+                     "bearer context and the MME detaches the device (S1)",
+      .actions = {{.at = Seconds(150),
+                   .kind = FaultKind::kPdpDeactivate,
+                   .target = FaultTarget::kSgsn}},
+  };
+}
+
+FaultPlan S2AttachDisruption() {
+  return {
+      .name = "s2-attach-disruption",
+      .description = "the Attach Complete is lost over the radio, so the "
+                     "MME keeps waiting for an attach it believes never "
+                     "finished; the next TAU meets stale attach state and "
+                     "is rejected with implicit detach (S2)",
+      // At 20 ms the Attach Request (sent at t=0) is already in flight;
+      // the next uplink NAS message is the Attach Complete (~130 ms).
+      .actions = {{.at = Millis(20),
+                   .kind = FaultKind::kDropNext,
+                   .target = FaultTarget::kUl4g,
+                   .count = 1}},
+  };
+}
+
+FaultPlan S3StuckIn3g() {
+  return {
+      .name = "s3-stuck-in-3g",
+      .description = "control plan: CSFB call with ongoing data and no "
+                     "extra fault; on cell-reselection carriers the data "
+                     "session pins RRC and strands the device in 3G (S3)",
+      .actions = {},
+  };
+}
+
+FaultPlan S4MmHolBlocking() {
+  return {
+      .name = "s4-mm-hol-blocking",
+      .description = "the MSC->UE leg gains 4 s latency around an area "
+                     "crossing, stretching the location-update window that "
+                     "head-of-line blocks the user's call (S4)",
+      .actions = {{.at = Seconds(235),
+                   .kind = FaultKind::kExtraDelay,
+                   .target = FaultTarget::kDl3gCs,
+                   .value = 4.0},
+                  {.at = Seconds(330),
+                   .kind = FaultKind::kExtraDelay,
+                   .target = FaultTarget::kDl3gCs,
+                   .value = 0.0}},
+  };
+}
+
+FaultPlan S5SharedChannelDrop() {
+  return {
+      .name = "s5-shared-channel-drop",
+      .description = "control plan: voice call and data session share the "
+                     "3G channel; modulation downgrade cuts PS throughput "
+                     "for the call's duration (S5)",
+      .actions = {},
+  };
+}
+
+FaultPlan S6LuFailurePropagation() {
+  return {
+      .name = "s6-lu-failure-propagation",
+      .description = "the SGs location update after the CSFB call engages "
+                     "the §6.3 race; the 3G CS failure propagates into 4G "
+                     "service loss (S6)",
+      // Armed before each CSFB call; consumed by the post-return TAU.
+      .actions = {{.at = Seconds(110),
+                   .kind = FaultKind::kForceSgsRace,
+                   .target = FaultTarget::kMme},
+                  {.at = Seconds(245),
+                   .kind = FaultKind::kForceSgsRace,
+                   .target = FaultTarget::kMme}},
+  };
+}
+
+FaultPlan MmeCrashRestart() {
+  return {
+      .name = "mme-crash-restart",
+      .description = "MME crashes at 60 s and restarts at 90 s having lost "
+                     "all volatile EMM state",
+      .actions = {{.at = Seconds(60),
+                   .kind = FaultKind::kElementOutage,
+                   .target = FaultTarget::kMme},
+                  {.at = Seconds(90),
+                   .kind = FaultKind::kElementRestart,
+                   .target = FaultTarget::kMme,
+                   .lose_state = true}},
+  };
+}
+
+FaultPlan MscOutage() {
+  return {
+      .name = "msc-outage",
+      .description = "MSC is down from 100 s to 200 s, across the first "
+                     "CSFB call attempt; state survives the restart",
+      .actions = {{.at = Seconds(100),
+                   .kind = FaultKind::kElementOutage,
+                   .target = FaultTarget::kMsc},
+                  {.at = Seconds(200),
+                   .kind = FaultKind::kElementRestart,
+                   .target = FaultTarget::kMsc,
+                   .lose_state = false}},
+  };
+}
+
+FaultPlan SgsnFlap() {
+  return {
+      .name = "sgsn-flap",
+      .description = "short SGSN flap (35-50 s) with state loss: the GPRS "
+                     "registration and PDP context evaporate",
+      .actions = {{.at = Seconds(35),
+                   .kind = FaultKind::kElementOutage,
+                   .target = FaultTarget::kSgsn},
+                  {.at = Seconds(50),
+                   .kind = FaultKind::kElementRestart,
+                   .target = FaultTarget::kSgsn,
+                   .lose_state = true}},
+  };
+}
+
+FaultPlan HssBlackout() {
+  return {
+      .name = "hss-blackout",
+      .description = "HSS is dark from 20 s to 220 s and forgets the "
+                     "location registry on restart; the carriers' "
+                     "subscriber views drift",
+      .actions = {{.at = Seconds(20),
+                   .kind = FaultKind::kElementOutage,
+                   .target = FaultTarget::kHss},
+                  {.at = Seconds(220),
+                   .kind = FaultKind::kElementRestart,
+                   .target = FaultTarget::kHss,
+                   .lose_state = true}},
+  };
+}
+
+FaultPlan RadioBurstLoss() {
+  FaultPlan p{
+      .name = "radio-burst-loss",
+      .description = "30% loss burst on every radio leg from 10 s to 70 s",
+      .actions = {},
+  };
+  const FaultTarget radio[] = {FaultTarget::kUl4g,   FaultTarget::kDl4g,
+                               FaultTarget::kUl3gCs, FaultTarget::kDl3gCs,
+                               FaultTarget::kUl3gPs, FaultTarget::kDl3gPs};
+  for (FaultTarget t : radio) {
+    p.actions.push_back({.at = Seconds(10),
+                         .kind = FaultKind::kLinkLoss,
+                         .target = t,
+                         .value = 0.3});
+    p.actions.push_back({.at = Seconds(70),
+                         .kind = FaultKind::kLinkLoss,
+                         .target = t,
+                         .value = 0.0});
+  }
+  return p;
+}
+
+FaultPlan BackhaulDegradation() {
+  FaultPlan p{
+      .name = "backhaul-degradation",
+      .description = "2 s of extra one-way delay on every downlink leg "
+                     "from 100 s to 300 s",
+      .actions = {},
+  };
+  const FaultTarget downlinks[] = {FaultTarget::kDl4g, FaultTarget::kDl3gCs,
+                                   FaultTarget::kDl3gPs};
+  for (FaultTarget t : downlinks) {
+    p.actions.push_back({.at = Seconds(100),
+                         .kind = FaultKind::kExtraDelay,
+                         .target = t,
+                         .value = 2.0});
+    p.actions.push_back({.at = Seconds(300),
+                         .kind = FaultKind::kExtraDelay,
+                         .target = t,
+                         .value = 0.0});
+  }
+  return p;
+}
+
+FaultPlan TimerSkew() {
+  return {
+      .name = "timer-skew",
+      .description = "the UE's NAS guard timers run 2.5x slow from the "
+                     "start of the run",
+      .actions = {{.at = 0,
+                   .kind = FaultKind::kTimerSkew,
+                   .target = FaultTarget::kUe,
+                   .value = 2.5}},
+  };
+}
+
+FaultPlan AttachInterference() {
+  return {
+      .name = "attach-interference",
+      .description = "the attach exchange is mangled: the request is "
+                     "duplicated and corrupted, the accept reordered",
+      .actions = {{.at = 0,
+                   .kind = FaultKind::kCorruptNext,
+                   .target = FaultTarget::kUl4g,
+                   .count = 1},
+                  {.at = Seconds(16),
+                   .kind = FaultKind::kDuplicateNext,
+                   .target = FaultTarget::kUl4g,
+                   .count = 1},
+                  {.at = Seconds(16),
+                   .kind = FaultKind::kReorderNext,
+                   .target = FaultTarget::kDl4g}},
+  };
+}
+
+std::vector<FaultPlan> Findings() {
+  return {S1MissingBearerContext(), S2AttachDisruption(),
+          S3StuckIn3g(),            S4MmHolBlocking(),
+          S5SharedChannelDrop(),    S6LuFailurePropagation()};
+}
+
+std::vector<FaultPlan> All() {
+  std::vector<FaultPlan> out = Findings();
+  out.push_back(MmeCrashRestart());
+  out.push_back(MscOutage());
+  out.push_back(SgsnFlap());
+  out.push_back(HssBlackout());
+  out.push_back(RadioBurstLoss());
+  out.push_back(BackhaulDegradation());
+  out.push_back(TimerSkew());
+  out.push_back(AttachInterference());
+  return out;
+}
+
+}  // namespace plans
+}  // namespace cnv::fault

@@ -1,0 +1,102 @@
+// Deterministic fault plans for chaos campaigns. A FaultPlan is a named
+// script of timed faults against a Testbed: radio/backhaul message drop,
+// delay, duplication, reorder and corruption; core-element outage and
+// restart with optional state loss; and device timer skew. Plans are plain
+// data — the FaultInjector interprets them — so campaigns can sweep
+// seeds x plans x carrier profiles and replay any run byte-for-byte.
+//
+// The canned plans mirror the paper's findings S1-S6: each arranges the
+// fault (or the absence of one) that lets the corresponding protocol
+// interaction defect surface under the standard campaign workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace cnv::fault {
+
+enum class FaultKind : std::uint8_t {
+  // Link faults (value/count semantics noted per kind).
+  kDropNext,       // drop the next `count` messages
+  kDeferNext,      // defer the next message by `value` seconds
+  kDuplicateNext,  // duplicate the next `count` messages
+  kReorderNext,    // hold the next message until one overtakes it
+  kCorruptNext,    // corrupt (discard at delivery) the next `count` messages
+  kExtraDelay,     // persistent extra latency of `value` seconds (0 clears)
+  kLinkLoss,       // set the link loss probability to `value`
+  // Element faults.
+  kElementOutage,   // the element stops processing traffic
+  kElementRestart,  // the element comes back; `lose_state` wipes its state
+  kPdpDeactivate,   // SGSN-initiated PDP deactivation (the S1 trigger)
+  kDisruptNextLu,   // MSC loses the next location update mid-flight
+  kForceSgsRace,    // MME's next SGs update hits the §6.3 race (S6)
+  // Device faults.
+  kTimerSkew,  // scale the UE's NAS guard timers by `value`
+};
+
+enum class FaultTarget : std::uint8_t {
+  kUl4g,
+  kDl4g,
+  kUl3gCs,
+  kDl3gCs,
+  kUl3gPs,
+  kDl3gPs,
+  kMme,
+  kMsc,
+  kSgsn,
+  kHss,
+  kUe,
+};
+
+struct FaultAction {
+  SimTime at = 0;  // absolute simulation time the fault fires
+  FaultKind kind = FaultKind::kDropNext;
+  FaultTarget target = FaultTarget::kUl4g;
+  int count = 1;       // kDropNext / kDuplicateNext / kCorruptNext
+  double value = 0.0;  // seconds, probability, or scale (see FaultKind)
+  bool lose_state = false;  // kElementRestart only
+};
+
+struct FaultPlan {
+  std::string name;
+  std::string description;
+  std::vector<FaultAction> actions;
+};
+
+std::string ToString(FaultKind k);
+std::string ToString(FaultTarget t);
+// One-line description of an action, used for FAULT trace records.
+std::string Describe(const FaultAction& a);
+
+// --- Canned plans -------------------------------------------------------
+// Times are aligned with the CampaignRunner's standard workload (see
+// campaign.h): data from t=30s, CSFB call 120-180s, area crossing at 240s
+// followed by a call at 250s, another crossing at 400s, call 420-480s.
+namespace plans {
+
+FaultPlan S1MissingBearerContext();  // PDP dies mid-CSFB -> detach on return
+FaultPlan S2AttachDisruption();      // duplicated/lost attach signaling
+FaultPlan S3StuckIn3g();             // control: CSFB + data, no extra fault
+FaultPlan S4MmHolBlocking();         // slow LU window overlapping a dial
+FaultPlan S5SharedChannelDrop();     // control: voice+data on the 3G channel
+FaultPlan S6LuFailurePropagation();  // disrupted 3G LU hits 4G service
+
+FaultPlan MmeCrashRestart();     // MME outage + lossy restart
+FaultPlan MscOutage();           // MSC down across a call attempt
+FaultPlan SgsnFlap();            // short SGSN flap with state loss
+FaultPlan HssBlackout();         // long HSS outage, lossy restart
+FaultPlan RadioBurstLoss();      // 30% loss burst on every radio leg
+FaultPlan BackhaulDegradation(); // 2s extra one-way delay, later cleared
+FaultPlan TimerSkew();           // UE clock runs 2.5x slow
+FaultPlan AttachInterference();  // drop+duplicate+corrupt attach signaling
+
+// Every canned plan, S1-S6 first.
+std::vector<FaultPlan> All();
+// The S1-S6 reproduction set only.
+std::vector<FaultPlan> Findings();
+
+}  // namespace plans
+}  // namespace cnv::fault

@@ -14,9 +14,15 @@ inline constexpr SimDuration kT3402AttachBackoff = Minutes(12);
 inline constexpr SimDuration kT3430TauGuard = Seconds(15);
 inline constexpr int kMaxAttachAttempts = 5;
 
-// --- MM / GMM (TS 24.008)
+// --- MM / GMM / SM (TS 24.008)
 inline constexpr SimDuration kT3210LuGuard = Seconds(20);
+inline constexpr SimDuration kT3230CmGuard = Seconds(15);
 inline constexpr SimDuration kT3330RauGuard = Seconds(15);
+inline constexpr SimDuration kT3380PdpGuard = Seconds(30);
+// Quick retransmissions a robust UE fires before falling back to
+// exponential backoff (capped at kNasBackoffCap per cycle).
+inline constexpr int kMaxNasQuickRetries = 3;
+inline constexpr SimDuration kNasBackoffCap = Seconds(120);
 // Periodic updates. The spec default for T3212 is carrier-configured
 // (tens of minutes); experiments override these per scenario.
 inline constexpr SimDuration kT3212PeriodicLu = Minutes(30);

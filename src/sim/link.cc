@@ -6,6 +6,26 @@
 
 namespace cnv::sim {
 
+SimDuration Link::ComputeDelay() {
+  SimDuration delay = params_.delay + extra_delay_;
+  if (params_.jitter > 0) {
+    delay += static_cast<SimDuration>(
+        rng_.Uniform(0.0, static_cast<double>(params_.jitter)));
+  }
+  if (defer_next_ > 0) {
+    delay += defer_next_;
+    defer_next_ = 0;
+  }
+  return delay;
+}
+
+void Link::Transmit(const nas::Message& m, SimDuration delay) {
+  sim_.ScheduleIn(delay, [this, m] {
+    ++delivered_;
+    receiver_(m);
+  });
+}
+
 void Link::Send(const nas::Message& m) {
   if (!receiver_) throw std::logic_error("Link::Send: no receiver on " + name_);
   ++sent_;
@@ -23,19 +43,47 @@ void Link::Send(const nas::Message& m) {
     return;
   }
 
-  SimDuration delay = params_.delay;
-  if (params_.jitter > 0) {
-    delay += static_cast<SimDuration>(
-        rng_.Uniform(0.0, static_cast<double>(params_.jitter)));
+  if (force_corrupt_ > 0) {
+    // The frame reaches the receiver but fails the NAS integrity check
+    // there; from the stack's perspective it was never delivered.
+    --force_corrupt_;
+    ++corrupted_;
+    CNV_LOG_DEBUG << name_ << " corrupts " << m.Describe();
+    return;
   }
-  if (defer_next_ > 0) {
-    delay += defer_next_;
-    defer_next_ = 0;
+
+  if (reorder_armed_ && !held_.has_value()) {
+    // Buffer this message; the next Send() overtakes it on the wire. If a
+    // message is already held, this Send() acts as its successor below and
+    // the arming carries over to a later message.
+    reorder_armed_ = false;
+    held_ = m;
+    return;
   }
-  sim_.ScheduleIn(delay, [this, m] {
-    ++delivered_;
-    receiver_(m);
-  });
+
+  const SimDuration delay = ComputeDelay();
+  Transmit(m, delay);
+  if (force_dups_ > 0) {
+    --force_dups_;
+    ++duplicated_;
+    CNV_LOG_DEBUG << name_ << " duplicates " << m.Describe();
+    Transmit(m, delay + Millis(1));
+  }
+
+  if (held_.has_value()) {
+    // Release the reordered message right behind the one that overtook it.
+    const nas::Message overtaken = *held_;
+    held_.reset();
+    Transmit(overtaken, delay + Millis(1));
+  }
+}
+
+void Link::FlushHeld() {
+  reorder_armed_ = false;
+  if (!held_.has_value()) return;
+  const nas::Message m = *held_;
+  held_.reset();
+  Transmit(m, ComputeDelay());
 }
 
 }  // namespace cnv::sim

@@ -3,10 +3,16 @@
 // NOT assume on radio legs — that assumption is exactly the S2 defect. The
 // paper's prototype used UDP for the radio leg and TCP for backhaul (§9);
 // the Link::Params mirror that split.
+//
+// Fault-injection hooks: beyond the long-standing ForceDropNext/DeferNext,
+// a link can duplicate, corrupt, reorder and persistently delay messages.
+// All hooks are deterministic (no randomness beyond the configured loss
+// probability), so a scripted FaultPlan replays identically under one seed.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -40,12 +46,37 @@ class Link {
 
   // Experiment hook: force-drop the next `n` messages regardless of the
   // loss probability (used by the Figure 12 drop-rate sweep and S2/S6
-  // fault-injection runs).
+  // fault-injection runs). Applies on reliable legs too: a forced drop
+  // models the radio bearer tearing down mid-transfer, which no transport
+  // reliability below NAS can mask.
   void ForceDropNext(int n) { force_drops_ += n; }
 
   // Experiment hook: hold the next message for `extra` beyond the normal
   // delay — models a loaded BS deferring delivery (Figure 5b).
   void DeferNext(SimDuration extra) { defer_next_ = extra; }
+
+  // Fault hook: deliver the next `n` messages twice (the duplicate arrives
+  // 1 ms after the original) — models link-layer retransmission of a frame
+  // whose ack was lost, the S2 duplicate-attach trigger.
+  void ForceDuplicateNext(int n) { force_dups_ += n; }
+
+  // Fault hook: corrupt the next `n` messages. A corrupted NAS message
+  // fails its integrity check at the receiving stack, so the link discards
+  // it at delivery time; it is counted in corrupted(), not dropped().
+  void CorruptNext(int n) { force_corrupt_ += n; }
+
+  // Fault hook: hold the next message until the one after it has been
+  // transmitted, swapping their order on the wire. If no second message is
+  // sent, the held message stays buffered until FlushHeld() (the injector
+  // flushes at the end of a plan).
+  void ReorderNext() { reorder_armed_ = true; }
+  bool has_held_message() const { return held_.has_value(); }
+  void FlushHeld();
+
+  // Fault hook: persistent extra one-way delay (backhaul congestion /
+  // timer-skewing transport). Applies until reset to 0.
+  void set_extra_delay(SimDuration d) { extra_delay_ = d; }
+  SimDuration extra_delay() const { return extra_delay_; }
 
   void set_loss_prob(double p) { params_.loss_prob = p; }
   const Params& params() const { return params_; }
@@ -54,18 +85,36 @@ class Link {
   std::uint64_t sent() const { return sent_; }
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t corrupted() const { return corrupted_; }
+  // Messages accepted by Send() but not yet resolved into delivered /
+  // dropped / corrupted (scheduled in-flight plus a held reorder buffer).
+  std::uint64_t in_flight() const {
+    return sent_ + duplicated_ - delivered_ - dropped_ - corrupted_;
+  }
 
  private:
+  // Schedules delivery of `m` after `delay`; bumps delivered_ on arrival.
+  void Transmit(const nas::Message& m, SimDuration delay);
+  SimDuration ComputeDelay();
+
   Simulator& sim_;
   Rng& rng_;
   Params params_;
   std::string name_;
   Receiver receiver_;
   int force_drops_ = 0;
+  int force_dups_ = 0;
+  int force_corrupt_ = 0;
+  bool reorder_armed_ = false;
+  std::optional<nas::Message> held_;
   SimDuration defer_next_ = 0;
+  SimDuration extra_delay_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t corrupted_ = 0;
 };
 
 }  // namespace cnv::sim

@@ -8,8 +8,16 @@ namespace cnv::sim {
 Simulator::EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
   if (t < now_) throw std::invalid_argument("ScheduleAt: time in the past");
   if (!fn) throw std::invalid_argument("ScheduleAt: empty handler");
-  const EventId id = next_id_++;
-  handlers_.push_back(std::move(fn));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  const EventId id = MakeId(slot, slots_[slot].gen);
   queue_.push({t, next_seq_++, id});
   return id;
 }
@@ -21,8 +29,22 @@ Simulator::EventId Simulator::ScheduleIn(SimDuration d,
 }
 
 void Simulator::Cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_id_) return;
-  if (handlers_[id]) cancelled_.insert(id);
+  if (id == kInvalidEvent) return;
+  const std::uint32_t slot = SlotOf(id);
+  if (slot >= slots_.size()) return;
+  // A stale id (the slot moved on to a newer generation, or the event
+  // already fired) is a no-op.
+  if (slots_[slot].gen != GenOf(id) || !slots_[slot].fn) return;
+  cancelled_.insert(id);
+}
+
+std::function<void()> Simulator::ReleaseSlot(EventId id) {
+  const std::uint32_t slot = SlotOf(id);
+  std::function<void()> fn = std::move(slots_[slot].fn);
+  slots_[slot].fn = nullptr;
+  ++slots_[slot].gen;
+  free_slots_.push_back(slot);
+  return fn;
 }
 
 void Simulator::PruneCancelled() {
@@ -31,7 +53,7 @@ void Simulator::PruneCancelled() {
     const auto it = cancelled_.find(e.id);
     if (it == cancelled_.end()) break;
     cancelled_.erase(it);
-    handlers_[e.id] = nullptr;
+    ReleaseSlot(e.id);
     queue_.pop();
   }
 }
@@ -43,8 +65,7 @@ bool Simulator::Step() {
   queue_.pop();
   now_ = e.time;
   // Move out so re-entrant scheduling cannot alias the running handler.
-  std::function<void()> fn = std::move(handlers_[e.id]);
-  handlers_[e.id] = nullptr;
+  std::function<void()> fn = ReleaseSlot(e.id);
   ++executed_;
   fn();
   return true;

@@ -17,6 +17,11 @@ namespace cnv::sim {
 
 class Simulator {
  public:
+  // An EventId packs a handler-slot index (low 32 bits) and that slot's
+  // generation (high 32 bits). Slots are recycled through a free list once
+  // their event fires or is cancelled, so long campaigns run in bounded
+  // memory; the generation tag keeps a stale id from cancelling an
+  // unrelated event that later reuses the slot.
   using EventId = std::uint64_t;
   static constexpr EventId kInvalidEvent = 0;
 
@@ -48,6 +53,9 @@ class Simulator {
 
   std::size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
   std::uint64_t ExecutedEvents() const { return executed_; }
+  // Number of handler slots ever allocated; bounded by the peak number of
+  // simultaneously pending events, not by the total scheduled over time.
+  std::size_t HandlerSlots() const { return slots_.size(); }
 
  private:
   struct Entry {
@@ -61,15 +69,34 @@ class Simulator {
     }
   };
 
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t gen = 0;
+  };
+
+  static constexpr std::uint32_t SlotOf(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  static constexpr std::uint32_t GenOf(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static constexpr EventId MakeId(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  // Returns the slot's handler and recycles the slot for reuse.
+  std::function<void()> ReleaseSlot(EventId id);
+
   // Drops cancelled entries off the head so queue_.top() is always live.
   void PruneCancelled();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::vector<std::function<void()>> handlers_{std::function<void()>{}};
+  // Slot 0 is reserved so no live event ever gets id kInvalidEvent.
+  std::vector<Slot> slots_{Slot{}};
+  std::vector<std::uint32_t> free_slots_;
   std::unordered_set<EventId> cancelled_;
 };
 

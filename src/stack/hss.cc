@@ -3,6 +3,10 @@
 namespace cnv::stack {
 
 void Hss::UpdateLocation(nas::Imsi imsi, nas::System system) {
+  if (!available_) {
+    if (queue_while_down_) pending_.push_back({imsi, system, false});
+    return;
+  }
   ++updates_;
   auto& loc = locations_[imsi.value];
   if (loc.system == nas::System::kNone && system != nas::System::kNone) {
@@ -13,11 +17,29 @@ void Hss::UpdateLocation(nas::Imsi imsi, nas::System system) {
 }
 
 void Hss::PurgeLocation(nas::Imsi imsi) {
+  if (!available_) {
+    if (queue_while_down_) pending_.push_back({imsi, nas::System::kNone, true});
+    return;
+  }
   ++updates_;
   auto& loc = locations_[imsi.value];
   if (loc.system != nas::System::kNone) {
     loc.system = nas::System::kNone;
     loc.since = sim_.now();
+  }
+}
+
+void Hss::Restart(bool lose_state) {
+  available_ = true;
+  if (lose_state) locations_.clear();
+  std::vector<PendingOp> pending = std::move(pending_);
+  pending_.clear();
+  for (const auto& op : pending) {
+    if (op.purge) {
+      PurgeLocation(op.imsi);
+    } else {
+      UpdateLocation(op.imsi, op.system);
+    }
   }
 }
 

@@ -38,6 +38,17 @@ class Hss {
   void UpdateLocation(nas::Imsi imsi, nas::System system);
   void PurgeLocation(nas::Imsi imsi);
 
+  // Fault hooks: element outage + restart. While down, registration
+  // reports are lost — unless queue-and-replay is enabled, in which case
+  // they buffer and replay in order on restart. A lossy restart forgets the
+  // location registry (subscription data survives: it is provisioned, not
+  // volatile).
+  void BeginOutage() { available_ = false; }
+  void Restart(bool lose_state);
+  void set_queue_while_down(bool q) { queue_while_down_ = q; }
+  bool available() const { return available_; }
+  std::size_t queued_while_down() const { return pending_.size(); }
+
   // Current registration (kNone when deregistered everywhere).
   nas::System CurrentSystem(nas::Imsi imsi) const;
 
@@ -54,10 +65,19 @@ class Hss {
     SimDuration deregistered_total = 0;
   };
 
+  struct PendingOp {
+    nas::Imsi imsi;
+    nas::System system = nas::System::kNone;
+    bool purge = false;
+  };
+
   sim::Simulator& sim_;
   std::unordered_map<std::uint64_t, Subscription> subscribers_;
   std::unordered_map<std::uint64_t, LocationState> locations_;
   std::uint64_t updates_ = 0;
+  bool available_ = true;
+  bool queue_while_down_ = false;
+  std::vector<PendingOp> pending_;
 };
 
 }  // namespace cnv::stack

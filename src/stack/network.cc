@@ -14,17 +14,46 @@ namespace {
 constexpr SimDuration kCoreProcessing = Millis(50);
 }  // namespace
 
+// --------------------------------------------------------- CoreElement ---
+
+bool CoreElement::Admit(const nas::Message& m) {
+  if (available_) return true;
+  if (queue_while_down_) {
+    pending_.push_back(m);
+  } else {
+    CNV_LOG_DEBUG << "core element down: uplink lost (" << m.Describe() << ")";
+  }
+  return false;
+}
+
+void CoreElement::Restart(bool lose_state) {
+  available_ = true;
+  if (lose_state) OnStateLoss();
+  // Buffered uplinks live in the transport in front of the element, so they
+  // survive even a lossy restart and replay in arrival order.
+  std::vector<nas::Message> pending = std::move(pending_);
+  pending_.clear();
+  for (const auto& m : pending) Replay(m);
+}
+
 // ---------------------------------------------------------------- Sgsn ---
 
 Sgsn::Sgsn(sim::Simulator& sim, Rng& rng, const CarrierProfile& profile)
     : sim_(sim), rng_(rng), profile_(profile) {}
 
 void Sgsn::Send(nas::Message m) {
+  if (!available()) return;  // reply lost: element went down mid-processing
   if (downlink_ == nullptr) throw std::logic_error("Sgsn: no downlink");
   downlink_->Send(m);
 }
 
+void Sgsn::OnStateLoss() {
+  registered_ = false;
+  pdp_.active = false;
+}
+
 void Sgsn::OnUplink(const nas::Message& m) {
+  if (!Admit(m)) return;
   switch (m.kind) {
     case nas::MsgKind::kGprsAttachRequest: {
       registered_ = true;
@@ -101,11 +130,20 @@ Msc::Msc(sim::Simulator& sim, Rng& rng, const CarrierProfile& profile)
     : sim_(sim), rng_(rng), profile_(profile) {}
 
 void Msc::Send(nas::Message m) {
+  if (!available()) return;  // reply lost: element went down mid-processing
   if (downlink_ == nullptr) throw std::logic_error("Msc: no downlink");
   downlink_->Send(m);
 }
 
+void Msc::OnStateLoss() {
+  registered_ = false;
+  call_active_ = false;
+  last_lu_completed_ = false;
+  disrupt_next_lu_ = false;
+}
+
 void Msc::OnUplink(const nas::Message& m) {
+  if (!Admit(m)) return;
   switch (m.kind) {
     case nas::MsgKind::kLocationUpdateRequest: {
       if (disrupt_next_lu_) {
@@ -217,12 +255,23 @@ Mme::Mme(sim::Simulator& sim, Rng& rng, const CarrierProfile& profile,
       lu_recovery_fix_(lu_recovery_fix) {}
 
 void Mme::Send(nas::Message m) {
+  if (!available()) return;  // reply lost: element went down mid-processing
   if (transport_) {
     transport_(m);
     return;
   }
   if (downlink_ == nullptr) throw std::logic_error("Mme: no downlink");
   downlink_->Send(m);
+}
+
+void Mme::OnStateLoss() {
+  // A crashed MME forgets its EMM contexts; the HSS keeps its (now stale)
+  // view until the UE re-registers — exactly the mismatch the recovery
+  // monitors are after.
+  state_ = EmmState::kDeregistered;
+  bearer_.active = false;
+  pending_sgs_ = false;
+  next_attach_delay_ = 0;
 }
 
 void Mme::DetachUe(nas::EmmCause cause) {
@@ -241,6 +290,7 @@ void Mme::DetachUe(nas::EmmCause cause) {
 }
 
 void Mme::OnUplink(const nas::Message& m) {
+  if (!Admit(m)) return;
   switch (m.kind) {
     case nas::MsgKind::kAttachRequest: {
       if (state_ == EmmState::kRegistered) {
@@ -258,6 +308,7 @@ void Mme::OnUplink(const nas::Message& m) {
           r.emm_cause = nas::EmmCause::kImplicitlyDetached;
           state_ = EmmState::kDeregistered;
           ++detaches_sent_;
+          ++stale_attach_detaches_;
           if (hss_ != nullptr) hss_->PurgeLocation(imsi_);
           sim_.ScheduleIn(kCoreProcessing, [this, r] { Send(r); });
           break;
@@ -297,6 +348,7 @@ void Mme::OnUplink(const nas::Message& m) {
         state_ = EmmState::kDeregistered;
         bearer_.active = false;
         ++detaches_sent_;
+        ++stale_attach_detaches_;
         if (hss_ != nullptr) hss_->PurgeLocation(imsi_);
         next_attach_delay_ = profile_.reattach_delay.Sample(rng_);
         sim_.ScheduleIn(kCoreProcessing, [this, r] { Send(r); });
@@ -340,7 +392,9 @@ void Mme::OnUplink(const nas::Message& m) {
         // Post-CSFB: relay the location update to the 3G MSC over SGs
         // (§6.3) once the TAU has been answered.
         pending_sgs_ = false;
-        const bool race_hit = rng_.Bernoulli(profile_.lu_failure_prob);
+        const bool race_hit =
+            force_sgs_race_ || rng_.Bernoulli(profile_.lu_failure_prob);
+        force_sgs_race_ = false;
         sim_.ScheduleIn(kCoreProcessing + Millis(100), [this, race_hit] {
           RunSgsLocationUpdate(race_hit);
         });
@@ -390,6 +444,7 @@ void Mme::RunSgsLocationUpdate(bool race_hit) {
       profile_.lu_failure_mode == LuFailureMode::kSecondUpdateRejected;
   const nas::MmCause cause = msc_->OnSgsLocationUpdate(first_update_completed);
   if (cause == nas::MmCause::kNone) return;
+  ++sgs_update_failures_;
   if (lu_recovery_fix_) {
     // §8 cross-system coordination: absorb the 3G failure inside the core
     // and redo the update on the device's behalf; never detach the UE.

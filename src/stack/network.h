@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "nas/causes.h"
 #include "nas/ids.h"
@@ -26,8 +27,48 @@ class Hss;
 class Msc;
 class Sgsn;
 
+// Availability plumbing shared by the core elements (fault injection:
+// element outage + restart with state loss). While an element is down, its
+// uplink traffic is silently lost — unless queue-and-replay is enabled
+// (graceful degradation), in which case the transport in front of the
+// element buffers the uplinks and replays them in order on restart.
+// Replies an element had scheduled before going down are also lost: every
+// downlink send funnels through the element's Send(), which checks
+// available().
+class CoreElement {
+ public:
+  bool available() const { return available_; }
+  void set_queue_while_down(bool q) { queue_while_down_ = q; }
+  std::size_t queued_while_down() const { return pending_.size(); }
+
+  // Element goes down (crash / maintenance). Uplinks stop being processed.
+  void BeginOutage() { available_ = false; }
+
+  // Element comes back. With `lose_state`, all volatile protocol state
+  // (registrations, contexts) is forgotten first — the restart-with-state-
+  // loss scenario. Buffered uplinks (if any) replay in arrival order.
+  void Restart(bool lose_state);
+
+ protected:
+  ~CoreElement() = default;
+
+  // Clears the element's volatile protocol state on a lossy restart.
+  virtual void OnStateLoss() = 0;
+  // Re-injects a buffered uplink after a restart.
+  virtual void Replay(const nas::Message& m) = 0;
+
+  // Returns true when the element should process `m` now; false when the
+  // outage absorbed it (lost, or buffered for replay).
+  bool Admit(const nas::Message& m);
+
+ private:
+  bool available_ = true;
+  bool queue_while_down_ = false;
+  std::vector<nas::Message> pending_;
+};
+
 // --- SGSN / 3G gateways: GPRS attach, routing area updates, PDP contexts.
-class Sgsn {
+class Sgsn : public CoreElement {
  public:
   Sgsn(sim::Simulator& sim, Rng& rng, const CarrierProfile& profile);
 
@@ -45,6 +86,10 @@ class Sgsn {
   bool pdp_active() const { return pdp_.active; }
   const nas::PdpContext& pdp() const { return pdp_; }
 
+ protected:
+  void OnStateLoss() override;
+  void Replay(const nas::Message& m) override { OnUplink(m); }
+
  private:
   void Send(nas::Message m);
 
@@ -58,7 +103,7 @@ class Sgsn {
 };
 
 // --- MSC: location updates, CM service, call control (3G CS domain).
-class Msc {
+class Msc : public CoreElement {
  public:
   Msc(sim::Simulator& sim, Rng& rng, const CarrierProfile& profile);
 
@@ -99,6 +144,10 @@ class Msc {
   // trunk setup, ...). Dominates the paper's 11.4 s average setup time.
   void set_call_setup_latency(LatencyDist d) { call_setup_latency_ = d; }
 
+ protected:
+  void OnStateLoss() override;
+  void Replay(const nas::Message& m) override { OnUplink(m); }
+
  private:
   void Send(nas::Message m);
 
@@ -118,7 +167,7 @@ class Msc {
 };
 
 // --- MME: 4G attach/detach, tracking area updates, CSFB triggering.
-class Mme {
+class Mme : public CoreElement {
  public:
   enum class EmmState : std::uint8_t {
     kDeregistered,
@@ -164,6 +213,10 @@ class Mme {
     duplicate_attach_rejects_ = v;
   }
 
+  // Fault hook: the next SGs location update hits the §6.3 race regardless
+  // of the carrier's lu_failure_prob (chaos plans reproduce S6 on demand).
+  void ForceNextSgsRace() { force_sgs_race_ = true; }
+
   // Releases 4G-side resources when the UE migrates to 3G (§5.1.1).
   void ReleaseBearerOnSwitchAway();
 
@@ -172,6 +225,18 @@ class Mme {
   std::uint64_t detaches_sent() const { return detaches_sent_; }
   std::uint64_t bearer_reactivations() const { return bearer_reactivations_; }
   std::uint64_t lu_recoveries() const { return lu_recoveries_; }
+  // Detaches caused by stale/duplicated attach signaling (the S2 defect):
+  // duplicate Attach Request rejects plus TAUs hitting an attach the MME
+  // believes never completed.
+  std::uint64_t stale_attach_detaches() const {
+    return stale_attach_detaches_;
+  }
+  // SGs location updates that engaged the §6.3 race and failed (S6).
+  std::uint64_t sgs_update_failures() const { return sgs_update_failures_; }
+
+ protected:
+  void OnStateLoss() override;
+  void Replay(const nas::Message& m) override { OnUplink(m); }
 
  private:
   void Send(nas::Message m);
@@ -200,6 +265,9 @@ class Mme {
   std::uint64_t detaches_sent_ = 0;
   std::uint64_t bearer_reactivations_ = 0;
   std::uint64_t lu_recoveries_ = 0;
+  std::uint64_t stale_attach_detaches_ = 0;
+  std::uint64_t sgs_update_failures_ = 0;
+  bool force_sgs_race_ = false;
 };
 
 }  // namespace cnv::stack

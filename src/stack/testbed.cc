@@ -35,8 +35,15 @@ Testbed::Testbed(TestbedConfig config)
   sgsn_ = std::make_unique<Sgsn>(sim_, rng_, config_.profile);
   mme_->SetHss(hss_.get(), kImsi);
   msc_->SetHss(hss_.get(), kImsi);
+  if (config_.robustness.core_queue_replay) {
+    mme_->set_queue_while_down(true);
+    msc_->set_queue_while_down(true);
+    sgsn_->set_queue_while_down(true);
+    hss_->set_queue_while_down(true);
+  }
   ue_ = std::make_unique<UeDevice>(sim_, rng_, trace_, config_.profile,
-                                   config_.solutions, channel3g_);
+                                   config_.solutions, channel3g_,
+                                   config_.robustness);
 
   mme_->SetDownlink(dl4g_.get());
   mme_->SetMsc(msc_.get());

@@ -28,6 +28,9 @@ struct TestbedConfig {
   std::uint64_t seed = 1;
   // Baseline loss probability on the (unreliable) radio legs.
   double radio_loss = 0.0;
+  // Robustness machinery (UE retries/backoff, core queue-and-replay);
+  // default off so the baseline reproduces the S1-S6 defects.
+  RobustnessConfig robustness = {};
 };
 
 class Testbed {
@@ -48,11 +51,14 @@ class Testbed {
   sim::SharedChannel& channel3g() { return channel3g_; }
   const CarrierProfile& profile() const { return config_.profile; }
 
-  // Links, exposed for fault injection (drop / defer hooks).
+  // Links, exposed for fault injection (drop / defer / duplicate / reorder
+  // / corrupt hooks).
   sim::Link& ul4g() { return *ul4g_; }
   sim::Link& dl4g() { return *dl4g_; }
   sim::Link& ul3g_cs() { return *ul3g_cs_; }
+  sim::Link& dl3g_cs() { return *dl3g_cs_; }
   sim::Link& ul3g_ps() { return *ul3g_ps_; }
+  sim::Link& dl3g_ps() { return *dl3g_ps_; }
 
   // Shim endpoints (§8 layer extension); null unless solutions.shim_layer.
   solution::ShimEndpoint* ue_shim() { return ue_shim_.get(); }

@@ -52,19 +52,186 @@ std::string ToString(UeDevice::CallState s) {
 
 UeDevice::UeDevice(sim::Simulator& sim, Rng& rng, trace::Collector& trace,
                    const CarrierProfile& profile, SolutionConfig solutions,
-                   sim::SharedChannel& channel3g)
+                   sim::SharedChannel& channel3g, RobustnessConfig robustness)
     : sim_(sim),
       rng_(rng),
       trace_(trace),
       profile_(profile),
       solutions_(solutions),
+      robustness_(robustness),
       channel3g_(channel3g),
       t3410_(sim, "T3410"),
       t3430_(sim, "T3430"),
       mm_wait_timer_(sim, "MM-WAIT-FOR-NET-CMD"),
       rrc_demote_(sim, "3G-RRC inactivity"),
-      periodic_(sim, "periodic-update") {
+      periodic_(sim, "periodic-update"),
+      lu_guard_(sim, "T3210"),
+      gmm_guard_(sim, "T3330"),
+      pdp_guard_(sim, "T3380"),
+      cm_guard_(sim, "T3230"),
+      attach_backoff_(sim, "T3411") {
   channel3g_.set_decoupled(solutions_.domain_decoupled);
+}
+
+// ------------------------------------------------- robustness machinery ---
+
+SimDuration UeDevice::Scaled(SimDuration d) const {
+  if (timer_scale_ == 1.0) return d;
+  const auto scaled =
+      static_cast<SimDuration>(static_cast<double>(d) * timer_scale_);
+  return std::max<SimDuration>(scaled, Millis(1));
+}
+
+SimDuration UeDevice::BackoffDelay(int cycle) const {
+  SimDuration d = nas::timers::kT3411AttachRetry;
+  for (int i = 0; i < cycle && d < nas::timers::kNasBackoffCap; ++i) d *= 2;
+  return std::min(d, nas::timers::kNasBackoffCap);
+}
+
+void UeDevice::StopNasGuards() {
+  lu_guard_.Stop();
+  gmm_guard_.Stop();
+  pdp_guard_.Stop();
+  cm_guard_.Stop();
+  attach_backoff_.Stop();
+}
+
+void UeDevice::ArmLuGuard() {
+  if (!robustness_.nas_retry) return;
+  lu_guard_.Start(Scaled(nas::timers::kT3210LuGuard),
+                  [this] { OnLuTimeout(); });
+}
+
+void UeDevice::OnLuTimeout() {
+  if (serving_ != nas::System::k3G || mm_ != MmState::kLuInProgress) return;
+  if (lu_attempts_ < nas::timers::kMaxNasQuickRetries) {
+    ++lu_attempts_;
+    ++lu_retries_;
+    trace_.Event(nas::System::k3G, "MM",
+                 "T3210 expiry; Location Updating Request retransmitted");
+    nas::Message m;
+    m.kind = nas::MsgKind::kLocationUpdateRequest;
+    m.protocol = nas::Protocol::kMm;
+    SendCs(m);
+    ArmLuGuard();
+    return;
+  }
+  // Quick retransmissions exhausted: back off, then restart the procedure.
+  mm_ = MmState::kIdle;
+  lau_started_at_.reset();
+  const int cycle = lu_backoff_cycles_++;
+  trace_.Event(nas::System::k3G, "MM",
+               "location update abandoned; exponential backoff armed");
+  lu_guard_.Start(Scaled(BackoffDelay(cycle)), [this] {
+    if (powered_ && serving_ == nas::System::k3G && !mm_registered_) {
+      lu_attempts_ = 0;
+      StartLau();
+    }
+  });
+}
+
+void UeDevice::ArmGmmGuard() {
+  if (!robustness_.nas_retry) return;
+  gmm_guard_.Start(Scaled(nas::timers::kT3330RauGuard),
+                   [this] { OnGmmTimeout(); });
+}
+
+void UeDevice::OnGmmTimeout() {
+  if (serving_ != nas::System::k3G || gmm_ != GmmState::kRauInProgress) return;
+  if (gmm_attempts_ < nas::timers::kMaxNasQuickRetries) {
+    ++gmm_attempts_;
+    ++gmm_retries_;
+    nas::Message m;
+    m.protocol = nas::Protocol::kGmm;
+    if (gmm_attached_) {
+      m.kind = nas::MsgKind::kRauRequest;
+      trace_.Event(nas::System::k3G, "GMM",
+                   "T3330 expiry; Routing Area Update Request retransmitted");
+    } else {
+      m.kind = nas::MsgKind::kGprsAttachRequest;
+      trace_.Event(nas::System::k3G, "GMM",
+                   "T3330 expiry; GPRS Attach Request retransmitted");
+    }
+    SendPs(m);
+    ArmGmmGuard();
+    return;
+  }
+  gmm_ = GmmState::kIdle;
+  rau_started_at_.reset();
+  const int cycle = gmm_backoff_cycles_++;
+  trace_.Event(nas::System::k3G, "GMM",
+               "GMM procedure abandoned; exponential backoff armed");
+  gmm_guard_.Start(Scaled(BackoffDelay(cycle)), [this] {
+    if (!powered_ || serving_ != nas::System::k3G) return;
+    gmm_attempts_ = 0;
+    if (!gmm_attached_) {
+      StartGprsAttach();
+    } else {
+      StartRau();
+    }
+  });
+}
+
+void UeDevice::ArmPdpGuard() {
+  if (!robustness_.nas_retry) return;
+  pdp_guard_.Start(Scaled(nas::timers::kT3380PdpGuard),
+                   [this] { OnPdpTimeout(); });
+}
+
+void UeDevice::OnPdpTimeout() {
+  if (serving_ != nas::System::k3G || pdp_.active || !data_enabled_) return;
+  if (pdp_attempts_ < nas::timers::kMaxNasQuickRetries) {
+    ++pdp_attempts_;
+    ++pdp_retries_;
+    trace_.Event(nas::System::k3G, "SM",
+                 "T3380 expiry; Activate PDP Context Request retransmitted");
+    nas::Message m;
+    m.kind = nas::MsgKind::kPdpActivateRequest;
+    m.protocol = nas::Protocol::kSm;
+    m.pdp = pdp_;
+    SendPs(m);
+    ArmPdpGuard();
+    return;
+  }
+  const int cycle = pdp_backoff_cycles_++;
+  trace_.Event(nas::System::k3G, "SM",
+               "PDP activation abandoned; exponential backoff armed");
+  pdp_guard_.Start(Scaled(BackoffDelay(cycle)), [this] {
+    if (powered_ && serving_ == nas::System::k3G && data_enabled_ &&
+        !pdp_.active && (data_session_ || pdp_activation_pending_)) {
+      pdp_attempts_ = 0;
+      ActivatePdp();
+    }
+  });
+}
+
+void UeDevice::ArmCmGuard() {
+  if (!robustness_.cm_reattempt) return;
+  cm_guard_.Start(Scaled(nas::timers::kT3230CmGuard),
+                  [this] { OnCmTimeout(); });
+}
+
+void UeDevice::OnCmTimeout() {
+  if (serving_ != nas::System::k3G || call_ != CallState::kWaitCmAccept) {
+    return;
+  }
+  if (cm_attempts_ < nas::timers::kMaxNasQuickRetries) {
+    ++cm_attempts_;
+    ++cm_retries_;
+    trace_.Event(nas::System::k3G, "MM",
+                 "T3230 expiry; CM Service Request re-requested");
+    nas::Message m;
+    m.kind = nas::MsgKind::kCmServiceRequest;
+    m.protocol = nas::Protocol::kMm;
+    SendCs(m);
+    ArmCmGuard();
+    return;
+  }
+  ++cm_abandoned_;
+  call_ = CallState::kNone;
+  dialed_at_.reset();
+  trace_.Event(nas::System::k3G, "MM",
+               "CM service abandoned after bounded re-requests");
 }
 
 // ------------------------------------------------------------- transmit ---
@@ -115,15 +282,7 @@ void UeDevice::PowerOn(nas::System system) {
   } else {
     Promote3g(model::Rrc3g::kFach);
     StartLau();
-    if (!gmm_attached_) {
-      gmm_ = GmmState::kRauInProgress;
-      rau_started_at_ = sim_.now();
-      trace_.Msg(nas::System::k3G, "GMM", "GPRS Attach Request sent");
-      nas::Message m;
-      m.kind = nas::MsgKind::kGprsAttachRequest;
-      m.protocol = nas::Protocol::kGmm;
-      SendPs(m);
-    }
+    if (!gmm_attached_) StartGprsAttach();
   }
 }
 
@@ -160,6 +319,7 @@ void UeDevice::PowerOff() {
   t3430_.Stop();
   mm_wait_timer_.Stop();
   rrc_demote_.Stop();
+  StopNasGuards();
   rrc3g_ = model::Rrc3g::kIdle;
   rrc4g_ = model::Rrc4g::kIdle;
 }
@@ -221,6 +381,8 @@ void UeDevice::TryServePendingCall() {
   m.kind = nas::MsgKind::kCmServiceRequest;
   m.protocol = nas::Protocol::kMm;
   SendCs(m);
+  cm_attempts_ = 0;
+  ArmCmGuard();
 }
 
 void UeDevice::HangUp() {
@@ -406,6 +568,7 @@ void UeDevice::SwitchTo3g(model::SwitchReason reason) {
                "4G->3G switch (" + model::ToString(reason) + ")");
   t3410_.Stop();
   t3430_.Stop();
+  attach_backoff_.Stop();
   rrc4g_ = model::Rrc4g::kIdle;
   trace_.State(nas::System::k4G, "4G-RRC", "RRC CONNECTED -> IDLE");
   MigrateContextsTo3g();
@@ -425,13 +588,7 @@ void UeDevice::SwitchTo3g(model::SwitchReason reason) {
     StartLau();
   }
   if (!gmm_attached_) {
-    gmm_ = GmmState::kRauInProgress;
-    rau_started_at_ = sim_.now();
-    trace_.Msg(nas::System::k3G, "GMM", "GPRS Attach Request sent");
-    nas::Message m;
-    m.kind = nas::MsgKind::kGprsAttachRequest;
-    m.protocol = nas::Protocol::kGmm;
-    SendPs(m);
+    StartGprsAttach();
   } else if (pdp_.active) {
     StartRau();
   }
@@ -478,6 +635,10 @@ void UeDevice::SwitchTo4g() {
   gmm_ = GmmState::kIdle;
   mm_wait_timer_.Stop();
   rrc_demote_.Stop();
+  lu_guard_.Stop();
+  gmm_guard_.Stop();
+  pdp_guard_.Stop();
+  cm_guard_.Stop();
   if (rrc3g_ != model::Rrc3g::kIdle) {
     trace_.State(nas::System::k3G, "3G-RRC",
                  model::ToString(rrc3g_) + " -> IDLE (leaving 3G)");
@@ -503,7 +664,8 @@ void UeDevice::StartAttach() {
   trace_.Msg(nas::System::k4G, "EMM",
              attach_attempts_ == 1 ? "Attach Request sent"
                                    : "Attach Request retransmitted");
-  t3410_.Start(nas::timers::kT3410AttachGuard, [this] { OnAttachTimeout(); });
+  t3410_.Start(Scaled(nas::timers::kT3410AttachGuard),
+               [this] { OnAttachTimeout(); });
   nas::Message m;
   m.kind = nas::MsgKind::kAttachRequest;
   m.protocol = nas::Protocol::kEmm;
@@ -517,6 +679,25 @@ void UeDevice::OnAttachTimeout() {
     StartAttach();
     return;
   }
+  if (robustness_.attach_backoff) {
+    // T3411/T3402-class behaviour: rest, then restart the whole attach
+    // cycle with an exponentially growing pause instead of giving up.
+    const auto cycle = static_cast<int>(attach_backoff_cycles_++);
+    const SimDuration pause = Scaled(BackoffDelay(cycle));
+    trace_.Event(nas::System::k4G, "EMM",
+                 Format("maximum attach attempts reached; re-attach backoff "
+                        "armed (%.0f s)",
+                        ToSeconds(pause)));
+    emm_ = EmmState::kOutOfService;
+    attach_backoff_.Start(pause, [this] {
+      if (powered_ && serving_ == nas::System::k4G &&
+          emm_ == EmmState::kOutOfService) {
+        attach_attempts_ = 0;
+        StartAttach();
+      }
+    });
+    return;
+  }
   trace_.Event(nas::System::k4G, "EMM",
                "maximum attach attempts reached; device stays out of service");
   emm_ = EmmState::kOutOfService;
@@ -525,7 +706,7 @@ void UeDevice::OnAttachTimeout() {
 void UeDevice::StartTau() {
   if (serving_ != nas::System::k4G) return;
   emm_ = EmmState::kWaitTauAccept;
-  t3430_.Start(nas::timers::kT3430TauGuard, [this] {
+  t3430_.Start(Scaled(nas::timers::kT3430TauGuard), [this] {
     if (emm_ != EmmState::kWaitTauAccept) return;
     if (tau_attempts_ < 3) {
       ++tau_attempts_;
@@ -587,6 +768,7 @@ void UeDevice::OnDownlink4g(const nas::Message& m) {
         break;
       }
       t3410_.Stop();
+      attach_backoff_.Stop();
       emm_ = EmmState::kRegistered;
       eps_ = m.eps;
       trace_.Msg(nas::System::k4G, "EMM", "Attach Accept received");
@@ -666,6 +848,8 @@ void UeDevice::StartLau() {
   m.kind = nas::MsgKind::kLocationUpdateRequest;
   m.protocol = nas::Protocol::kMm;
   SendCs(m);
+  lu_attempts_ = 0;
+  ArmLuGuard();
 }
 
 void UeDevice::OnDownlink3gCs(const nas::Message& m) {
@@ -674,6 +858,9 @@ void UeDevice::OnDownlink3gCs(const nas::Message& m) {
     case nas::MsgKind::kLocationUpdateAccept:
       if (mm_ != MmState::kLuInProgress) break;
       trace_.Msg(nas::System::k3G, "MM", "Location Updating Accept received");
+      lu_guard_.Stop();
+      lu_attempts_ = 0;
+      lu_backoff_cycles_ = 0;
       mm_registered_ = true;
       if (lau_started_at_) {
         lau_duration_s_.Add(ToSeconds(sim_.now() - *lau_started_at_));
@@ -697,10 +884,22 @@ void UeDevice::OnDownlink3gCs(const nas::Message& m) {
                      nas::ToString(m.mm_cause) + ")");
       mm_ = MmState::kIdle;
       mm_registered_ = false;
+      if (robustness_.nas_retry) {
+        // Retry the update after a growing pause instead of staying
+        // unregistered until the next mobility trigger.
+        const int cycle = lu_backoff_cycles_++;
+        lu_guard_.Start(Scaled(BackoffDelay(cycle)), [this] {
+          if (powered_ && serving_ == nas::System::k3G && !mm_registered_) {
+            lu_attempts_ = 0;
+            StartLau();
+          }
+        });
+      }
       break;
 
     case nas::MsgKind::kCmServiceAccept:
       if (call_ != CallState::kWaitCmAccept) break;
+      cm_guard_.Stop();
       trace_.Msg(nas::System::k3G, "MM", "CM Service Accept received");
       call_ = CallState::kWaitConnect;
       trace_.Msg(nas::System::k3G, "CM/CC", "Setup sent");
@@ -762,6 +961,7 @@ void UeDevice::OnDownlink3gCs(const nas::Message& m) {
 
     case nas::MsgKind::kCmServiceReject:
       trace_.Msg(nas::System::k3G, "MM", "CM Service Reject received");
+      cm_guard_.Stop();
       call_ = CallState::kNone;
       dialed_at_.reset();
       break;
@@ -798,6 +998,19 @@ void UeDevice::OnDownlink3gCs(const nas::Message& m) {
 
 // ------------------------------------------------------------ GMM / SM ---
 
+void UeDevice::StartGprsAttach() {
+  if (serving_ != nas::System::k3G || gmm_attached_) return;
+  gmm_ = GmmState::kRauInProgress;
+  rau_started_at_ = sim_.now();
+  trace_.Msg(nas::System::k3G, "GMM", "GPRS Attach Request sent");
+  nas::Message m;
+  m.kind = nas::MsgKind::kGprsAttachRequest;
+  m.protocol = nas::Protocol::kGmm;
+  SendPs(m);
+  gmm_attempts_ = 0;
+  ArmGmmGuard();
+}
+
 void UeDevice::StartRau() {
   if (serving_ != nas::System::k3G || gmm_ != GmmState::kIdle ||
       !gmm_attached_) {
@@ -811,6 +1024,8 @@ void UeDevice::StartRau() {
   m.kind = nas::MsgKind::kRauRequest;
   m.protocol = nas::Protocol::kGmm;
   SendPs(m);
+  gmm_attempts_ = 0;
+  ArmGmmGuard();
 }
 
 void UeDevice::ActivatePdp() {
@@ -830,6 +1045,8 @@ void UeDevice::ActivatePdp() {
   m.protocol = nas::Protocol::kSm;
   m.pdp = pdp_;
   SendPs(m);
+  pdp_attempts_ = 0;
+  ArmPdpGuard();
 }
 
 void UeDevice::OnDownlink3gPs(const nas::Message& m) {
@@ -838,6 +1055,8 @@ void UeDevice::OnDownlink3gPs(const nas::Message& m) {
     case nas::MsgKind::kGprsAttachAccept:
       gmm_attached_ = true;
       gmm_ = GmmState::kIdle;
+      gmm_guard_.Stop();
+      gmm_backoff_cycles_ = 0;
       trace_.Msg(nas::System::k3G, "GMM", "GPRS Attach Accept received");
       if (rau_started_at_) {
         rau_duration_s_.Add(ToSeconds(sim_.now() - *rau_started_at_));
@@ -852,6 +1071,8 @@ void UeDevice::OnDownlink3gPs(const nas::Message& m) {
     case nas::MsgKind::kRauAccept:
       if (gmm_ != GmmState::kRauInProgress) break;
       gmm_ = GmmState::kIdle;
+      gmm_guard_.Stop();
+      gmm_backoff_cycles_ = 0;
       trace_.Msg(nas::System::k3G, "GMM",
                  "Routing Area Update Accept received");
       if (rau_started_at_) {
@@ -863,6 +1084,8 @@ void UeDevice::OnDownlink3gPs(const nas::Message& m) {
 
     case nas::MsgKind::kPdpActivateAccept:
       pdp_ = m.pdp;
+      pdp_guard_.Stop();
+      pdp_backoff_cycles_ = 0;
       trace_.Msg(nas::System::k3G, "SM", "Activate PDP Context Accept received");
       trace_.State(nas::System::k3G, "SM", "PDP context activated");
       Reevaluate3gPinning();

@@ -38,6 +38,19 @@ struct SolutionConfig {
   bool mme_lu_recovery = false;    // absorb 3G LU failures in the core (S6)
 };
 
+// Robustness machinery the paper's §8 implies but the standards-mandated
+// baseline lacks: NAS procedure retries with exponential backoff, bounded
+// CM-service re-requests, and queue-and-replay in front of a core element
+// that is down. Off by default so the baseline reproduces the S1-S6 defect
+// behaviours; the chaos campaigns switch it on to assert that the three
+// user-visible properties recover within bounded time.
+struct RobustnessConfig {
+  bool nas_retry = false;        // LU/RAU/GPRS-attach/PDP guard + retry
+  bool attach_backoff = false;   // T3411/T3402-style re-attach cycles
+  bool cm_reattempt = false;     // bounded CM-service re-requests
+  bool core_queue_replay = false;  // buffer uplinks while an element is down
+};
+
 class UeDevice {
  public:
   enum class EmmState : std::uint8_t {
@@ -59,7 +72,7 @@ class UeDevice {
 
   UeDevice(sim::Simulator& sim, Rng& rng, trace::Collector& trace,
            const CarrierProfile& profile, SolutionConfig solutions,
-           sim::SharedChannel& channel3g);
+           sim::SharedChannel& channel3g, RobustnessConfig robustness = {});
 
   // --- wiring (done by the Testbed)
   void SetUplink4g(sim::Link* l) { ul4g_ = l; }
@@ -103,6 +116,11 @@ class UeDevice {
   void SwitchTo4g();                            // mobility-initiated return
   void SetRssi(double dbm);
 
+  // Fault hook (timer skew): scales every NAS guard/backoff duration the
+  // device arms from now on. 1.0 is nominal; >1 slows the device's clock.
+  void set_timer_scale(double s) { timer_scale_ = s; }
+  double timer_scale() const { return timer_scale_; }
+
   // CSFB fallback command (RRC connection release with redirect), issued by
   // the MME through the 4G BS.
   void OnCsfbRedirectTo3g();
@@ -142,6 +160,14 @@ class UeDevice {
   std::uint64_t deferred_call_requests() const {
     return deferred_call_requests_;
   }
+  // Robustness-machinery bookkeeping (all zero unless RobustnessConfig
+  // enables the corresponding mechanism).
+  std::uint64_t lu_retries() const { return lu_retries_; }
+  std::uint64_t gmm_retries() const { return gmm_retries_; }
+  std::uint64_t pdp_retries() const { return pdp_retries_; }
+  std::uint64_t cm_retries() const { return cm_retries_; }
+  std::uint64_t cm_abandoned() const { return cm_abandoned_; }
+  std::uint64_t attach_backoff_cycles() const { return attach_backoff_cycles_; }
   // Detach causes, split so the user study can attribute events to findings
   // (S1: missing bearer context; S6: propagated 3G LU failures).
   std::uint64_t detaches_no_eps_bearer() const {
@@ -173,9 +199,23 @@ class UeDevice {
   void SendCs(nas::Message m);
 
   // GMM / SM (3G PS)
+  void StartGprsAttach();
   void StartRau();
   void ActivatePdp();
   void SendPs(nas::Message m);
+
+  // Robustness machinery (guard expiries + backoff; no-ops unless enabled).
+  SimDuration Scaled(SimDuration d) const;
+  SimDuration BackoffDelay(int cycle) const;
+  void ArmLuGuard();
+  void OnLuTimeout();
+  void ArmGmmGuard();
+  void OnGmmTimeout();
+  void ArmPdpGuard();
+  void OnPdpTimeout();
+  void ArmCmGuard();
+  void OnCmTimeout();
+  void StopNasGuards();
 
   // RRC helpers
   model::Rrc3g PinnedLevel() const;
@@ -192,6 +232,7 @@ class UeDevice {
   trace::Collector& trace_;
   const CarrierProfile& profile_;
   SolutionConfig solutions_;
+  RobustnessConfig robustness_;
   sim::SharedChannel& channel3g_;
 
   sim::Link* ul4g_ = nullptr;
@@ -234,6 +275,29 @@ class UeDevice {
   sim::Timer rrc_demote_;    // 3G RRC inactivity demotion
   sim::Timer periodic_;      // periodic location refresh (T3212/T3312 class)
   SimDuration periodic_interval_ = 0;
+
+  // Robustness-machinery timers (armed only when RobustnessConfig enables
+  // the mechanism). Each doubles as the procedure's backoff timer once the
+  // quick retransmissions are exhausted.
+  sim::Timer lu_guard_;      // T3210 class (LU)
+  sim::Timer gmm_guard_;     // T3330 class (GPRS attach / RAU)
+  sim::Timer pdp_guard_;     // T3380 class (PDP activation)
+  sim::Timer cm_guard_;      // T3230 class (CM service)
+  sim::Timer attach_backoff_;  // T3411/T3402 class (re-attach cycles)
+  double timer_scale_ = 1.0;
+  int lu_attempts_ = 0;
+  int lu_backoff_cycles_ = 0;
+  int gmm_attempts_ = 0;
+  int gmm_backoff_cycles_ = 0;
+  int pdp_attempts_ = 0;
+  int pdp_backoff_cycles_ = 0;
+  int cm_attempts_ = 0;
+  std::uint64_t lu_retries_ = 0;
+  std::uint64_t gmm_retries_ = 0;
+  std::uint64_t pdp_retries_ = 0;
+  std::uint64_t cm_retries_ = 0;
+  std::uint64_t cm_abandoned_ = 0;
+  std::uint64_t attach_backoff_cycles_ = 0;
 
   // Attach retry state.
   int attach_attempts_ = 0;

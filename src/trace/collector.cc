@@ -13,6 +13,10 @@ std::string ToString(TraceType t) {
       return "MSG";
     case TraceType::kEvent:
       return "EVENT";
+    case TraceType::kFault:
+      return "FAULT";
+    case TraceType::kRecovery:
+      return "RECOV";
   }
   return "?";
 }

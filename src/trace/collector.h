@@ -29,6 +29,14 @@ class Collector {
              std::string description) {
     Add(TraceType::kEvent, system, std::move(module), std::move(description));
   }
+  void Fault(nas::System system, std::string module, std::string description) {
+    Add(TraceType::kFault, system, std::move(module), std::move(description));
+  }
+  void Recovery(nas::System system, std::string module,
+                std::string description) {
+    Add(TraceType::kRecovery, system, std::move(module),
+        std::move(description));
+  }
 
   const std::vector<TraceRecord>& records() const { return records_; }
   void Clear() { records_.clear(); }

@@ -11,6 +11,8 @@ std::optional<TraceType> ParseType(const std::string& s) {
   if (s == "STATE") return TraceType::kState;
   if (s == "MSG") return TraceType::kMsg;
   if (s == "EVENT") return TraceType::kEvent;
+  if (s == "FAULT") return TraceType::kFault;
+  if (s == "RECOV") return TraceType::kRecovery;
   return std::nullopt;
 }
 

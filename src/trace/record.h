@@ -13,9 +13,11 @@
 namespace cnv::trace {
 
 enum class TraceType : std::uint8_t {
-  kState,  // protocol state change
-  kMsg,    // signaling message sent/received
-  kEvent,  // local event (timer expiry, user action, measurement)
+  kState,     // protocol state change
+  kMsg,       // signaling message sent/received
+  kEvent,     // local event (timer expiry, user action, measurement)
+  kFault,     // injected fault (chaos campaigns: link/element/timer faults)
+  kRecovery,  // monitored property transition (outage begins/ends)
 };
 
 std::string ToString(TraceType t);

@@ -1,0 +1,156 @@
+// CampaignRunner end-to-end: the S1-S6 canned plans must reproduce their
+// findings on the carrier profile where the paper observed them, and the
+// sweep bookkeeping (runs, SLO counts, summary) must hold together.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/campaign.h"
+
+namespace cnv::fault {
+namespace {
+
+bool HasFinding(const RunOutcome& run, const std::string& id) {
+  for (const auto& f : run.report.findings) {
+    if (f.id == id) return true;
+  }
+  return false;
+}
+
+RunOutcome RunPlan(const FaultPlan& plan, const stack::CarrierProfile& profile,
+                   std::uint64_t seed = 1) {
+  CampaignConfig cfg;
+  CampaignRunner runner(cfg);
+  return runner.RunOne(seed, plan, profile);
+}
+
+TEST(CampaignFindingsTest, S1PdpLossMidCsfbReproducesOnOpI) {
+  const RunOutcome run = RunPlan(plans::S1MissingBearerContext(), stack::OpI());
+  EXPECT_TRUE(HasFinding(run, "S1")) << run.report.findings.size();
+  EXPECT_EQ(run.faults_injected, 1u);
+}
+
+TEST(CampaignFindingsTest, S2LostAttachCompleteReproduces) {
+  const RunOutcome run = RunPlan(plans::S2AttachDisruption(), stack::OpI());
+  EXPECT_TRUE(HasFinding(run, "S2"));
+}
+
+TEST(CampaignFindingsTest, S3StuckIn3gReproducesOnCellReselection) {
+  const RunOutcome run = RunPlan(plans::S3StuckIn3g(), stack::OpII());
+  EXPECT_TRUE(HasFinding(run, "S3"));
+}
+
+TEST(CampaignFindingsTest, S3DoesNotFireOnReleaseWithRedirect) {
+  // OP-I releases with redirect: the device comes straight back to 4G, so
+  // the same control plan must stay quiet on S3.
+  const RunOutcome run = RunPlan(plans::S3StuckIn3g(), stack::OpI());
+  EXPECT_FALSE(HasFinding(run, "S3"));
+}
+
+TEST(CampaignFindingsTest, S4HolBlockingReproducesOnOpII) {
+  const RunOutcome run = RunPlan(plans::S4MmHolBlocking(), stack::OpII());
+  EXPECT_TRUE(HasFinding(run, "S4"));
+}
+
+TEST(CampaignFindingsTest, S5SharedChannelDropReproducesOnOpI) {
+  const RunOutcome run = RunPlan(plans::S5SharedChannelDrop(), stack::OpI());
+  EXPECT_TRUE(HasFinding(run, "S5"));
+}
+
+TEST(CampaignFindingsTest, S6SgsRaceReproducesOnOpI) {
+  // OP-II cannot hit the race under this workload: the pinned data session
+  // strands the device in 3G (S3), so the return TAU that would carry the
+  // SGs update never happens. OP-II coverage lives in stack_s5_s6_test.
+  EXPECT_TRUE(
+      HasFinding(RunPlan(plans::S6LuFailurePropagation(), stack::OpI()), "S6"));
+}
+
+TEST(CampaignFindingsTest, SweepAcrossBothCarriersReproducesAllSixFindings) {
+  CampaignConfig cfg;
+  cfg.seeds = {1};
+  cfg.profiles = {stack::OpI(), stack::OpII()};
+  const CampaignResult result = CampaignRunner(cfg).Run();
+  std::set<std::string> ids;
+  for (const auto& run : result.runs) {
+    for (const auto& f : run.report.findings) ids.insert(f.id);
+  }
+  for (const std::string id : {"S1", "S2", "S3", "S4", "S5", "S6"}) {
+    EXPECT_TRUE(ids.count(id)) << id << " never reproduced in the sweep";
+  }
+}
+
+TEST(CampaignFindingsTest, FindingsAreStableAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    EXPECT_TRUE(HasFinding(
+        RunPlan(plans::S2AttachDisruption(), stack::OpI(), seed), "S2"))
+        << "seed " << seed;
+    EXPECT_TRUE(HasFinding(
+        RunPlan(plans::S6LuFailurePropagation(), stack::OpI(), seed), "S6"))
+        << "seed " << seed;
+  }
+}
+
+TEST(CampaignSweepTest, RunSweepsSeedsTimesPlansTimesProfiles) {
+  CampaignConfig cfg;
+  cfg.seeds = {1, 2};
+  cfg.plans = {plans::S1MissingBearerContext(), plans::TimerSkew()};
+  cfg.profiles = {stack::OpI(), stack::OpII()};
+  cfg.duration = Seconds(300);
+  const CampaignResult result = CampaignRunner(cfg).Run();
+  EXPECT_EQ(result.runs.size(), 8u);
+  EXPECT_LE(result.runs_within_slo, result.runs.size());
+  EXPECT_LE(result.runs_with_findings, result.runs.size());
+  // Every run is labelled with its coordinates.
+  for (const auto& r : result.runs) {
+    EXPECT_FALSE(r.plan.empty());
+    EXPECT_FALSE(r.profile.empty());
+  }
+}
+
+TEST(CampaignSweepTest, SummaryListsEveryRun) {
+  CampaignConfig cfg;
+  cfg.seeds = {3};
+  cfg.plans = {plans::S2AttachDisruption()};
+  cfg.duration = Seconds(300);
+  const CampaignResult result = CampaignRunner(cfg).Run();
+  const std::string summary = result.Summary();
+  EXPECT_NE(summary.find("1 run(s)"), std::string::npos);
+  EXPECT_NE(summary.find("s2-attach-disruption"), std::string::npos);
+  EXPECT_NE(summary.find("seed=3"), std::string::npos);
+}
+
+TEST(CampaignSweepTest, TracesAreKeptOnlyWhenAskedFor) {
+  CampaignConfig cfg;
+  cfg.duration = Seconds(60);
+  const FaultPlan plan = plans::TimerSkew();
+  const RunOutcome without =
+      CampaignRunner(cfg, /*keep_traces=*/false).RunOne(1, plan, stack::OpI());
+  const RunOutcome with =
+      CampaignRunner(cfg, /*keep_traces=*/true).RunOne(1, plan, stack::OpI());
+  EXPECT_TRUE(without.trace_log.empty());
+  EXPECT_FALSE(with.trace_log.empty());
+}
+
+TEST(CampaignSweepTest, RobustRunsRecoverWhereBaselineViolatesSlo) {
+  // The MME crash plan wipes the registration; a baseline device that
+  // never notices stays broken, while the robust stack's periodic TAU plus
+  // attach backoff brings service back.
+  CampaignConfig base;
+  base.seeds = {1};
+  base.plans = {plans::MmeCrashRestart()};
+  const CampaignResult baseline = CampaignRunner(base).Run();
+
+  CampaignConfig robust = base;
+  robust.robustness.nas_retry = true;
+  robust.robustness.attach_backoff = true;
+  robust.robustness.cm_reattempt = true;
+  robust.robustness.core_queue_replay = true;
+  const CampaignResult fixed = CampaignRunner(robust).Run();
+
+  ASSERT_EQ(baseline.runs.size(), 1u);
+  ASSERT_EQ(fixed.runs.size(), 1u);
+  EXPECT_GE(fixed.runs_within_slo, baseline.runs_within_slo);
+}
+
+}  // namespace
+}  // namespace cnv::fault

@@ -1,0 +1,126 @@
+// FaultInjector: each scheduled action must reach the right testbed hook
+// at the right simulation time and leave a FAULT record in the trace log.
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+#include "trace/qxdm.h"
+
+namespace cnv::fault {
+namespace {
+
+// Counts FAULT records in the testbed's trace log.
+std::size_t FaultRecords(stack::Testbed& tb) {
+  std::size_t n = 0;
+  for (const auto& r : tb.traces().records()) {
+    if (r.type == trace::TraceType::kFault) ++n;
+  }
+  return n;
+}
+
+TEST(FaultInjectorTest, DropActionArmsTheTargetLink) {
+  stack::Testbed tb({});
+  FaultInjector inj(tb);
+  inj.Apply({.name = "t",
+             .description = "",
+             .actions = {{.at = Millis(20),
+                         .kind = FaultKind::kDropNext,
+                         .target = FaultTarget::kUl4g,
+                         .count = 1}}});
+  tb.ue().PowerOn(nas::System::k4G);
+  tb.Run(Seconds(1));
+  // The Attach Request (t=0) got through; the Attach Complete was eaten.
+  EXPECT_EQ(tb.ul4g().dropped(), 1u);
+  EXPECT_EQ(inj.injected(), 1u);
+  EXPECT_EQ(FaultRecords(tb), 1u);
+}
+
+TEST(FaultInjectorTest, OutageAndRestartReachTheElement) {
+  stack::Testbed tb({});
+  FaultInjector inj(tb);
+  inj.Apply({.name = "t",
+             .description = "",
+             .actions = {{.at = Seconds(10),
+                         .kind = FaultKind::kElementOutage,
+                         .target = FaultTarget::kMme},
+                        {.at = Seconds(20),
+                         .kind = FaultKind::kElementRestart,
+                         .target = FaultTarget::kMme,
+                         .lose_state = true}}});
+  tb.ue().PowerOn(nas::System::k4G);
+  tb.Run(Seconds(15));
+  EXPECT_FALSE(tb.mme().available());
+  // The attach completed before the outage; the lossy restart forgets it.
+  EXPECT_EQ(tb.mme().state(), stack::Mme::EmmState::kRegistered);
+  tb.Run(Seconds(10));
+  EXPECT_TRUE(tb.mme().available());
+  EXPECT_EQ(tb.mme().state(), stack::Mme::EmmState::kDeregistered);
+  EXPECT_EQ(inj.injected(), 2u);
+}
+
+TEST(FaultInjectorTest, TimerSkewReachesTheDevice) {
+  stack::Testbed tb({});
+  FaultInjector inj(tb);
+  inj.Apply({.name = "t",
+             .description = "",
+             .actions = {{.at = Seconds(5),
+                         .kind = FaultKind::kTimerSkew,
+                         .target = FaultTarget::kUe,
+                         .value = 2.5}}});
+  tb.Run(Seconds(6));
+  EXPECT_DOUBLE_EQ(tb.ue().timer_scale(), 2.5);
+}
+
+TEST(FaultInjectorTest, ForceSgsRaceArmsTheMme) {
+  stack::Testbed tb({});
+  FaultInjector inj(tb);
+  inj.Apply({.name = "t",
+             .description = "",
+             .actions = {{.at = 0,
+                         .kind = FaultKind::kForceSgsRace,
+                         .target = FaultTarget::kMme}}});
+  tb.ue().PowerOn(nas::System::k4G);
+  tb.Run(Seconds(30));
+  // The armed race fires on the next SGs update after a CSFB round trip.
+  tb.ue().Dial();
+  tb.Run(Seconds(60));
+  tb.ue().HangUp();
+  tb.Run(Seconds(120));
+  EXPECT_EQ(tb.mme().sgs_update_failures(), 1u);
+}
+
+TEST(FaultInjectorTest, PastActionsExecuteImmediately) {
+  stack::Testbed tb({});
+  tb.Run(Seconds(100));  // now > action time
+  FaultInjector inj(tb);
+  inj.Apply({.name = "t",
+             .description = "",
+             .actions = {{.at = Seconds(10),
+                         .kind = FaultKind::kExtraDelay,
+                         .target = FaultTarget::kDl4g,
+                         .value = 1.0}}});
+  tb.Run(Millis(1));
+  EXPECT_EQ(tb.dl4g().extra_delay(), Seconds(1));
+}
+
+TEST(FaultInjectorTest, PlansCompose) {
+  stack::Testbed tb({});
+  FaultInjector inj(tb);
+  inj.Apply(plans::RadioBurstLoss());
+  inj.Apply(plans::TimerSkew());
+  tb.Run(Seconds(20));
+  EXPECT_DOUBLE_EQ(tb.ue().timer_scale(), 2.5);
+  EXPECT_EQ(inj.injected(), 7u);  // 6 loss settings at 10 s + skew at 0 s
+}
+
+TEST(FaultInjectorTest, FaultRecordsRenderInQxdmFormat) {
+  stack::Testbed tb({});
+  FaultInjector inj(tb);
+  inj.Apply(plans::TimerSkew());
+  tb.Run(Seconds(1));
+  const std::string log = trace::FormatLog(tb.traces().records());
+  EXPECT_NE(log.find("[FAULT]"), std::string::npos);
+  EXPECT_NE(log.find("timer-skew on UE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cnv::fault

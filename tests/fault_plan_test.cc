@@ -1,0 +1,92 @@
+// FaultPlan catalogue: the canned plans are plain data, so these tests pin
+// their shape — names, kinds, targets and the alignment of their times with
+// the standard campaign workload — plus the human-readable formatting that
+// ends up in FAULT trace records.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/plan.h"
+
+namespace cnv::fault {
+namespace {
+
+TEST(FaultPlanTest, KindAndTargetNamesAreStable) {
+  EXPECT_EQ(ToString(FaultKind::kDropNext), "drop-next");
+  EXPECT_EQ(ToString(FaultKind::kElementRestart), "element-restart");
+  EXPECT_EQ(ToString(FaultKind::kForceSgsRace), "force-sgs-race");
+  EXPECT_EQ(ToString(FaultKind::kTimerSkew), "timer-skew");
+  EXPECT_EQ(ToString(FaultTarget::kUl4g), "UE->MME");
+  EXPECT_EQ(ToString(FaultTarget::kDl3gCs), "MSC->UE");
+  EXPECT_EQ(ToString(FaultTarget::kHss), "HSS");
+}
+
+TEST(FaultPlanTest, DescribeRendersCountValueAndStateLoss) {
+  EXPECT_EQ(Describe({.at = 0,
+                      .kind = FaultKind::kDropNext,
+                      .target = FaultTarget::kUl4g,
+                      .count = 3}),
+            "drop-next on UE->MME (n=3)");
+  EXPECT_EQ(Describe({.at = 0,
+                      .kind = FaultKind::kExtraDelay,
+                      .target = FaultTarget::kDl4g,
+                      .value = 2.0}),
+            "extra-delay on MME->UE (2.000 s)");
+  EXPECT_EQ(Describe({.at = 0,
+                      .kind = FaultKind::kElementRestart,
+                      .target = FaultTarget::kMme,
+                      .lose_state = true}),
+            "element-restart of MME (state lost)");
+  EXPECT_EQ(Describe({.at = 0,
+                      .kind = FaultKind::kForceSgsRace,
+                      .target = FaultTarget::kMme}),
+            "force-sgs-race on MME");
+}
+
+TEST(FaultPlanTest, FindingsSetCoversS1ThroughS6) {
+  const auto plans = plans::Findings();
+  ASSERT_EQ(plans.size(), 6u);
+  EXPECT_EQ(plans[0].name, "s1-missing-bearer-context");
+  EXPECT_EQ(plans[1].name, "s2-attach-disruption");
+  EXPECT_EQ(plans[2].name, "s3-stuck-in-3g");
+  EXPECT_EQ(plans[3].name, "s4-mm-hol-blocking");
+  EXPECT_EQ(plans[4].name, "s5-shared-channel-drop");
+  EXPECT_EQ(plans[5].name, "s6-lu-failure-propagation");
+}
+
+TEST(FaultPlanTest, AllPlansHaveUniqueNamesAndDescriptions) {
+  std::set<std::string> names;
+  for (const auto& p : plans::All()) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.description.empty());
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate: " << p.name;
+  }
+  EXPECT_GE(names.size(), 14u);
+}
+
+TEST(FaultPlanTest, ActionTimesAreNonNegative) {
+  for (const auto& p : plans::All()) {
+    for (const auto& a : p.actions) {
+      EXPECT_GE(a.at, 0) << p.name;
+    }
+  }
+}
+
+TEST(FaultPlanTest, ControlPlansCarryNoActions) {
+  EXPECT_TRUE(plans::S3StuckIn3g().actions.empty());
+  EXPECT_TRUE(plans::S5SharedChannelDrop().actions.empty());
+}
+
+TEST(FaultPlanTest, OutagePlansPairOutageWithRestart) {
+  for (const auto& p : {plans::MmeCrashRestart(), plans::MscOutage(),
+                        plans::SgsnFlap(), plans::HssBlackout()}) {
+    ASSERT_EQ(p.actions.size(), 2u) << p.name;
+    EXPECT_EQ(p.actions[0].kind, FaultKind::kElementOutage) << p.name;
+    EXPECT_EQ(p.actions[1].kind, FaultKind::kElementRestart) << p.name;
+    EXPECT_EQ(p.actions[0].target, p.actions[1].target) << p.name;
+    EXPECT_LT(p.actions[0].at, p.actions[1].at) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace cnv::fault

@@ -1,0 +1,204 @@
+// Interactions between the Link fault hooks: combined drop+defer arming,
+// forced drops on reliable legs, duplication, corruption, reordering, and
+// counter consistency under randomized loss.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/link.h"
+
+namespace cnv::sim {
+namespace {
+
+nas::Message Msg(nas::MsgKind kind, std::uint64_t uid = 0) {
+  nas::Message m;
+  m.kind = kind;
+  m.protocol = nas::Protocol::kEmm;
+  m.uid = uid;
+  return m;
+}
+
+TEST(LinkFaultTest, ForceDropAndDeferOnSameMessage) {
+  // Arm both hooks before a single Send: the drop wins, and the deferral
+  // stays armed for the next message that actually goes out.
+  Simulator sim;
+  Rng rng(1);
+  Link link(sim, rng, {.delay = Millis(10)}, "radio");
+  std::vector<SimTime> arrivals;
+  link.SetReceiver([&](const nas::Message&) { arrivals.push_back(sim.now()); });
+  link.ForceDropNext(1);
+  link.DeferNext(Millis(100));
+  link.Send(Msg(nas::MsgKind::kAttachRequest));  // dropped
+  link.Send(Msg(nas::MsgKind::kAttachRequest));  // deferred: 10 + 100
+  link.Send(Msg(nas::MsgKind::kAttachRequest));  // normal: 10
+  sim.RunAll();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], Millis(10));
+  EXPECT_EQ(arrivals[1], Millis(110));
+  EXPECT_EQ(link.dropped(), 1u);
+  EXPECT_EQ(link.sent(), 3u);
+}
+
+TEST(LinkFaultTest, ForceDropAppliesOnReliableLeg) {
+  Simulator sim;
+  Rng rng(2);
+  Link link(sim, rng, {.delay = Millis(1), .reliable = true}, "backhaul");
+  int got = 0;
+  link.SetReceiver([&](const nas::Message&) { ++got; });
+  link.ForceDropNext(3);
+  for (int i = 0; i < 10; ++i) link.Send(Msg(nas::MsgKind::kTauRequest));
+  sim.RunAll();
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(link.dropped(), 3u);
+  EXPECT_EQ(link.delivered(), 7u);
+}
+
+TEST(LinkFaultTest, DuplicateDeliversTwiceInOrder) {
+  Simulator sim;
+  Rng rng(3);
+  Link link(sim, rng, {.delay = Millis(10)}, "radio");
+  std::vector<std::uint64_t> uids;
+  std::vector<SimTime> arrivals;
+  link.SetReceiver([&](const nas::Message& m) {
+    uids.push_back(m.uid);
+    arrivals.push_back(sim.now());
+  });
+  link.ForceDuplicateNext(1);
+  link.Send(Msg(nas::MsgKind::kAttachRequest, 7));
+  sim.RunAll();
+  link.Send(Msg(nas::MsgKind::kAttachRequest, 8));
+  sim.RunAll();
+  ASSERT_EQ(uids.size(), 3u);
+  EXPECT_EQ(uids[0], 7u);  // original
+  EXPECT_EQ(uids[1], 7u);  // duplicate, 1 ms behind
+  EXPECT_EQ(uids[2], 8u);
+  EXPECT_EQ(arrivals[1], arrivals[0] + Millis(1));
+  EXPECT_EQ(link.sent(), 2u);
+  EXPECT_EQ(link.duplicated(), 1u);
+  EXPECT_EQ(link.delivered(), 3u);
+}
+
+TEST(LinkFaultTest, CorruptedMessageNeverReachesReceiver) {
+  Simulator sim;
+  Rng rng(4);
+  Link link(sim, rng, {.delay = Millis(1)}, "radio");
+  int got = 0;
+  link.SetReceiver([&](const nas::Message&) { ++got; });
+  link.CorruptNext(2);
+  for (int i = 0; i < 5; ++i) link.Send(Msg(nas::MsgKind::kAttachAccept));
+  sim.RunAll();
+  EXPECT_EQ(got, 3);
+  EXPECT_EQ(link.corrupted(), 2u);
+  EXPECT_EQ(link.dropped(), 0u);
+  EXPECT_EQ(link.delivered(), 3u);
+}
+
+TEST(LinkFaultTest, ForceDropConsumesBeforeCorrupt) {
+  // Both armed: the drop consumes the message first; the corruption stays
+  // armed for the next one.
+  Simulator sim;
+  Rng rng(5);
+  Link link(sim, rng, {.delay = Millis(1)}, "radio");
+  int got = 0;
+  link.SetReceiver([&](const nas::Message&) { ++got; });
+  link.ForceDropNext(1);
+  link.CorruptNext(1);
+  link.Send(Msg(nas::MsgKind::kAttachRequest));  // dropped
+  link.Send(Msg(nas::MsgKind::kAttachRequest));  // corrupted
+  link.Send(Msg(nas::MsgKind::kAttachRequest));  // delivered
+  sim.RunAll();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(link.dropped(), 1u);
+  EXPECT_EQ(link.corrupted(), 1u);
+}
+
+TEST(LinkFaultTest, ReorderSwapsAdjacentMessages) {
+  Simulator sim;
+  Rng rng(6);
+  Link link(sim, rng, {.delay = Millis(10)}, "radio");
+  std::vector<std::uint64_t> uids;
+  link.SetReceiver([&](const nas::Message& m) { uids.push_back(m.uid); });
+  link.ReorderNext();
+  link.Send(Msg(nas::MsgKind::kAttachRequest, 1));  // held
+  link.Send(Msg(nas::MsgKind::kAttachRequest, 2));  // overtakes; 1 trails it
+  sim.RunAll();
+  link.Send(Msg(nas::MsgKind::kAttachRequest, 3));
+  sim.RunAll();
+  EXPECT_EQ(uids, (std::vector<std::uint64_t>{2, 1, 3}));
+  EXPECT_FALSE(link.has_held_message());
+  EXPECT_EQ(link.delivered(), 3u);
+}
+
+TEST(LinkFaultTest, HeldMessageFlushesWhenNoSuccessorArrives) {
+  Simulator sim;
+  Rng rng(7);
+  Link link(sim, rng, {.delay = Millis(10)}, "radio");
+  int got = 0;
+  link.SetReceiver([&](const nas::Message&) { ++got; });
+  link.ReorderNext();
+  link.Send(Msg(nas::MsgKind::kTauRequest));
+  sim.RunAll();
+  EXPECT_EQ(got, 0);
+  EXPECT_TRUE(link.has_held_message());
+  EXPECT_EQ(link.in_flight(), 1u);
+  link.FlushHeld();
+  sim.RunAll();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(link.in_flight(), 0u);
+}
+
+TEST(LinkFaultTest, PersistentExtraDelayAppliesUntilCleared) {
+  Simulator sim;
+  Rng rng(8);
+  Link link(sim, rng, {.delay = Millis(10)}, "radio");
+  std::vector<SimTime> arrivals;
+  link.SetReceiver([&](const nas::Message&) { arrivals.push_back(sim.now()); });
+  link.set_extra_delay(Millis(40));
+  link.Send(Msg(nas::MsgKind::kAttachRequest));
+  sim.RunAll();
+  link.set_extra_delay(0);
+  const SimTime t0 = sim.now();
+  link.Send(Msg(nas::MsgKind::kAttachRequest));
+  sim.RunAll();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], Millis(50));
+  EXPECT_EQ(arrivals[1], t0 + Millis(10));
+}
+
+TEST(LinkFaultTest, CountersConsistentUnderRandomizedLossAndFaults) {
+  // Invariant after the queue drains with nothing held:
+  //   delivered + dropped + corrupted == sent + duplicated.
+  Simulator sim;
+  Rng rng(9);
+  Rng faults(10);
+  Link link(sim, rng,
+            {.delay = Millis(2), .loss_prob = 0.25, .reliable = false},
+            "radio");
+  std::uint64_t got = 0;
+  link.SetReceiver([&](const nas::Message&) { ++got; });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    switch (faults.UniformInt(0, 5)) {
+      case 0: link.ForceDropNext(1); break;
+      case 1: link.ForceDuplicateNext(1); break;
+      case 2: link.CorruptNext(1); break;
+      case 3: link.ReorderNext(); break;
+      default: break;  // plain send
+    }
+    link.Send(Msg(nas::MsgKind::kAttachRequest, static_cast<std::uint64_t>(i)));
+  }
+  link.FlushHeld();
+  sim.RunAll();
+  EXPECT_EQ(link.sent(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(link.in_flight(), 0u);
+  EXPECT_EQ(link.delivered() + link.dropped() + link.corrupted(),
+            link.sent() + link.duplicated());
+  EXPECT_EQ(got, link.delivered());
+  EXPECT_GT(link.dropped(), 0u);
+  EXPECT_GT(link.duplicated(), 0u);
+  EXPECT_GT(link.corrupted(), 0u);
+}
+
+}  // namespace
+}  // namespace cnv::sim

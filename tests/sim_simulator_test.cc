@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/timer.h"
@@ -130,6 +131,47 @@ TEST(SimulatorTest, RunAllHonorsLimit) {
   sim.RunAll(Seconds(5));
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(sim.now(), Seconds(5));
+}
+
+TEST(SimulatorTest, HandlerSlotsStayBoundedAcrossManyCycles) {
+  // Regression: handlers_ used to be indexed by the ever-increasing EventId
+  // and never shrank, leaking one slot per scheduled event. With the free
+  // list, slot usage is bounded by the peak number of pending events.
+  Simulator sim;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    sim.ScheduleIn(Millis(1), [&] { ++fired; });
+    sim.Step();
+  }
+  EXPECT_EQ(fired, 1'000'000u);
+  // One live event at a time plus the reserved slot 0.
+  EXPECT_LE(sim.HandlerSlots(), 4u);
+}
+
+TEST(SimulatorTest, CancelledEventsAlsoRecycleSlots) {
+  Simulator sim;
+  for (int i = 0; i < 100'000; ++i) {
+    const auto id = sim.ScheduleIn(Millis(1), [] {});
+    sim.Cancel(id);
+    sim.RunUntil(sim.now() + Millis(1));
+  }
+  EXPECT_EQ(sim.ExecutedEvents(), 0u);
+  EXPECT_LE(sim.HandlerSlots(), 4u);
+}
+
+TEST(SimulatorTest, StaleIdCannotCancelRecycledSlot) {
+  // A handle kept past its event's execution must not cancel a newer event
+  // that happens to reuse the same handler slot.
+  Simulator sim;
+  int first = 0, second = 0;
+  const auto id = sim.ScheduleAt(Millis(1), [&] { ++first; });
+  sim.RunAll();
+  const auto id2 = sim.ScheduleAt(Millis(2), [&] { ++second; });
+  EXPECT_NE(id, id2);  // same slot, different generation
+  sim.Cancel(id);      // stale: must be a no-op
+  sim.RunAll();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
 }
 
 TEST(TimerTest, FiresOnceAfterDuration) {
