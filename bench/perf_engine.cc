@@ -7,6 +7,8 @@
 #include "mck/random_walk.h"
 #include "mck/toy_models.h"
 #include "model/s2_model.h"
+#include "obs/harvest.h"
+#include "obs/span.h"
 #include "sim/simulator.h"
 #include "solution/shim.h"
 #include "stack/testbed.h"
@@ -133,6 +135,50 @@ void BM_CsfbCallRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CsfbCallRoundTrip);
+
+// Telemetry-layer cost on a populated run: harvesting every counter and
+// latency series of a finished testbed into a registry and serializing the
+// JSON snapshot.
+void BM_TelemetryHarvestAndExport(benchmark::State& state) {
+  stack::TestbedConfig cfg;
+  cfg.seed = 7;
+  stack::Testbed tb(cfg);
+  tb.ue().PowerOn(nas::System::k4G);
+  tb.Run(Seconds(3));
+  tb.ue().Dial();
+  tb.Run(Seconds(40));
+  tb.ue().HangUp();
+  tb.Run(Seconds(20));
+  for (auto _ : state) {
+    obs::Registry reg;
+    obs::HarvestTestbed(reg, tb);
+    const std::string json = reg.ToJson(tb.sim().now());
+    benchmark::DoNotOptimize(json.data());
+  }
+}
+BENCHMARK(BM_TelemetryHarvestAndExport);
+
+// Span stitching over the full trace of a CSFB call round trip.
+void BM_SpanStitching(benchmark::State& state) {
+  stack::TestbedConfig cfg;
+  cfg.seed = 7;
+  stack::Testbed tb(cfg);
+  tb.ue().PowerOn(nas::System::k4G);
+  tb.Run(Seconds(3));
+  tb.ue().Dial();
+  tb.Run(Seconds(40));
+  tb.ue().HangUp();
+  tb.Run(Seconds(20));
+  const auto& records = tb.traces().records();
+  for (auto _ : state) {
+    auto spans = obs::StitchSpans(records);
+    benchmark::DoNotOptimize(spans.size());
+    state.counters["spans"] = static_cast<double>(spans.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_SpanStitching);
 
 }  // namespace
 }  // namespace cnv

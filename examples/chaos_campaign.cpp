@@ -7,12 +7,20 @@
 // Every run is deterministic in (seed, plan, profile): re-running the same
 // triple replays the identical QXDM trace byte for byte.
 //
-// Usage:  ./chaos_campaign [seeds] [plans] [--robust]
+// Usage:  ./chaos_campaign [seeds] [plans] [--robust] [--metrics-json DIR]
 //   seeds     number of seeds to sweep (default 20)
 //   plans     "findings" = the S1-S6 set, "all" = every canned plan,
 //             or a comma-separated list of plan names (default "all")
 //   --robust  enable the robustness machinery (NAS retries, attach
 //             backoff, bounded CM re-requests, core queue-and-replay)
+//   --metrics-json DIR
+//             collect telemetry and write, under DIR, one
+//             run_seed<seed>_<plan>_<profile>.metrics.json report per run
+//             (periodic sim-clock metric snapshots + final metrics + spans)
+//             plus spans.trace.json, a Chrome trace-event file of every
+//             procedure span (open in chrome://tracing or Perfetto). All
+//             exported values are simulated-time based, so files are
+//             byte-identical across replays.
 //
 // CI runs the smoke version: ./chaos_campaign 3 s2-attach-disruption,mme-crash-restart
 #include <cstdio>
@@ -23,6 +31,7 @@
 #include <vector>
 
 #include "fault/campaign.h"
+#include "obs/export.h"
 
 using namespace cnv;
 
@@ -62,10 +71,17 @@ int main(int argc, char** argv) {
   int n_seeds = 20;
   std::string plan_spec = "all";
   bool robust = false;
+  std::string metrics_dir;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--robust") == 0) {
       robust = true;
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-json needs an output directory\n");
+        return 2;
+      }
+      metrics_dir = argv[++i];
     } else if (positional == 0) {
       n_seeds = std::atoi(argv[i]);
       ++positional;
@@ -90,6 +106,7 @@ int main(int argc, char** argv) {
                       .cm_reattempt = true,
                       .core_queue_replay = true};
   }
+  cfg.collect_telemetry = !metrics_dir.empty();
 
   std::printf("chaos campaign: %zu seed(s) x %zu plan(s) x %zu profile(s)%s\n",
               cfg.seeds.size(), cfg.plans.size(), cfg.profiles.size(),
@@ -113,6 +130,29 @@ int main(int argc, char** argv) {
   }
   std::printf("%zu/%zu run(s) recovered within SLO\n", result.runs_within_slo,
               result.runs.size());
+
+  if (!metrics_dir.empty()) {
+    std::size_t written = 0;
+    for (const auto& run : result.runs) {
+      if (!run.telemetry) continue;
+      const std::string path =
+          metrics_dir + "/run_seed" + std::to_string(run.seed) + "_" +
+          obs::SanitizeFilename(run.plan) + "_" +
+          obs::SanitizeFilename(run.profile) + ".metrics.json";
+      if (!obs::WriteFile(path, run.telemetry->ToJson())) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+      }
+      ++written;
+    }
+    const std::string spans_path = metrics_dir + "/spans.trace.json";
+    if (!obs::WriteFile(spans_path, result.ChromeTraceJson())) {
+      std::fprintf(stderr, "failed to write %s\n", spans_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu per-run metrics report(s) and %s\n", written,
+                spans_path.c_str());
+  }
 
   // Exit non-zero only on harness failure; SLO violations and findings are
   // the campaign's *output*, not an error.

@@ -24,6 +24,12 @@ int main(int argc, char** argv) {
   std::printf("explored %llu states, %llu transitions\n",
               (unsigned long long)result.stats.states_visited,
               (unsigned long long)result.stats.transitions);
+  std::printf(
+      "wall: %.3fs  throughput: %.0f states/s  frontier peak: %llu  "
+      "hash occupancy: %.2f\n",
+      result.stats.elapsed_wall_seconds, result.stats.StatesPerSecond(),
+      (unsigned long long)result.stats.frontier_peak,
+      result.stats.hash_occupancy);
   if (const auto* v = result.FindViolation(model::kMmOk)) {
     std::printf("\n%s\n", mck::FormatTrace(m, *v).c_str());
   } else {

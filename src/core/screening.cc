@@ -167,6 +167,7 @@ ScreeningReport ScreeningRunner::RunAll() const {
   for (const auto& cell : report.cells) {
     report.total_states += cell.stats.states_visited;
     report.total_transitions += cell.stats.transitions;
+    report.total_wall_seconds += cell.stats.elapsed_wall_seconds;
     for (const auto f : cell.findings) {
       if (!report.Found(f)) report.findings_found.push_back(f);
     }
@@ -184,6 +185,10 @@ std::string ScreeningRunner::Format(const ScreeningReport& report) {
                    static_cast<unsigned long long>(cell.stats.states_visited),
                    static_cast<unsigned long long>(cell.stats.transitions),
                    cell.stats.truncated ? "  (truncated)" : "");
+    out += cnv::Format(
+        "    wall: %.3fs  throughput: %.0f states/s  frontier peak: %llu\n",
+        cell.stats.elapsed_wall_seconds, cell.stats.StatesPerSecond(),
+        static_cast<unsigned long long>(cell.stats.frontier_peak));
     if (cell.findings.empty()) {
       out += "    all properties hold\n";
       continue;
@@ -193,6 +198,12 @@ std::string ScreeningRunner::Format(const ScreeningReport& report) {
              ToString(cell.findings.front()) + "\n";
     }
   }
+  out += cnv::Format(
+      "\ntotal: %llu states, %llu transitions in %.3fs wall "
+      "(%.0f states/s)\n",
+      static_cast<unsigned long long>(report.total_states),
+      static_cast<unsigned long long>(report.total_transitions),
+      report.total_wall_seconds, report.StatesPerSecond());
   out += "\n=== findings discovered by screening: ";
   if (report.findings_found.empty()) {
     out += "(none)";

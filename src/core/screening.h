@@ -40,6 +40,15 @@ struct ScreeningReport {
   std::vector<FindingId> findings_found;  // union over cells, S-order
   std::uint64_t total_states = 0;
   std::uint64_t total_transitions = 0;
+  // Wall-clock total across cells; throughput figure only, never part of a
+  // determinism comparison.
+  double total_wall_seconds = 0;
+
+  double StatesPerSecond() const {
+    return total_wall_seconds > 0
+               ? static_cast<double>(total_states) / total_wall_seconds
+               : 0;
+  }
 
   bool Found(FindingId id) const;
 };

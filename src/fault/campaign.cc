@@ -1,9 +1,35 @@
 #include "fault/campaign.h"
 
+#include <memory>
+
+#include "obs/harvest.h"
+#include "obs/span.h"
 #include "trace/qxdm.h"
 #include "util/strings.h"
 
 namespace cnv::fault {
+
+namespace {
+
+// Folds the monitor's per-property outage accounting into SLO metrics.
+void HarvestMonitorReport(obs::Registry& reg, const MonitorReport& report) {
+  for (const auto& p : report.properties) {
+    const std::string prefix = "fault.slo." + p.name;
+    reg.GetCounter(prefix + ".outages")
+        .Increment(static_cast<std::uint64_t>(p.outages));
+    reg.GetGauge(prefix + ".total_outage_s").Set(ToSeconds(p.total_outage));
+    reg.GetGauge(prefix + ".longest_outage_s")
+        .Set(ToSeconds(p.longest_outage));
+    reg.GetGauge(prefix + ".within_slo").Set(p.within_slo() ? 1 : 0);
+  }
+  reg.GetCounter("fault.findings.total")
+      .Increment(report.findings.size());
+  for (const auto& f : report.findings) {
+    reg.GetCounter("fault.findings." + f.id).Increment();
+  }
+}
+
+}  // namespace
 
 void CampaignRunner::ScheduleWorkload(stack::Testbed& tb) {
   auto& sim = tb.sim();
@@ -38,6 +64,15 @@ RunOutcome CampaignRunner::RunOne(
   RecoveryMonitor monitor(tb, config_.slo);
   monitor.Start();
   ScheduleWorkload(tb);
+
+  std::unique_ptr<obs::SnapshotScheduler> snapshots;
+  if (config_.collect_telemetry) {
+    snapshots = std::make_unique<obs::SnapshotScheduler>(
+        tb.sim(), [&tb](obs::Registry& reg) { obs::HarvestTestbed(reg, tb); },
+        config_.snapshot_period);
+    snapshots->Start();
+  }
+
   tb.Run(config_.duration);
 
   RunOutcome out;
@@ -47,6 +82,23 @@ RunOutcome CampaignRunner::RunOne(
   out.report = monitor.Finalize();
   out.faults_injected = injector.injected();
   if (keep_traces_) out.trace_log = trace::FormatLog(tb.traces().records());
+
+  if (config_.collect_telemetry) {
+    obs::RunReport report;
+    report.meta = {{"seed", std::to_string(seed)},
+                   {"plan", plan.name},
+                   {"profile", profile.name}};
+    report.snapshots = snapshots->snapshots();
+    report.spans = obs::StitchSpans(tb.traces().records());
+
+    obs::Registry final_reg;
+    obs::HarvestTestbed(final_reg, tb);
+    HarvestMonitorReport(final_reg, out.report);
+    final_reg.GetCounter("fault.injected").Increment(out.faults_injected);
+    obs::RecordSpans(final_reg, report.spans);
+    report.final_metrics = final_reg.ToJson(tb.sim().now());
+    out.telemetry = std::move(report);
+  }
   return out;
 }
 
@@ -94,6 +146,16 @@ std::string CampaignResult::Summary() const {
     }
   }
   return out;
+}
+
+std::string CampaignResult::ChromeTraceJson() const {
+  std::vector<std::string> fragments;
+  int pid = 1;
+  for (const auto& r : runs) {
+    if (!r.telemetry) continue;
+    fragments.push_back(r.telemetry->ChromeFragment(pid++));
+  }
+  return obs::ChromeTraceDocument(fragments);
 }
 
 }  // namespace cnv::fault

@@ -13,12 +13,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "fault/injector.h"
 #include "fault/monitor.h"
 #include "fault/plan.h"
+#include "obs/export.h"
 #include "stack/testbed.h"
 
 namespace cnv::fault {
@@ -31,6 +33,13 @@ struct CampaignConfig {
   stack::RobustnessConfig robustness;
   SloBounds slo;
   SimDuration duration = Seconds(600);
+  // Telemetry: when collect_telemetry is set, every run carries an
+  // obs::RunReport (periodic metric snapshots on the simulator clock,
+  // end-of-run metrics, stitched procedure spans). All exported values are
+  // simulated-time based, so reports replay byte-identically per
+  // (seed, plan, profile).
+  bool collect_telemetry = false;
+  SimDuration snapshot_period = Seconds(60);
 };
 
 struct RunOutcome {
@@ -42,6 +51,8 @@ struct RunOutcome {
   // The QXDM-formatted trace of the run; kept only when
   // CampaignConfig-independent callers ask for it via keep_traces.
   std::string trace_log;
+  // Machine-readable run report; present iff config.collect_telemetry.
+  std::optional<obs::RunReport> telemetry;
 };
 
 struct CampaignResult {
@@ -49,6 +60,9 @@ struct CampaignResult {
   std::size_t runs_within_slo = 0;
   std::size_t runs_with_findings = 0;
   std::string Summary() const;
+  // Chrome trace-event document covering every run that carried telemetry
+  // (one viewer process per run). Empty-run document when telemetry was off.
+  std::string ChromeTraceJson() const;
 };
 
 class CampaignRunner {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <concepts>
 #include <cstdint>
 #include <deque>
@@ -85,6 +86,19 @@ struct ExploreStats {
   std::uint64_t transitions = 0;
   std::uint64_t max_depth_reached = 0;
   bool truncated = false;  // hit max_states or max_depth
+  // Peak size of the BFS/DFS frontier and the final load factor of the
+  // visited-state hash table — the two memory-pressure signals for soaks.
+  std::uint64_t frontier_peak = 0;
+  double hash_occupancy = 0;
+  // Wall-clock timing. Everything else in this struct is deterministic;
+  // these two are explicitly wall-clock throughput figures and must never
+  // feed a byte-identical-replay comparison.
+  double elapsed_wall_seconds = 0;
+  double StatesPerSecond() const {
+    return elapsed_wall_seconds > 0
+               ? static_cast<double>(states_visited) / elapsed_wall_seconds
+               : 0;
+  }
 };
 
 template <typename M>
@@ -120,6 +134,7 @@ ExploreResult<M> Explore(const M& model,
   using State = typename M::State;
   using Action = typename M::Action;
 
+  const auto wall_start = std::chrono::steady_clock::now();
   ExploreResult<M> result;
   std::unordered_set<std::string> violated;
 
@@ -201,6 +216,9 @@ ExploreResult<M> Explore(const M& model,
   }
 
   while (!frontier.empty() && !all_violated()) {
+    result.stats.frontier_peak =
+        std::max(result.stats.frontier_peak,
+                 static_cast<std::uint64_t>(frontier.size()));
     std::int64_t idx;
     if (options.order == SearchOrder::kBreadthFirst) {
       idx = frontier.front();
@@ -243,6 +261,11 @@ ExploreResult<M> Explore(const M& model,
   }
 
   result.stats.states_visited = seen.size();
+  result.stats.hash_occupancy = seen.load_factor();
+  result.stats.elapsed_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return result;
 }
 

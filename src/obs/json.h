@@ -1,0 +1,61 @@
+// Minimal deterministic JSON writer used by the telemetry exporters. Same
+// inputs always serialize to the same bytes (field order is caller-driven,
+// number formatting is fixed), which is what makes the exported metric
+// snapshots and span files byte-identical across replayed runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cnv::obs {
+
+// Escapes a string for embedding inside JSON double quotes.
+std::string JsonEscape(const std::string& s);
+
+// Fixed-format rendering of a double: integral values print without a
+// fractional part, everything else with up to 6 significant decimals and
+// trailing zeros trimmed. NaN/inf (not valid JSON) render as null.
+std::string JsonNumber(double v);
+
+// Streaming writer with an explicit nesting stack; commas are inserted
+// automatically. Misuse (e.g. a value where a key is required) is a logic
+// error and asserts in debug builds rather than emitting bad JSON.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key for the next value inside an object.
+  JsonWriter& Key(const std::string& k);
+
+  JsonWriter& String(const std::string& v);
+  JsonWriter& Int(std::int64_t v);
+  JsonWriter& UInt(std::uint64_t v);
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+  // Splices a pre-serialized JSON value verbatim (for nesting snapshots).
+  JsonWriter& Raw(const std::string& json);
+
+  // Returns the serialized document; the writer is left empty.
+  std::string Take();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One frame per open object/array: whether a value was already written.
+  struct Frame {
+    bool array = false;
+    bool has_value = false;
+  };
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace cnv::obs

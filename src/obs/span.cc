@@ -1,0 +1,288 @@
+#include "obs/span.h"
+
+#include <map>
+#include <optional>
+
+#include "obs/json.h"
+#include "util/time.h"
+
+namespace cnv::obs {
+
+namespace {
+
+bool Contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+// Marker table for the non-outage procedures. Matching is constrained by
+// the generating module so e.g. EMM "Attach Request sent" never collides
+// with GMM "GPRS Attach Request sent".
+struct Marker {
+  const char* module;
+  const char* needle;  // substring of the record description
+};
+
+struct Rule {
+  SpanKind kind;
+  std::vector<Marker> starts;
+  std::vector<Marker> retries;
+  std::vector<Marker> successes;
+  std::vector<Marker> failures;
+};
+
+const std::vector<Rule>& Rules() {
+  static const std::vector<Rule> rules = {
+      {SpanKind::kAttach,
+       {{"EMM", "Attach Request sent"}},
+       {{"EMM", "Attach Request retransmitted"}},
+       {{"EMM", "Attach Accept received"}},
+       {{"EMM", "Attach Reject received"}}},
+      {SpanKind::kGprsAttach,
+       {{"GMM", "GPRS Attach Request sent"}},
+       {{"GMM", "GPRS Attach Request retransmitted"}},
+       {{"GMM", "GPRS Attach Accept received"}},
+       {{"GMM", "GMM procedure abandoned"}}},
+      {SpanKind::kLocationUpdate,
+       {{"MM", "Location Updating Request sent"}},
+       {{"MM", "Location Updating Request retransmitted"}},
+       {{"MM", "Location Updating Accept received"}},
+       {{"MM", "Location Updating Reject received"},
+        {"MM", "location update abandoned"}}},
+      {SpanKind::kRoutingUpdate,
+       {{"GMM", "Routing Area Update Request sent"}},
+       {{"GMM", "Routing Area Update Request retransmitted"}},
+       {{"GMM", "Routing Area Update Accept received"}},
+       {{"GMM", "GMM procedure abandoned"}}},
+      {SpanKind::kTrackingUpdate,
+       {{"EMM", "Tracking Area Update Request sent"}},
+       {{"EMM", "TAU retransmitted"}},
+       {{"EMM", "Tracking Area Update Accept received"}},
+       {{"EMM", "Tracking Area Update Reject received"}}},
+      {SpanKind::kPdpActivation,
+       {{"SM", "Activate PDP Context Request sent"}},
+       {{"SM", "Activate PDP Context Request retransmitted"}},
+       {{"SM", "Activate PDP Context Accept received"}},
+       {{"SM", "PDP activation abandoned"}}},
+      {SpanKind::kCall,
+       {{"CM/CC", "user dials an outgoing call"},
+        {"EMM", "Extended Service Request (CSFB) sent"},
+        {"EMM", "VoLTE call setup"}},
+       {{"MM", "CM Service Request re-requested"}},
+       {{"CM/CC", "a call is established"},
+        {"EMM", "VoLTE call established"}},
+       {{"MM", "CM Service Reject received"},
+        {"MM", "CM service abandoned"}}},
+  };
+  return rules;
+}
+
+bool Matches(const trace::TraceRecord& r, const std::vector<Marker>& ms) {
+  for (const auto& m : ms) {
+    if (r.module == m.module && Contains(r.description, m.needle)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ToString(SpanKind k) {
+  switch (k) {
+    case SpanKind::kAttach:
+      return "attach";
+    case SpanKind::kGprsAttach:
+      return "gprs_attach";
+    case SpanKind::kLocationUpdate:
+      return "location_update";
+    case SpanKind::kRoutingUpdate:
+      return "routing_update";
+    case SpanKind::kTrackingUpdate:
+      return "tracking_update";
+    case SpanKind::kPdpActivation:
+      return "pdp_activation";
+    case SpanKind::kCall:
+      return "call";
+    case SpanKind::kOutage:
+      return "outage";
+  }
+  return "?";
+}
+
+std::string ToString(SpanOutcome o) {
+  switch (o) {
+    case SpanOutcome::kSuccess:
+      return "success";
+    case SpanOutcome::kFailure:
+      return "failure";
+    case SpanOutcome::kOpen:
+      return "open";
+  }
+  return "?";
+}
+
+std::vector<ProcedureSpan> StitchSpans(
+    const std::vector<trace::TraceRecord>& records) {
+  std::vector<ProcedureSpan> out;
+  const auto& rules = Rules();
+  // One open slot per rule; outages are per-property, so keyed by name.
+  std::vector<std::optional<ProcedureSpan>> open(rules.size());
+  std::map<std::string, ProcedureSpan> open_outages;
+
+  for (const auto& r : records) {
+    if (r.type == trace::TraceType::kRecovery && r.module == "MONITOR") {
+      constexpr const char* kBegins = " outage begins";
+      const auto b = r.description.find(kBegins);
+      if (b != std::string::npos) {
+        ProcedureSpan s;
+        s.kind = SpanKind::kOutage;
+        s.start = r.time;
+        s.detail = r.description.substr(0, b);  // the property name
+        open_outages[s.detail] = s;
+        continue;
+      }
+      constexpr const char* kRecovered = " recovered after";
+      const auto e = r.description.find(kRecovered);
+      if (e != std::string::npos) {
+        const std::string prop = r.description.substr(0, e);
+        const auto it = open_outages.find(prop);
+        if (it != open_outages.end()) {
+          it->second.end = r.time;
+          it->second.outcome = SpanOutcome::kSuccess;
+          out.push_back(it->second);
+          open_outages.erase(it);
+        }
+      }
+      continue;
+    }
+
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      const Rule& rule = rules[i];
+      if (Matches(r, rule.starts)) {
+        if (open[i]) {
+          // The stack restarted the procedure: the superseded attempt
+          // never completed.
+          open[i]->end = r.time;
+          open[i]->outcome = SpanOutcome::kFailure;
+          open[i]->detail = "superseded by restarted procedure";
+          out.push_back(*open[i]);
+        }
+        ProcedureSpan s;
+        s.kind = rule.kind;
+        s.start = r.time;
+        open[i] = s;
+        break;
+      }
+      if (!open[i]) continue;
+      if (Matches(r, rule.retries)) {
+        ++open[i]->retries;
+        break;
+      }
+      const bool ok = Matches(r, rule.successes);
+      if (ok || Matches(r, rule.failures)) {
+        open[i]->end = r.time;
+        open[i]->outcome = ok ? SpanOutcome::kSuccess : SpanOutcome::kFailure;
+        open[i]->detail = r.description;
+        out.push_back(*open[i]);
+        open[i].reset();
+        break;
+      }
+    }
+  }
+
+  // Flush procedures still pending at the end of the log.
+  const SimTime log_end = records.empty() ? 0 : records.back().time;
+  for (auto& s : open) {
+    if (!s) continue;
+    s->end = log_end;
+    s->outcome = SpanOutcome::kOpen;
+    out.push_back(*s);
+  }
+  for (auto& [prop, s] : open_outages) {
+    s.end = log_end;
+    s.outcome = SpanOutcome::kOpen;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::string ChromeTraceEvents(const std::vector<ProcedureSpan>& spans,
+                              const std::string& process_name, int pid) {
+  JsonWriter w;
+  // Metadata event naming the process row in the viewer.
+  w.BeginObject()
+      .Key("name")
+      .String("process_name")
+      .Key("ph")
+      .String("M")
+      .Key("pid")
+      .Int(pid)
+      .Key("args")
+      .BeginObject()
+      .Key("name")
+      .String(process_name)
+      .EndObject()
+      .EndObject();
+  std::string out = w.Take();
+  for (const auto& s : spans) {
+    std::string name = ToString(s.kind);
+    if (s.kind == SpanKind::kOutage && !s.detail.empty()) {
+      name += ":" + s.detail;
+    }
+    JsonWriter e;
+    e.BeginObject()
+        .Key("name")
+        .String(name)
+        .Key("cat")
+        .String("procedure")
+        .Key("ph")
+        .String("X")
+        .Key("ts")
+        .Int(s.start)
+        .Key("dur")
+        .Int(s.Duration())
+        .Key("pid")
+        .Int(pid)
+        .Key("tid")
+        .Int(static_cast<int>(s.kind) + 1)
+        .Key("args")
+        .BeginObject()
+        .Key("outcome")
+        .String(ToString(s.outcome))
+        .Key("retries")
+        .Int(s.retries)
+        .Key("detail")
+        .String(s.detail)
+        .EndObject()
+        .EndObject();
+    out += ',';
+    out += e.Take();
+  }
+  return out;
+}
+
+std::string ChromeTraceDocument(const std::vector<std::string>& fragments) {
+  std::string events;
+  for (const auto& f : fragments) {
+    if (f.empty()) continue;
+    if (!events.empty()) events += ',';
+    events += f;
+  }
+  return "{\"traceEvents\":[" + events + "],\"displayTimeUnit\":\"ms\"}";
+}
+
+void RecordSpans(Registry& reg, const std::vector<ProcedureSpan>& spans) {
+  for (const auto& s : spans) {
+    const std::string prefix = "span." + ToString(s.kind);
+    reg.GetCounter(prefix + ".count").Increment();
+    reg.GetCounter(prefix + "." + ToString(s.outcome)).Increment();
+    if (s.retries > 0) {
+      reg.GetCounter(prefix + ".retries")
+          .Increment(static_cast<std::uint64_t>(s.retries));
+    }
+    if (s.outcome != SpanOutcome::kOpen) {
+      reg.GetHistogram(prefix + ".latency_s")
+          .Observe(ToSeconds(s.Duration()));
+    }
+  }
+}
+
+}  // namespace cnv::obs

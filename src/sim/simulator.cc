@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -19,6 +20,8 @@ Simulator::EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
   slots_[slot].fn = std::move(fn);
   const EventId id = MakeId(slot, slots_[slot].gen);
   queue_.push({t, next_seq_++, id});
+  ++scheduled_;
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
   return id;
 }
 
@@ -35,7 +38,7 @@ void Simulator::Cancel(EventId id) {
   // A stale id (the slot moved on to a newer generation, or the event
   // already fired) is a no-op.
   if (slots_[slot].gen != GenOf(id) || !slots_[slot].fn) return;
-  cancelled_.insert(id);
+  if (cancelled_.insert(id).second) ++cancelled_total_;
 }
 
 std::function<void()> Simulator::ReleaseSlot(EventId id) {

@@ -53,9 +53,25 @@ class Simulator {
 
   std::size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
   std::uint64_t ExecutedEvents() const { return executed_; }
+  std::uint64_t ScheduledEvents() const { return scheduled_; }
+  std::uint64_t CancelledEvents() const { return cancelled_total_; }
+  // Peak number of simultaneously queued entries (cancelled-but-unpruned
+  // entries included, as they still occupy the heap).
+  std::size_t PeakQueueDepth() const { return peak_queue_depth_; }
   // Number of handler slots ever allocated; bounded by the peak number of
   // simultaneously pending events, not by the total scheduled over time.
   std::size_t HandlerSlots() const { return slots_.size(); }
+
+  // Guard-timer bookkeeping, incremented by sim::Timer. Lives on the
+  // simulator so every timer bound to this run aggregates into one place
+  // the telemetry layer can read without extra wiring.
+  struct TimerStats {
+    std::uint64_t armed = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t cancelled = 0;
+  };
+  TimerStats& timer_stats() { return timer_stats_; }
+  const TimerStats& timer_stats() const { return timer_stats_; }
 
  private:
   struct Entry {
@@ -93,6 +109,10 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_total_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+  TimerStats timer_stats_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   // Slot 0 is reserved so no live event ever gets id kInvalidEvent.
   std::vector<Slot> slots_{Slot{}};

@@ -24,9 +24,11 @@ class Timer {
   void Start(SimDuration d, std::function<void()> on_expiry) {
     Stop();
     running_ = true;
+    ++sim_.timer_stats().armed;
     id_ = sim_.ScheduleIn(d, [this, cb = std::move(on_expiry)] {
       running_ = false;
       id_ = Simulator::kInvalidEvent;
+      ++sim_.timer_stats().fired;
       cb();
     });
   }
@@ -36,6 +38,7 @@ class Timer {
       sim_.Cancel(id_);
       running_ = false;
       id_ = Simulator::kInvalidEvent;
+      ++sim_.timer_stats().cancelled;
     }
   }
 

@@ -21,16 +21,21 @@ class Samples {
   std::size_t Count() const { return values_.size(); }
   bool Empty() const { return values_.empty(); }
 
+  // Min/Max/Mean/Median/Percentile/CdfAt are order-statistic queries over
+  // the accumulated samples; all of them throw std::logic_error when the
+  // set is empty (there is no neutral answer to report into a table).
   double Min() const;
   double Max() const;
   double Mean() const;
   double Stddev() const;  // sample standard deviation; 0 for < 2 samples
   double Median() const { return Percentile(50.0); }
 
-  // Linear-interpolated percentile, p in [0, 100]. Requires non-empty.
+  // Linear-interpolated percentile; p is clamped to [0, 100]. Throws
+  // std::logic_error on an empty sample set.
   double Percentile(double p) const;
 
-  // Fraction of samples <= x, in [0, 1]. Requires non-empty.
+  // Fraction of samples <= x, in [0, 1]. Throws std::logic_error on an
+  // empty sample set.
   double CdfAt(double x) const;
 
   // Sorted copy of the samples (the empirical CDF support points).
@@ -53,6 +58,9 @@ struct CdfPoint {
 };
 
 // Samples the empirical CDF of `s` at `points` evenly spaced quantiles.
+// Degenerate inputs collapse gracefully: empty samples or points == 0
+// yield an empty curve; points == 1 yields the single 100th-percentile
+// point (the maximum).
 std::vector<CdfPoint> RenderCdf(const Samples& s, std::size_t points);
 
 // "min / median / max (90th, avg)" rendering used in several tables.

@@ -164,6 +164,24 @@ TEST(ExplorerTest, FirstViolationPerPropertyDeduplicates) {
   EXPECT_EQ(below_cap_violations, 1);
 }
 
+TEST(ExplorerTest, StatsCarryThroughputAndOccupancyFigures) {
+  PetersonModel m;
+  PropertySet<PetersonModel::State> props = {
+      {"mutex",
+       [](const PetersonModel::State& s) {
+         return !PetersonModel::BothCritical(s);
+       },
+       ""}};
+  const auto r = Explore(m, props);
+  EXPECT_GE(r.stats.frontier_peak, 1u);
+  EXPECT_LE(r.stats.frontier_peak, r.stats.states_visited);
+  EXPECT_GT(r.stats.hash_occupancy, 0.0);
+  // Wall-clock figures are measurement-only; they must be present and sane
+  // but are never folded into deterministic outputs.
+  EXPECT_GE(r.stats.elapsed_wall_seconds, 0.0);
+  EXPECT_GE(r.stats.StatesPerSecond(), 0.0);
+}
+
 TEST(ExplorerTest, FormatTraceListsSteps) {
   CounterModel m;
   m.buggy = true;

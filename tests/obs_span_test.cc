@@ -1,0 +1,183 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "trace/record.h"
+#include "util/time.h"
+
+namespace cnv::obs {
+namespace {
+
+trace::TraceRecord Rec(SimTime t, const std::string& module,
+                       const std::string& desc,
+                       trace::TraceType type = trace::TraceType::kMsg) {
+  trace::TraceRecord r;
+  r.time = t;
+  r.type = type;
+  r.module = module;
+  r.description = desc;
+  return r;
+}
+
+TEST(SpanStitchTest, AttachWithRetransmitSucceeds) {
+  const std::vector<trace::TraceRecord> log = {
+      Rec(Seconds(1), "EMM", "Attach Request sent"),
+      Rec(Seconds(16), "EMM", "T3410 expiry; Attach Request retransmitted"),
+      Rec(Seconds(17), "EMM", "Attach Accept received"),
+  };
+  const auto spans = StitchSpans(log);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kAttach);
+  EXPECT_EQ(spans[0].outcome, SpanOutcome::kSuccess);
+  EXPECT_EQ(spans[0].retries, 1);
+  EXPECT_EQ(spans[0].start, Seconds(1));
+  EXPECT_EQ(spans[0].end, Seconds(17));
+  EXPECT_EQ(spans[0].Duration(), Seconds(16));
+}
+
+TEST(SpanStitchTest, RejectClosesAsFailure) {
+  const std::vector<trace::TraceRecord> log = {
+      Rec(Seconds(1), "EMM", "Attach Request sent"),
+      Rec(Seconds(2), "EMM", "Attach Reject received (cause 11)"),
+  };
+  const auto spans = StitchSpans(log);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].outcome, SpanOutcome::kFailure);
+  EXPECT_EQ(spans[0].detail, "Attach Reject received (cause 11)");
+}
+
+TEST(SpanStitchTest, RestartSupersedesOpenSpan) {
+  const std::vector<trace::TraceRecord> log = {
+      Rec(Seconds(1), "EMM", "Attach Request sent"),
+      Rec(Seconds(60), "EMM", "Attach Request sent"),
+      Rec(Seconds(61), "EMM", "Attach Accept received"),
+  };
+  const auto spans = StitchSpans(log);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].outcome, SpanOutcome::kFailure);
+  EXPECT_EQ(spans[0].detail, "superseded by restarted procedure");
+  EXPECT_EQ(spans[0].end, Seconds(60));
+  EXPECT_EQ(spans[1].outcome, SpanOutcome::kSuccess);
+}
+
+TEST(SpanStitchTest, ModuleDisambiguatesAttachFlavors) {
+  // GMM "GPRS Attach Request sent" contains the EMM needle "Attach Request
+  // sent" as a substring; module matching must keep them apart.
+  const std::vector<trace::TraceRecord> log = {
+      Rec(Seconds(1), "GMM", "GPRS Attach Request sent"),
+      Rec(Seconds(2), "GMM", "GPRS Attach Accept received"),
+  };
+  const auto spans = StitchSpans(log);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kGprsAttach);
+  EXPECT_EQ(spans[0].outcome, SpanOutcome::kSuccess);
+}
+
+TEST(SpanStitchTest, CsfbDialStartsCallSpan) {
+  const std::vector<trace::TraceRecord> log = {
+      Rec(Seconds(5), "EMM", "Extended Service Request (CSFB) sent"),
+      Rec(Seconds(9), "CM/CC", "a call is established"),
+  };
+  const auto spans = StitchSpans(log);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kCall);
+  EXPECT_EQ(spans[0].outcome, SpanOutcome::kSuccess);
+  EXPECT_EQ(spans[0].Duration(), Seconds(4));
+}
+
+TEST(SpanStitchTest, OutagePairsBeginAndRecovery) {
+  const std::vector<trace::TraceRecord> log = {
+      Rec(Seconds(2), "MONITOR", "voice-reachable outage begins",
+          trace::TraceType::kRecovery),
+      Rec(Seconds(3), "MONITOR", "data-usable outage begins",
+          trace::TraceType::kRecovery),
+      Rec(Seconds(12), "MONITOR", "voice-reachable recovered after 10.0 s",
+          trace::TraceType::kRecovery),
+  };
+  const auto spans = StitchSpans(log);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kOutage);
+  EXPECT_EQ(spans[0].detail, "voice-reachable");
+  EXPECT_EQ(spans[0].outcome, SpanOutcome::kSuccess);
+  EXPECT_EQ(spans[0].Duration(), Seconds(10));
+  // The unrecovered outage flushes as open at the last record time.
+  EXPECT_EQ(spans[1].detail, "data-usable");
+  EXPECT_EQ(spans[1].outcome, SpanOutcome::kOpen);
+  EXPECT_EQ(spans[1].end, Seconds(12));
+}
+
+TEST(SpanStitchTest, UnfinishedProcedureFlushesAsOpen) {
+  const std::vector<trace::TraceRecord> log = {
+      Rec(Seconds(1), "MM", "Location Updating Request sent"),
+      Rec(Seconds(5), "MM", "something unrelated"),
+  };
+  const auto spans = StitchSpans(log);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kLocationUpdate);
+  EXPECT_EQ(spans[0].outcome, SpanOutcome::kOpen);
+  EXPECT_EQ(spans[0].end, Seconds(5));
+}
+
+TEST(SpanStitchTest, EmptyLogYieldsNoSpans) {
+  EXPECT_TRUE(StitchSpans({}).empty());
+}
+
+TEST(ChromeTraceTest, FragmentHasMetadataAndCompleteEvents) {
+  ProcedureSpan s;
+  s.kind = SpanKind::kAttach;
+  s.start = Seconds(1);
+  s.end = Seconds(3);
+  s.outcome = SpanOutcome::kSuccess;
+  s.retries = 2;
+  const std::string frag = ChromeTraceEvents({s}, "seed=1", 7);
+  EXPECT_NE(frag.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(frag.find("\"name\":\"seed=1\""), std::string::npos);
+  EXPECT_NE(frag.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(frag.find("\"ts\":1000000"), std::string::npos);
+  EXPECT_NE(frag.find("\"dur\":2000000"), std::string::npos);
+  EXPECT_NE(frag.find("\"pid\":7"), std::string::npos);
+  EXPECT_NE(frag.find("\"retries\":2"), std::string::npos);
+
+  const std::string doc = ChromeTraceDocument({frag});
+  EXPECT_EQ(doc.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, OutageEventsCarryPropertyName) {
+  ProcedureSpan s;
+  s.kind = SpanKind::kOutage;
+  s.detail = "data-usable";
+  s.start = 0;
+  s.end = Seconds(1);
+  s.outcome = SpanOutcome::kSuccess;
+  const std::string frag = ChromeTraceEvents({s}, "run", 1);
+  EXPECT_NE(frag.find("\"name\":\"outage:data-usable\""), std::string::npos);
+}
+
+TEST(RecordSpansTest, CountsOutcomesRetriesAndLatencies) {
+  ProcedureSpan ok;
+  ok.kind = SpanKind::kAttach;
+  ok.start = 0;
+  ok.end = Seconds(2);
+  ok.outcome = SpanOutcome::kSuccess;
+  ok.retries = 3;
+  ProcedureSpan open;
+  open.kind = SpanKind::kAttach;
+  open.start = 0;
+  open.end = Seconds(9);
+  open.outcome = SpanOutcome::kOpen;
+
+  Registry reg;
+  RecordSpans(reg, {ok, open});
+  EXPECT_EQ(reg.GetCounter("span.attach.count").value(), 2u);
+  EXPECT_EQ(reg.GetCounter("span.attach.success").value(), 1u);
+  EXPECT_EQ(reg.GetCounter("span.attach.open").value(), 1u);
+  EXPECT_EQ(reg.GetCounter("span.attach.retries").value(), 3u);
+  // Open spans never contribute a latency sample.
+  EXPECT_EQ(reg.GetHistogram("span.attach.latency_s").Count(), 1u);
+  EXPECT_DOUBLE_EQ(reg.GetHistogram("span.attach.latency_s").Sum(), 2.0);
+}
+
+}  // namespace
+}  // namespace cnv::obs

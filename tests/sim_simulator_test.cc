@@ -174,6 +174,35 @@ TEST(SimulatorTest, StaleIdCannotCancelRecycledSlot) {
   EXPECT_EQ(second, 1);
 }
 
+TEST(SimulatorTest, TelemetryCountersTrackQueueActivity) {
+  Simulator sim;
+  const auto id = sim.ScheduleAt(Millis(10), [] {});
+  sim.ScheduleAt(Millis(20), [] {});
+  sim.ScheduleAt(Millis(30), [] {});
+  EXPECT_EQ(sim.ScheduledEvents(), 3u);
+  EXPECT_EQ(sim.PeakQueueDepth(), 3u);
+  sim.Cancel(id);
+  EXPECT_EQ(sim.CancelledEvents(), 1u);
+  sim.Cancel(id);  // repeated cancel must not double-count
+  EXPECT_EQ(sim.CancelledEvents(), 1u);
+  sim.RunAll();
+  EXPECT_EQ(sim.ExecutedEvents(), 2u);
+  EXPECT_EQ(sim.PeakQueueDepth(), 3u);  // peak is sticky after drain
+}
+
+TEST(TimerTest, TimerStatsCountArmedFiredCancelled) {
+  Simulator sim;
+  Timer a(sim, "fires"), b(sim, "stopped");
+  a.Start(Seconds(1), [] {});
+  b.Start(Seconds(2), [] {});
+  b.Stop();
+  a.Start(Seconds(1), [] {});  // re-arm counts as a new arming
+  sim.RunAll();
+  EXPECT_EQ(sim.timer_stats().armed, 3u);
+  EXPECT_EQ(sim.timer_stats().fired, 1u);
+  EXPECT_EQ(sim.timer_stats().cancelled, 2u);  // explicit Stop + re-arm
+}
+
 TEST(TimerTest, FiresOnceAfterDuration) {
   Simulator sim;
   Timer t(sim, "T3410");

@@ -49,7 +49,9 @@ TEST_P(QxdmFuzz, AdversarialDescriptionsRoundTrip) {
   for (int i = 0; i < 200; ++i) {
     TraceRecord r;
     r.time = rng.UniformInt(0, 86'400'000) * kMillisecond;
-    r.type = static_cast<TraceType>(rng.UniformInt(0, 2));
+    // All five trace types, including the fault-injection additions
+    // kFault and kRecovery.
+    r.type = static_cast<TraceType>(rng.UniformInt(0, 4));
     r.system = rng.Bernoulli(0.5) ? nas::System::k3G : nas::System::k4G;
     r.module = "EMM";
     // Descriptions containing brackets, colons and digits must survive.
@@ -66,6 +68,35 @@ TEST_P(QxdmFuzz, AdversarialDescriptionsRoundTrip) {
     const auto parsed = ParseRecord(FormatRecord(r));
     ASSERT_TRUE(parsed.has_value()) << FormatRecord(r);
     EXPECT_EQ(*parsed, r) << FormatRecord(r);
+  }
+}
+
+TEST_P(QxdmFuzz, FaultAndRecoveryRecordsRoundTrip) {
+  // The chaos-campaign trace types carry injector/monitor text (property
+  // names, durations, percentages); their [FAULT]/[RECOV] tags and bodies
+  // must survive format -> parse unchanged.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 3571);
+  const std::string bodies[] = {
+      "link ue->mme: drop next 1 message(s)",
+      "voice-reachable outage begins",
+      "data-usable recovered after 12.5 s",
+      "MME crash (state wiped)",
+      "timer T3410 scaled by 250%",
+  };
+  for (int i = 0; i < 200; ++i) {
+    TraceRecord r;
+    r.time = rng.UniformInt(0, 86'400'000) * kMillisecond;
+    r.type = rng.Bernoulli(0.5) ? TraceType::kFault : TraceType::kRecovery;
+    r.system = rng.Bernoulli(0.5) ? nas::System::k3G : nas::System::k4G;
+    r.module = rng.Bernoulli(0.5) ? "INJECT" : "MONITOR";
+    r.description = bodies[static_cast<std::size_t>(rng.UniformInt(0, 4))];
+    const std::string line = FormatRecord(r);
+    EXPECT_NE(line.find(r.type == TraceType::kFault ? "[FAULT]" : "[RECOV]"),
+              std::string::npos)
+        << line;
+    const auto parsed = ParseRecord(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_EQ(*parsed, r) << line;
   }
 }
 

@@ -101,6 +101,30 @@ TEST(RenderCdfTest, EmptyInputsGiveEmptyCurve) {
   EXPECT_TRUE(RenderCdf(one, 0).empty());
 }
 
+TEST(RenderCdfTest, SinglePointCollapsesToMaximum) {
+  // points == 1 cannot space quantiles; the documented behavior is one
+  // 100th-percentile point.
+  Samples s({3.0, 9.0, 6.0});
+  const auto curve = RenderCdf(s, 1);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].percent, 100.0);
+  EXPECT_DOUBLE_EQ(curve[0].value, 9.0);
+}
+
+TEST(RenderCdfTest, SingleSampleAnyPointCount) {
+  Samples s({42.0});
+  const auto curve = RenderCdf(s, 5);
+  ASSERT_EQ(curve.size(), 5u);
+  for (const auto& p : curve) EXPECT_DOUBLE_EQ(p.value, 42.0);
+}
+
+TEST(SamplesTest, StddevOfSingleSampleIsZeroNotNan) {
+  Samples s({123.0});
+  EXPECT_EQ(s.Stddev(), 0.0);
+  s.Add(123.0);
+  EXPECT_EQ(s.Stddev(), 0.0);  // two identical samples: zero spread
+}
+
 TEST(SummaryLineTest, ContainsKeyNumbers) {
   Samples s({1, 2, 3, 4, 5});
   const auto line = SummaryLine(s, "s");
