@@ -1,10 +1,22 @@
 // Engine microbenchmarks (google-benchmark): throughput of the substrates —
 // the explicit-state explorer, the random walker, the discrete-event
 // simulator kernel, the shim layer and a full simulated attach.
+//
+// Pass `--bench-json PATH` (stripped before google-benchmark sees the
+// command line) to additionally write a machine-readable report of the
+// explorer headline numbers — serial wall seconds and states/second on the
+// Peterson and S2 full-space workloads, plus the parallel engine's wall
+// time and speedup at hardware concurrency. CI consumes this as
+// BENCH_engine.json.
 #include <benchmark/benchmark.h>
 
-#include "mck/explorer.h"
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "mck/parallel_explorer.h"
 #include "mck/random_walk.h"
+#include "obs/export.h"
 #include "mck/toy_models.h"
 #include "model/s2_model.h"
 #include "obs/harvest.h"
@@ -180,7 +192,103 @@ void BM_SpanStitching(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanStitching);
 
+// --- headline report ------------------------------------------------------
+
+// Best-of-reps wall seconds of fn().
+template <typename Fn>
+double TimeBest(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+std::string JsonEntry(const std::string& name, std::uint64_t states,
+                      double seconds) {
+  return "    \"" + name + "\": {\"states\": " + std::to_string(states) +
+         ", \"wall_seconds\": " + std::to_string(seconds) +
+         ", \"states_per_second\": " +
+         std::to_string(seconds > 0 ? static_cast<double>(states) / seconds
+                                    : 0.0) +
+         "}";
+}
+
+// Serial + parallel explorer headline numbers, written as JSON.
+bool WriteBenchJson(const std::string& path) {
+  mck::toys::PetersonModel peterson;
+  mck::PropertySet<mck::toys::PetersonModel::State> mutex_prop = {
+      {"mutex",
+       [](const mck::toys::PetersonModel::State& s) {
+         return !mck::toys::PetersonModel::BothCritical(s);
+       },
+       ""}};
+  model::S2Model s2;
+  mck::ExploreOptions full;
+  full.first_violation_per_property = false;
+
+  const auto peterson_ref = mck::Explore(peterson, mutex_prop);
+  const double peterson_secs =
+      TimeBest(20, [&] { (void)mck::Explore(peterson, mutex_prop); });
+
+  const auto s2_ref = mck::Explore(s2, {}, full);
+  const double s2_secs = TimeBest(20, [&] { (void)mck::Explore(s2, {}, full); });
+
+  mck::ParallelExploreOptions popt;
+  popt.base = full;
+  popt.jobs = 0;  // hardware
+  const auto s2_par_ref = mck::ParallelExplore(s2, {}, popt);
+  const double s2_par_secs =
+      TimeBest(20, [&] { (void)mck::ParallelExplore(s2, {}, popt); });
+
+  std::string json = "{\n  \"engine\": {\n";
+  json += JsonEntry("explore_peterson", peterson_ref.stats.states_visited,
+                    peterson_secs) +
+          ",\n";
+  json += JsonEntry("explore_s2_full", s2_ref.stats.states_visited, s2_secs) +
+          ",\n";
+  json += JsonEntry("parallel_explore_s2_full",
+                    s2_par_ref.stats.states_visited, s2_par_secs);
+  json += "\n  },\n  \"parallel\": {\"jobs\": " +
+          std::to_string(s2_par_ref.par.jobs) +
+          ", \"speedup_vs_serial\": " +
+          std::to_string(s2_par_secs > 0 ? s2_secs / s2_par_secs : 0.0) +
+          "}\n}\n";
+  return obs::WriteFile(path, json);
+}
+
 }  // namespace
 }  // namespace cnv
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --bench-json PATH before google-benchmark parses the flags.
+  std::string json_path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--bench-json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    if (!cnv::WriteBenchJson(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -7,12 +7,16 @@
 // Every run is deterministic in (seed, plan, profile): re-running the same
 // triple replays the identical QXDM trace byte for byte.
 //
-// Usage:  ./chaos_campaign [seeds] [plans] [--robust] [--metrics-json DIR]
+// Usage:  ./chaos_campaign [seeds] [plans] [--robust] [--jobs N]
+//                          [--metrics-json DIR]
 //   seeds     number of seeds to sweep (default 20)
 //   plans     "findings" = the S1-S6 set, "all" = every canned plan,
 //             or a comma-separated list of plan names (default "all")
 //   --robust  enable the robustness machinery (NAS retries, attach
 //             backoff, bounded CM re-requests, core queue-and-replay)
+//   --jobs N  run the sweep on N workers (default 0 = hardware concurrency,
+//             1 = the old serial behavior). Results, traces and metrics
+//             files are byte-identical at any N.
 //   --metrics-json DIR
 //             collect telemetry and write, under DIR, one
 //             run_seed<seed>_<plan>_<profile>.metrics.json report per run
@@ -32,6 +36,7 @@
 
 #include "fault/campaign.h"
 #include "obs/export.h"
+#include "par/pool.h"
 
 using namespace cnv;
 
@@ -71,11 +76,22 @@ int main(int argc, char** argv) {
   int n_seeds = 20;
   std::string plan_spec = "all";
   bool robust = false;
+  int jobs = 0;
   std::string metrics_dir;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--robust") == 0) {
       robust = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--jobs needs a worker count\n");
+        return 2;
+      }
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 0) {
+        std::fprintf(stderr, "--jobs must be >= 0 (0 = hardware)\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--metrics-json needs an output directory\n");
@@ -107,10 +123,14 @@ int main(int argc, char** argv) {
                       .core_queue_replay = true};
   }
   cfg.collect_telemetry = !metrics_dir.empty();
+  cfg.parallelism = jobs;
 
-  std::printf("chaos campaign: %zu seed(s) x %zu plan(s) x %zu profile(s)%s\n",
-              cfg.seeds.size(), cfg.plans.size(), cfg.profiles.size(),
-              robust ? " [robust stack]" : " [baseline stack]");
+  std::printf(
+      "chaos campaign: %zu seed(s) x %zu plan(s) x %zu profile(s)%s [%d "
+      "job(s)]\n",
+      cfg.seeds.size(), cfg.plans.size(), cfg.profiles.size(),
+      robust ? " [robust stack]" : " [baseline stack]",
+      par::ResolveJobs(jobs));
   for (const auto& plan : cfg.plans) {
     std::printf("  %-26s %s\n", plan.name.c_str(), plan.description.c_str());
   }

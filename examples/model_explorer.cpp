@@ -4,32 +4,50 @@
 // Graphviz rendering of the reachable state graph with stuck states
 // highlighted (render with: dot -Tsvg s3_model.dot -o s3_model.svg).
 //
-// Build and run:  ./model_explorer [output.dot]
+// Build and run:  ./model_explorer [output.dot] [--jobs N]
+//   --jobs N  explore on N workers (default 0 = hardware concurrency,
+//             1 = serial). Stats and counterexamples are identical at any N.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "mck/dot.h"
-#include "mck/explorer.h"
+#include "mck/parallel_explorer.h"
 #include "mck/reachability.h"
 #include "model/s3_model.h"
 
 using namespace cnv;
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "s3_model.dot";
+  std::string out_path = "s3_model.dot";
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--jobs needs a worker count\n");
+        return 2;
+      }
+      jobs = std::atoi(argv[++i]);
+    } else {
+      out_path = argv[i];
+    }
+  }
   model::S3Model m;  // cell-reselection policy: the S3 configuration
 
-  // 1. Exhaustive screening.
-  const auto result = mck::Explore(m, m.Properties());
-  std::printf("explored %llu states, %llu transitions\n",
+  // 1. Exhaustive screening on the worker pool.
+  mck::ParallelExploreOptions opt_explore;
+  opt_explore.jobs = jobs;
+  const auto result = mck::ParallelExplore(m, m.Properties(), opt_explore);
+  std::printf("explored %llu states, %llu transitions (%d job(s), %llu waves)\n",
               (unsigned long long)result.stats.states_visited,
-              (unsigned long long)result.stats.transitions);
+              (unsigned long long)result.stats.transitions, result.par.jobs,
+              (unsigned long long)result.par.waves);
   std::printf(
       "wall: %.3fs  throughput: %.0f states/s  frontier peak: %llu  "
-      "hash occupancy: %.2f\n",
+      "hash occupancy: %.2f  utilization: %.2f\n",
       result.stats.elapsed_wall_seconds, result.stats.StatesPerSecond(),
       (unsigned long long)result.stats.frontier_peak,
-      result.stats.hash_occupancy);
+      result.stats.hash_occupancy, result.par.utilization);
   if (const auto* v = result.FindViolation(model::kMmOk)) {
     std::printf("\n%s\n", mck::FormatTrace(m, *v).c_str());
   } else {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mck/parallel_explorer.h"
 #include "mck/random_walk.h"
 #include "model/s1_model.h"
 #include "model/s2_model.h"
@@ -19,11 +20,14 @@ template <typename M>
 ScenarioCellResult ExploreCell(const std::string& name, const M& m,
                                const mck::PropertySet<typename M::State>& props,
                                FindingId classify_as, Rng& rng,
-                               const ScreeningOptions& options) {
+                               const ScreeningOptions& options,
+                               par::WorkerPool& pool) {
   ScenarioCellResult cell;
   cell.cell = name;
 
-  const auto result = mck::Explore(m, props);
+  // The exhaustive pass runs on the shared worker pool; results are
+  // byte-identical to serial mck::Explore at any worker count.
+  const auto result = mck::ParallelExplore(m, props, {}, &pool);
   cell.stats = result.stats;
   for (const auto& v : result.violations) {
     cell.violated_properties.push_back(v.property);
@@ -68,6 +72,8 @@ ScreeningReport ScreeningRunner::RunAll() const {
   ScreeningReport report;
   Rng rng(options_.seed);
   const bool fix = options_.with_solutions;
+  // One pool for all exhaustive passes; jobs == 1 runs inline.
+  par::WorkerPool pool(options_.jobs);
 
   // --- S1 cells: inter-system context sharing.
   {
@@ -77,7 +83,7 @@ ScreeningReport ScreeningRunner::RunAll() const {
     model::S1Model m(cfg);
     report.cells.push_back(ExploreCell(
         "S1 model / inter-system switches x all PDP deactivation causes", m,
-        model::S1Model::Properties(), FindingId::kS1, rng, options_));
+        model::S1Model::Properties(), FindingId::kS1, rng, options_, pool));
   }
   {
     model::S1Model::Config cfg;
@@ -88,7 +94,7 @@ ScreeningReport ScreeningRunner::RunAll() const {
     report.cells.push_back(
         ExploreCell("S1 model / network-initiated deactivations only", m,
                     model::S1Model::Properties(), FindingId::kS1, rng,
-                    options_));
+                    options_, pool));
   }
 
   // --- S2 cells: unreliable RRC under the attach procedure.
@@ -100,7 +106,7 @@ ScreeningReport ScreeningRunner::RunAll() const {
     report.cells.push_back(
         ExploreCell("S2 model / lost signaling (Figure 5a)", m,
                     model::S2Model::Properties(), FindingId::kS2, rng,
-                    options_));
+                    options_, pool));
   }
   {
     model::S2Model::Config cfg;
@@ -110,7 +116,7 @@ ScreeningReport ScreeningRunner::RunAll() const {
     report.cells.push_back(
         ExploreCell("S2 model / duplicate signaling (Figure 5b)", m,
                     model::S2Model::Properties(), FindingId::kS2, rng,
-                    options_));
+                    options_, pool));
   }
   {
     model::S2Model::Config cfg;
@@ -119,7 +125,7 @@ ScreeningReport ScreeningRunner::RunAll() const {
     report.cells.push_back(
         ExploreCell("S2 model / loss + duplication combined", m,
                     model::S2Model::Properties(), FindingId::kS2, rng,
-                    options_));
+                    options_, pool));
   }
 
   // --- S3 cells: every inter-system switching option (Figure 6a).
@@ -132,7 +138,7 @@ ScreeningReport ScreeningRunner::RunAll() const {
     model::S3Model m(cfg);
     report.cells.push_back(ExploreCell(
         "S3 model / " + model::ToString(policy), m, m.Properties(),
-        FindingId::kS3, rng, options_));
+        FindingId::kS3, rng, options_, pool));
   }
 
   // --- S4 cells: CS-only, PS-only and combined HOL blocking.
@@ -143,7 +149,7 @@ ScreeningReport ScreeningRunner::RunAll() const {
     model::S4Model m(cfg);
     report.cells.push_back(ExploreCell("S4 model / CS domain (CM over MM)", m,
                                        model::S4Model::Properties(),
-                                       FindingId::kS4, rng, options_));
+                                       FindingId::kS4, rng, options_, pool));
   }
   {
     model::S4Model::Config cfg;
@@ -152,7 +158,7 @@ ScreeningReport ScreeningRunner::RunAll() const {
     model::S4Model m(cfg);
     report.cells.push_back(ExploreCell("S4 model / PS domain (SM over GMM)",
                                        m, model::S4Model::Properties(),
-                                       FindingId::kS4, rng, options_));
+                                       FindingId::kS4, rng, options_, pool));
   }
   {
     model::S4Model::Config cfg;
@@ -160,7 +166,7 @@ ScreeningReport ScreeningRunner::RunAll() const {
     model::S4Model m(cfg);
     report.cells.push_back(ExploreCell("S4 model / both domains", m,
                                        model::S4Model::Properties(),
-                                       FindingId::kS4, rng, options_));
+                                       FindingId::kS4, rng, options_, pool));
   }
 
   // Aggregate.

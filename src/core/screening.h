@@ -25,6 +25,11 @@ struct ScreeningOptions {
   // the paper's scenario sampling. Walks per cell.
   std::uint64_t random_walks = 200;
   std::uint64_t seed = 1;
+  // Workers for the exhaustive passes (0 = hardware concurrency, 1 =
+  // serial). Cells run in catalog order either way — the random-walk
+  // sampling consumes one shared RNG stream — and exploration results are
+  // byte-identical at any worker count.
+  int jobs = 1;
 };
 
 struct ScenarioCellResult {

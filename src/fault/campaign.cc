@@ -4,6 +4,7 @@
 
 #include "obs/harvest.h"
 #include "obs/span.h"
+#include "par/pool.h"
 #include "trace/qxdm.h"
 #include "util/strings.h"
 
@@ -106,15 +107,35 @@ CampaignResult CampaignRunner::Run() const {
   CampaignResult result;
   std::vector<stack::CarrierProfile> profiles = config_.profiles;
   if (profiles.empty()) profiles.push_back(stack::OpI());
+
+  // Enumerate the sweep up front so runs can execute on any worker while the
+  // results vector keeps the serial profile -> plan -> seed ordering.
+  struct Triple {
+    const stack::CarrierProfile* profile;
+    const FaultPlan* plan;
+    std::uint64_t seed;
+  };
+  std::vector<Triple> triples;
+  triples.reserve(profiles.size() * config_.plans.size() *
+                  config_.seeds.size());
   for (const auto& profile : profiles) {
     for (const auto& plan : config_.plans) {
       for (const std::uint64_t seed : config_.seeds) {
-        RunOutcome run = RunOne(seed, plan, profile);
-        if (run.report.all_within_slo()) ++result.runs_within_slo;
-        if (!run.report.findings.empty()) ++result.runs_with_findings;
-        result.runs.push_back(std::move(run));
+        triples.push_back({&profile, &plan, seed});
       }
     }
+  }
+
+  result.runs.resize(triples.size());
+  par::WorkerPool pool(config_.parallelism);
+  pool.ParallelEach(triples.size(), [&](int, std::size_t i) {
+    const Triple& t = triples[i];
+    result.runs[i] = RunOne(t.seed, *t.plan, *t.profile);
+  });
+
+  for (const RunOutcome& run : result.runs) {
+    if (run.report.all_within_slo()) ++result.runs_within_slo;
+    if (!run.report.findings.empty()) ++result.runs_with_findings;
   }
   return result;
 }

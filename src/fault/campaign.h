@@ -40,6 +40,12 @@ struct CampaignConfig {
   // (seed, plan, profile).
   bool collect_telemetry = false;
   SimDuration snapshot_period = Seconds(60);
+  // Worker count for the sweep: 1 = serial (default), 0 = hardware
+  // concurrency. Each (seed, plan, profile) run is self-contained, so runs
+  // execute concurrently while reports keep the serial ordering — the
+  // Summary(), traces and telemetry exports are byte-identical at any
+  // parallelism.
+  int parallelism = 1;
 };
 
 struct RunOutcome {

@@ -6,10 +6,10 @@
 #include <functional>
 #include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mck/explorer.h"
+#include "mck/intern_table.h"
 
 namespace cnv::mck {
 
@@ -42,35 +42,25 @@ std::string ExportDot(const M& model,
   using State = typename M::State;
   using Action = typename M::Action;
 
+  // Cached-hash visited table over arena indices, pre-sized from the export
+  // bound: probe by (hash, value) first, append only on actual insertion.
   std::vector<State> states;
-  struct RefHash {
-    const std::vector<State>* arena;
-    std::size_t operator()(std::int64_t i) const {
-      return HashValue((*arena)[static_cast<std::size_t>(i)]);
-    }
-  };
-  struct RefEq {
-    const std::vector<State>* arena;
-    bool operator()(std::int64_t a, std::int64_t b) const {
-      return (*arena)[static_cast<std::size_t>(a)] ==
-             (*arena)[static_cast<std::size_t>(b)];
-    }
-  };
-  std::unordered_map<std::int64_t, std::int64_t, RefHash, RefEq> index(
-      64, RefHash{&states}, RefEq{&states});
+  states.reserve(options.max_states);
+  InternTable index(options.max_states);
 
   std::string edges;
   std::queue<std::int64_t> frontier;
   bool truncated = false;
 
   auto intern = [&](State s) -> std::pair<std::int64_t, bool> {
+    const std::uint64_t h = static_cast<std::uint64_t>(HashValue(s));
+    const std::int64_t found = index.Find(h, [&](std::int64_t i) {
+      return states[static_cast<std::size_t>(i)] == s;
+    });
+    if (found >= 0) return {found, false};
     states.push_back(std::move(s));
     const auto idx = static_cast<std::int64_t>(states.size()) - 1;
-    auto [it, inserted] = index.try_emplace(idx, idx);
-    if (!inserted) {
-      states.pop_back();
-      return {it->second, false};
-    }
+    index.Insert(h, idx);
     return {idx, true};
   };
 

@@ -17,17 +17,26 @@
 //
 // BFS yields shortest counterexamples (used for reporting); DFS uses less
 // bookkeeping per state and honours a depth bound (used for soak runs).
+//
+// BFS runs in depth-synchronized waves: the whole frontier at depth d is
+// expanded before any state at depth d+1, states are interned in expansion
+// order, and early exit (all properties violated) and max_states truncation
+// take effect at deterministic points — truncation accepts new states in
+// expansion order up to the cap, then finishes counting the wave's
+// transitions and stops. These wave semantics are exactly what
+// ParallelExplore (mck/parallel_explorer.h) reproduces at any worker count,
+// which is why serial and parallel results are byte-identical.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
 #include <concepts>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "mck/intern_table.h"
 #include "mck/property.h"
 
 namespace cnv::mck {
@@ -124,6 +133,18 @@ struct StateHash {
   std::size_t operator()(const State& s) const { return HashValue(s); }
 };
 
+// Arena/table reservation hint derived from the max_states bound. Explicit
+// modest bounds (soaks, graph exports) are reserved in full; the effectively
+// unbounded defaults start small — growth rehashes only move cached
+// (hash, index) pairs, so they are cheap.
+inline std::size_t ReserveHint(std::uint64_t max_states) {
+  constexpr std::uint64_t kFullReserveCap = 1ull << 16;
+  if (max_states != 0 && max_states <= kFullReserveCap) {
+    return static_cast<std::size_t>(max_states);
+  }
+  return 1024;
+}
+
 }  // namespace internal
 
 // Exhaustive exploration from the model's initial state.
@@ -144,24 +165,14 @@ ExploreResult<M> Explore(const M& model,
     Action via{};
     std::uint64_t depth = 0;
   };
+  const std::size_t hint = internal::ReserveHint(options.max_states);
   std::vector<State> arena;
   std::vector<NodeMeta> meta;
-
-  struct ArenaRefHash {
-    const std::vector<State>* arena;
-    std::size_t operator()(std::int64_t i) const {
-      return HashValue((*arena)[static_cast<std::size_t>(i)]);
-    }
-  };
-  struct ArenaRefEq {
-    const std::vector<State>* arena;
-    bool operator()(std::int64_t a, std::int64_t b) const {
-      return (*arena)[static_cast<std::size_t>(a)] ==
-             (*arena)[static_cast<std::size_t>(b)];
-    }
-  };
-  std::unordered_set<std::int64_t, ArenaRefHash, ArenaRefEq> seen(
-      /*bucket_count=*/1024, ArenaRefHash{&arena}, ArenaRefEq{&arena});
+  arena.reserve(hint);
+  meta.reserve(hint);
+  // Visited set over arena indices with the 64-bit state hash cached in each
+  // slot: probes and growth rehashes never recompute HashValue.
+  InternTable seen(hint);
 
   auto reconstruct = [&](std::int64_t idx) {
     std::vector<Action> trace;
@@ -191,77 +202,136 @@ ExploreResult<M> Explore(const M& model,
            violated.size() == properties.size() && !options.detect_deadlock;
   };
 
-  // Intern a state; returns (index, inserted).
+  // Intern a state: probe the table by (hash, value) first and append to the
+  // arena only on actual insertion — no push/pop churn on duplicate hits.
+  // Returns (index, inserted); index is -1 when the state was new but the
+  // max_states cap is already full.
   auto intern = [&](State s, std::int64_t parent, const Action* via,
                     std::uint64_t depth) -> std::pair<std::int64_t, bool> {
-    arena.push_back(std::move(s));
-    meta.push_back(
-        {parent, via != nullptr ? *via : Action{}, depth});
-    const std::int64_t idx = static_cast<std::int64_t>(arena.size()) - 1;
-    auto [it, inserted] = seen.insert(idx);
-    if (!inserted) {
-      arena.pop_back();
-      meta.pop_back();
-      return {*it, false};
+    const std::uint64_t h = static_cast<std::uint64_t>(HashValue(s));
+    const std::int64_t found = seen.Find(h, [&](std::int64_t i) {
+      return arena[static_cast<std::size_t>(i)] == s;
+    });
+    if (found >= 0) return {found, false};
+    if (options.max_states != 0 && seen.size() >= options.max_states) {
+      return {-1, false};
     }
+    arena.push_back(std::move(s));
+    meta.push_back({parent, via != nullptr ? *via : Action{}, depth});
+    const std::int64_t idx = static_cast<std::int64_t>(arena.size()) - 1;
+    seen.Insert(h, idx);
     return {idx, true};
   };
 
-  std::deque<std::int64_t> frontier;
-  {
-    auto [idx, inserted] = intern(model.initial(), -1, nullptr, 0);
-    (void)inserted;
-    check_state(idx);
-    frontier.push_back(idx);
-  }
+  auto check_deadlock = [&](std::int64_t idx) {
+    if (!options.detect_deadlock || violated.contains("deadlock")) return;
+    if (internal::IsFinal(model, arena[static_cast<std::size_t>(idx)])) return;
+    violated.insert("deadlock");
+    result.violations.push_back(
+        {"deadlock", reconstruct(idx), arena[static_cast<std::size_t>(idx)]});
+  };
 
-  while (!frontier.empty() && !all_violated()) {
-    result.stats.frontier_peak =
-        std::max(result.stats.frontier_peak,
-                 static_cast<std::uint64_t>(frontier.size()));
-    std::int64_t idx;
-    if (options.order == SearchOrder::kBreadthFirst) {
-      idx = frontier.front();
-      frontier.pop_front();
-    } else {
-      idx = frontier.back();
-      frontier.pop_back();
+  if (options.order == SearchOrder::kBreadthFirst) {
+    // Depth-synchronized waves: the frontier holds every state at depth
+    // `depth`; the whole wave is expanded before moving on. Early exit and
+    // max_states truncation act at wave-deterministic points, matching
+    // ParallelExplore at any worker count.
+    std::vector<std::int64_t> frontier;
+    std::vector<std::int64_t> next_frontier;
+    {
+      auto [idx, inserted] = intern(model.initial(), -1, nullptr, 0);
+      (void)inserted;
+      check_state(idx);
+      frontier.push_back(idx);
     }
-    const std::uint64_t depth = meta[static_cast<std::size_t>(idx)].depth;
-    result.stats.max_depth_reached =
-        std::max(result.stats.max_depth_reached, depth);
-    if (options.max_depth != 0 && depth >= options.max_depth) {
-      result.stats.truncated = true;
-      continue;
-    }
-
-    // Copy the actions: `arena` may reallocate while children are interned.
-    const std::vector<Action> actions =
-        model.enabled(arena[static_cast<std::size_t>(idx)]);
-    if (actions.empty() && options.detect_deadlock &&
-        !internal::IsFinal(model, arena[static_cast<std::size_t>(idx)]) &&
-        !violated.contains("deadlock")) {
-      violated.insert("deadlock");
-      result.violations.push_back(
-          {"deadlock", reconstruct(idx), arena[static_cast<std::size_t>(idx)]});
-    }
-    for (const Action& a : actions) {
-      ++result.stats.transitions;
-      State next = model.apply(arena[static_cast<std::size_t>(idx)], a);
-      auto [child, inserted] = intern(std::move(next), idx, &a, depth + 1);
-      if (!inserted) continue;
-      check_state(child);
-      if (options.max_states != 0 && seen.size() >= options.max_states) {
+    std::uint64_t depth = 0;
+    while (!frontier.empty() && !all_violated()) {
+      result.stats.frontier_peak =
+          std::max(result.stats.frontier_peak,
+                   static_cast<std::uint64_t>(frontier.size()));
+      result.stats.max_depth_reached =
+          std::max(result.stats.max_depth_reached, depth);
+      if (options.max_depth != 0 && depth >= options.max_depth) {
         result.stats.truncated = true;
-        frontier.clear();
         break;
       }
-      frontier.push_back(child);
+      next_frontier.clear();
+      for (const std::int64_t idx : frontier) {
+        // Copy the actions: `arena` may reallocate while children intern.
+        const std::vector<Action> actions =
+            model.enabled(arena[static_cast<std::size_t>(idx)]);
+        if (actions.empty()) check_deadlock(idx);
+        for (const Action& a : actions) {
+          ++result.stats.transitions;
+          State next = model.apply(arena[static_cast<std::size_t>(idx)], a);
+          auto [child, inserted] = intern(std::move(next), idx, &a, depth + 1);
+          if (!inserted) {
+            // child < 0: a genuinely new state was dropped by the cap. Keep
+            // expanding the rest of the wave (transition counts stay
+            // well-defined) but stop after it.
+            if (child < 0) result.stats.truncated = true;
+            continue;
+          }
+          check_state(child);
+          next_frontier.push_back(child);
+        }
+      }
+      frontier.swap(next_frontier);
+      ++depth;
+      if (result.stats.truncated) break;
+    }
+  } else {
+    std::vector<std::int64_t> frontier;
+    {
+      auto [idx, inserted] = intern(model.initial(), -1, nullptr, 0);
+      (void)inserted;
+      check_state(idx);
+      frontier.push_back(idx);
+    }
+    bool stop = false;
+    while (!frontier.empty() && !stop && !all_violated()) {
+      result.stats.frontier_peak =
+          std::max(result.stats.frontier_peak,
+                   static_cast<std::uint64_t>(frontier.size()));
+      const std::int64_t idx = frontier.back();
+      frontier.pop_back();
+      const std::uint64_t depth = meta[static_cast<std::size_t>(idx)].depth;
+      result.stats.max_depth_reached =
+          std::max(result.stats.max_depth_reached, depth);
+      if (options.max_depth != 0 && depth >= options.max_depth) {
+        result.stats.truncated = true;
+        continue;
+      }
+
+      // Copy the actions: `arena` may reallocate while children are interned.
+      const std::vector<Action> actions =
+          model.enabled(arena[static_cast<std::size_t>(idx)]);
+      if (actions.empty()) check_deadlock(idx);
+      for (const Action& a : actions) {
+        ++result.stats.transitions;
+        State next = model.apply(arena[static_cast<std::size_t>(idx)], a);
+        auto [child, inserted] = intern(std::move(next), idx, &a, depth + 1);
+        if (!inserted) {
+          if (child < 0) {
+            result.stats.truncated = true;
+            stop = true;
+            break;
+          }
+          continue;
+        }
+        check_state(child);
+        if (options.max_states != 0 && seen.size() >= options.max_states) {
+          result.stats.truncated = true;
+          stop = true;
+          break;
+        }
+        frontier.push_back(child);
+      }
     }
   }
 
   result.stats.states_visited = seen.size();
-  result.stats.hash_occupancy = seen.load_factor();
+  result.stats.hash_occupancy = seen.occupancy();
   result.stats.elapsed_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

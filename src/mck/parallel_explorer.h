@@ -1,0 +1,570 @@
+// Parallel explicit-state exploration: BFS in depth-synchronized waves over
+// a sharded visited table, on the shared worker pool (par/pool.h). The design
+// goal is *determinism first*: at any worker count the result is
+// byte-identical to the serial wave-BFS of mck/explorer.h — same
+// states_visited / transitions / depth / truncation, and per property the
+// same minimal (depth, canonical-trace) counterexample.
+//
+// How a wave at depth d runs:
+//
+//   1. EXPAND   Workers own contiguous slices of the depth-d frontier (the
+//               slice split depends only on frontier size and job count).
+//               Each successor state is hashed once; states already in the
+//               visited table (frozen during this phase, so probes are
+//               lock-free) are discarded, the rest are routed by the *top*
+//               hash bits to one of 2^shard_bits mutex-striped shards,
+//               tagged with a canonical key: (frontier position of the
+//               parent, action index). Keys are globally unique and ordered
+//               exactly like serial expansion.
+//   2. INSERT   Whole shards are assigned to workers, so shard state needs
+//               no locking here. Each shard sorts its candidates by key and
+//               interns them in that order — first-insert-wins resolves
+//               same-wave duplicates identically to serial BFS regardless of
+//               which worker routed them. New states are checked against the
+//               properties; hits are recorded as (key, property) candidates,
+//               not yet committed.
+//   3. MERGE    Single-threaded. New states from all shards are ordered by
+//               key — reproducing serial discovery order — and accepted up
+//               to the max_states cap; violation candidates at or below the
+//               cap cutoff are committed in (key, property) order, which
+//               makes the chosen counterexample the minimal one and the
+//               violations vector identical to serial. The accepted states
+//               form the next frontier.
+//
+// Wall-clock figures (worker busy time, utilization) are telemetry only and
+// never feed deterministic outputs.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "mck/explorer.h"
+#include "mck/intern_table.h"
+#include "par/pool.h"
+
+namespace cnv::mck {
+
+struct ParallelExploreOptions {
+  // Search bounds and property handling; `order` is ignored (always BFS).
+  ExploreOptions base;
+  // Worker count: 0 = hardware concurrency, 1 = inline (no threads).
+  int jobs = 0;
+  // log2 of the visited-table shard count. Shards are selected by the top
+  // hash bits so per-shard tables keep full low-bit entropy.
+  int shard_bits = 6;
+};
+
+struct ParallelExploreStats {
+  // Deterministic: identical at any job count.
+  std::uint64_t waves = 0;          // expanded frontier waves
+  std::uint32_t shards = 1;
+  std::uint64_t largest_shard = 0;  // states in the fullest shard
+  // Execution-shape figures; wall-clock based, telemetry only.
+  int jobs = 1;
+  double worker_busy_seconds = 0;  // summed across workers
+  double utilization = 0;          // busy / (jobs * elapsed_wall)
+};
+
+template <typename M>
+struct ParallelExploreResult {
+  std::vector<Violation<M>> violations;
+  ExploreStats stats;
+  ParallelExploreStats par;
+
+  const Violation<M>* FindViolation(const std::string& property) const {
+    for (const auto& v : violations) {
+      if (v.property == property) return &v;
+    }
+    return nullptr;
+  }
+  bool Holds(const std::string& property) const {
+    return FindViolation(property) == nullptr;
+  }
+};
+
+// Exhaustive BFS from the model's initial state on `pool` (or a pool created
+// from options.jobs when none is passed). Deterministic: same output at any
+// job count, byte-identical to serial Explore with kBreadthFirst.
+template <CheckableModel M>
+ParallelExploreResult<M> ParallelExplore(
+    const M& model, const PropertySet<typename M::State>& properties,
+    const ParallelExploreOptions& options = {},
+    par::WorkerPool* external_pool = nullptr) {
+  using State = typename M::State;
+  using Action = typename M::Action;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  std::unique_ptr<par::WorkerPool> owned_pool;
+  par::WorkerPool* pool = external_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<par::WorkerPool>(options.jobs);
+    pool = owned_pool.get();
+  }
+  const int jobs = pool->jobs();
+  const std::vector<double> busy_before = pool->BusySeconds();
+
+  const int shard_bits = std::clamp(options.shard_bits, 0, 16);
+  const std::uint32_t n_shards = 1u << shard_bits;
+
+  // Global state ids pack (shard, local index); kNoParent marks the root.
+  constexpr std::uint64_t kLocalMask = (1ull << 48) - 1;
+  constexpr std::uint64_t kNoParent = ~0ull;
+
+  struct NodeMeta {
+    std::uint64_t parent = kNoParent;
+    Action via{};
+  };
+  // Canonical candidate key: (frontier position of the parent, action index
+  // + 1). Globally unique within a wave and ordered exactly like serial
+  // expansion; deadlock candidates use action index 0 because serial checks
+  // deadlock when it starts expanding the parent.
+  using Key = std::pair<std::uint64_t, std::uint32_t>;
+  struct Candidate {
+    State state;
+    std::uint64_t hash = 0;
+    Key key{};
+    std::uint64_t parent = kNoParent;
+    Action via{};
+  };
+  struct PropHit {
+    Key key{};
+    std::uint32_t property = 0;
+    std::uint64_t id = 0;
+  };
+  // One flush per (worker, wave): candidates[start, start+count) staged by
+  // `worker`. A worker's candidates are produced in key order and worker
+  // slices are contiguous in frontier position, so iterating runs in worker
+  // order visits a shard's candidates in global key order with no sort.
+  struct Run {
+    int worker = 0;
+    std::size_t start = 0;
+    std::size_t count = 0;
+  };
+  struct Shard {
+    std::vector<State> states;
+    std::vector<NodeMeta> meta;
+    InternTable table;
+    std::mutex mu;
+    std::vector<Candidate> candidates;   // staged this wave (under mu)
+    std::vector<Run> runs;               // flush bookkeeping (under mu)
+    std::vector<std::uint64_t> new_ids;  // interned this wave, key order
+    std::vector<Key> new_keys;
+    std::vector<PropHit> hits;  // uncommitted property violations
+  };
+
+  std::vector<Shard> shards(n_shards);
+  {
+    const std::size_t hint =
+        internal::ReserveHint(options.base.max_states) / n_shards + 8;
+    for (Shard& s : shards) {
+      s.states.reserve(hint);
+      s.meta.reserve(hint);
+      s.table.Reserve(hint);
+    }
+  }
+
+  const auto shard_of = [shard_bits](std::uint64_t h) -> std::uint32_t {
+    return shard_bits == 0
+               ? 0u
+               : static_cast<std::uint32_t>(h >> (64 - shard_bits));
+  };
+  const auto make_id = [](std::uint32_t sh, std::int64_t idx) {
+    return (static_cast<std::uint64_t>(sh) << 48) |
+           static_cast<std::uint64_t>(idx);
+  };
+  const auto state_of = [&shards, kLocalMask](std::uint64_t id) -> const State& {
+    return shards[static_cast<std::size_t>(id >> 48)]
+        .states[static_cast<std::size_t>(id & kLocalMask)];
+  };
+
+  auto reconstruct = [&](std::uint64_t id) {
+    std::vector<Action> trace;
+    for (;;) {
+      const NodeMeta& m = shards[static_cast<std::size_t>(id >> 48)]
+                              .meta[static_cast<std::size_t>(id & kLocalMask)];
+      if (m.parent == kNoParent) break;
+      trace.push_back(m.via);
+      id = m.parent;
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+  };
+
+  ParallelExploreResult<M> result;
+  result.par.shards = n_shards;
+  result.par.jobs = jobs;
+  std::unordered_set<std::string> violated;
+  const bool fvpp = options.base.first_violation_per_property;
+  const std::uint32_t kDeadlockProp =
+      static_cast<std::uint32_t>(properties.size());
+
+  auto all_violated = [&] {
+    return fvpp && violated.size() == properties.size() &&
+           !options.base.detect_deadlock;
+  };
+
+  // Intern the initial state and check it (single-threaded).
+  std::vector<std::uint64_t> frontier;
+  std::uint64_t visited = 0;
+  {
+    State init = model.initial();
+    const std::uint64_t h = static_cast<std::uint64_t>(HashValue(init));
+    const std::uint32_t sh = shard_of(h);
+    Shard& shard = shards[sh];
+    shard.states.push_back(std::move(init));
+    shard.meta.push_back({kNoParent, Action{}});
+    shard.table.Insert(h, 0);
+    const std::uint64_t id = make_id(sh, 0);
+    visited = 1;
+    for (std::uint32_t p = 0; p < properties.size(); ++p) {
+      if (!properties[p].holds(state_of(id))) {
+        violated.insert(properties[p].name);
+        result.violations.push_back({properties[p].name, {}, state_of(id)});
+      }
+    }
+    frontier.push_back(id);
+  }
+
+  std::vector<std::uint64_t> worker_transitions(
+      static_cast<std::size_t>(jobs), 0);
+  std::vector<std::vector<std::uint64_t>> worker_deadlocks(
+      static_cast<std::size_t>(jobs));
+  // Worker-local routing buffers, one per (worker, shard): candidates are
+  // staged here during expand and flushed to the shard under its mutex once
+  // per worker per wave, so lock traffic is O(jobs * shards), not
+  // O(candidates). Buffers keep their capacity across waves.
+  std::vector<std::vector<Candidate>> routed(
+      static_cast<std::size_t>(jobs) * n_shards);
+
+  std::uint64_t depth = 0;
+  bool truncated = false;
+  std::vector<std::uint64_t> next_frontier;
+  std::vector<std::pair<Key, std::uint64_t>> discovered;
+
+  if (jobs == 1) {
+    // Serial fast path: the wave algorithm of mck::Explore run directly over
+    // the sharded storage — no staging, no merge, single probe per
+    // successor. Byte-identical to the multi-worker path by construction
+    // (both reproduce serial wave order), including hash_occupancy, since
+    // the shard tables end up with the same content.
+    while (!frontier.empty() && !all_violated()) {
+      result.stats.frontier_peak =
+          std::max(result.stats.frontier_peak,
+                   static_cast<std::uint64_t>(frontier.size()));
+      result.stats.max_depth_reached =
+          std::max(result.stats.max_depth_reached, depth);
+      if (options.base.max_depth != 0 && depth >= options.base.max_depth) {
+        truncated = true;
+        break;
+      }
+      ++result.par.waves;
+      next_frontier.clear();
+      for (const std::uint64_t parent_id : frontier) {
+        // Re-fetch the parent state on every use: a shard arena may
+        // reallocate while children are interned.
+        const std::vector<Action> actions =
+            model.enabled(state_of(parent_id));
+        if (actions.empty()) {
+          if (options.base.detect_deadlock &&
+              !violated.contains("deadlock") &&
+              !internal::IsFinal(model, state_of(parent_id))) {
+            violated.insert("deadlock");
+            result.violations.push_back(
+                {"deadlock", reconstruct(parent_id), state_of(parent_id)});
+          }
+          continue;
+        }
+        for (const Action& a : actions) {
+          ++result.stats.transitions;
+          State next = model.apply(state_of(parent_id), a);
+          const std::uint64_t h = static_cast<std::uint64_t>(HashValue(next));
+          const std::uint32_t sh = shard_of(h);
+          Shard& shard = shards[sh];
+          const std::int64_t found = shard.table.Find(h, [&](std::int64_t i) {
+            return shard.states[static_cast<std::size_t>(i)] == next;
+          });
+          if (found >= 0) continue;
+          if (options.base.max_states != 0 &&
+              visited >= options.base.max_states) {
+            truncated = true;
+            continue;
+          }
+          shard.states.push_back(std::move(next));
+          shard.meta.push_back({parent_id, a});
+          const std::int64_t idx =
+              static_cast<std::int64_t>(shard.states.size()) - 1;
+          shard.table.Insert(h, idx);
+          ++visited;
+          const std::uint64_t id = make_id(sh, idx);
+          for (std::uint32_t p = 0; p < properties.size(); ++p) {
+            if (fvpp && violated.contains(properties[p].name)) continue;
+            if (!properties[p].holds(state_of(id))) {
+              violated.insert(properties[p].name);
+              result.violations.push_back(
+                  {properties[p].name, reconstruct(id), state_of(id)});
+            }
+          }
+          next_frontier.push_back(id);
+        }
+      }
+      frontier.swap(next_frontier);
+      ++depth;
+      if (truncated) break;
+    }
+  } else {
+  while (!frontier.empty() && !all_violated()) {
+    result.stats.frontier_peak =
+        std::max(result.stats.frontier_peak,
+                 static_cast<std::uint64_t>(frontier.size()));
+    result.stats.max_depth_reached =
+        std::max(result.stats.max_depth_reached, depth);
+    if (options.base.max_depth != 0 && depth >= options.base.max_depth) {
+      truncated = true;
+      break;
+    }
+    ++result.par.waves;
+
+    // --- 1. expand -------------------------------------------------------
+    for (int w = 0; w < jobs; ++w) {
+      worker_transitions[static_cast<std::size_t>(w)] = 0;
+      worker_deadlocks[static_cast<std::size_t>(w)].clear();
+    }
+    pool->ParallelFor(
+        frontier.size(), [&](int w, std::size_t begin, std::size_t end) {
+          const std::size_t wi = static_cast<std::size_t>(w);
+          std::vector<Candidate>* local = &routed[wi * n_shards];
+          for (std::size_t pos = begin; pos < end; ++pos) {
+            const State& s = state_of(frontier[pos]);
+            const std::vector<Action> actions = model.enabled(s);
+            if (actions.empty()) {
+              if (options.base.detect_deadlock &&
+                  !internal::IsFinal(model, s)) {
+                worker_deadlocks[wi].push_back(pos);
+              }
+              continue;
+            }
+            for (std::uint32_t ai = 0; ai < actions.size(); ++ai) {
+              ++worker_transitions[wi];
+              State next = model.apply(s, actions[ai]);
+              const std::uint64_t h =
+                  static_cast<std::uint64_t>(HashValue(next));
+              const std::uint32_t sh = shard_of(h);
+              Shard& shard = shards[sh];
+              // The table is frozen during expand, so this probe needs no
+              // lock; it filters duplicates from earlier waves.
+              const std::int64_t seen =
+                  shard.table.Find(h, [&](std::int64_t i) {
+                    return shard.states[static_cast<std::size_t>(i)] == next;
+                  });
+              if (seen >= 0) continue;
+              local[sh].push_back({std::move(next), h, Key{pos, ai + 1},
+                                   frontier[pos], actions[ai]});
+            }
+          }
+          // Flush this worker's staged candidates, one lock per shard.
+          for (std::uint32_t sh = 0; sh < n_shards; ++sh) {
+            if (local[sh].empty()) continue;
+            Shard& shard = shards[sh];
+            std::lock_guard<std::mutex> lock(shard.mu);
+            shard.runs.push_back({w, shard.candidates.size(),
+                                  local[sh].size()});
+            shard.candidates.insert(
+                shard.candidates.end(),
+                std::make_move_iterator(local[sh].begin()),
+                std::make_move_iterator(local[sh].end()));
+            local[sh].clear();
+          }
+        });
+    for (int w = 0; w < jobs; ++w) {
+      result.stats.transitions += worker_transitions[static_cast<std::size_t>(w)];
+    }
+
+    // --- 2. insert -------------------------------------------------------
+    // Which properties still need checking this wave (pre-wave snapshot; the
+    // merge phase resolves same-wave ties by key).
+    std::vector<char> already_violated(properties.size(), 0);
+    for (std::uint32_t p = 0; p < properties.size(); ++p) {
+      already_violated[p] = fvpp && violated.contains(properties[p].name);
+    }
+    pool->ParallelFor(n_shards, [&](int, std::size_t begin, std::size_t end) {
+      for (std::size_t si = begin; si < end; ++si) {
+        Shard& shard = shards[si];
+        // Visit candidates in global key order: runs sorted by worker id
+        // (worker slices are ascending in frontier position, and each run
+        // is produced in key order).
+        std::sort(shard.runs.begin(), shard.runs.end(),
+                  [](const Run& a, const Run& b) { return a.worker < b.worker; });
+        for (const Run& run : shard.runs) {
+          for (std::size_t ci = run.start; ci < run.start + run.count; ++ci) {
+            Candidate& c = shard.candidates[ci];
+            const std::int64_t seen =
+                shard.table.Find(c.hash, [&](std::int64_t i) {
+                  return shard.states[static_cast<std::size_t>(i)] == c.state;
+                });
+            if (seen >= 0) continue;  // same-wave duplicate: first key wins
+            shard.states.push_back(std::move(c.state));
+            shard.meta.push_back({c.parent, c.via});
+            const std::int64_t idx =
+                static_cast<std::int64_t>(shard.states.size()) - 1;
+            shard.table.Insert(c.hash, idx);
+            const std::uint64_t id =
+                make_id(static_cast<std::uint32_t>(si), idx);
+            shard.new_ids.push_back(id);
+            shard.new_keys.push_back(c.key);
+            const State& s = shard.states[static_cast<std::size_t>(idx)];
+            for (std::uint32_t p = 0;
+                 p < static_cast<std::uint32_t>(properties.size()); ++p) {
+              if (already_violated[p]) continue;
+              if (!properties[p].holds(s)) shard.hits.push_back({c.key, p, id});
+            }
+          }
+        }
+        shard.candidates.clear();
+        shard.runs.clear();
+      }
+    });
+
+    // --- 3. merge --------------------------------------------------------
+    discovered.clear();
+    for (Shard& shard : shards) {
+      for (std::size_t i = 0; i < shard.new_ids.size(); ++i) {
+        discovered.emplace_back(shard.new_keys[i], shard.new_ids[i]);
+      }
+    }
+    std::sort(discovered.begin(), discovered.end());
+
+    // max_states acts in discovery-key order, exactly like serial interning.
+    std::size_t accept = discovered.size();
+    if (options.base.max_states != 0 &&
+        visited + discovered.size() > options.base.max_states) {
+      accept = static_cast<std::size_t>(options.base.max_states - visited);
+      truncated = true;
+    }
+    visited += accept;
+    const bool has_cutoff = accept < discovered.size();
+    const Key cutoff = accept > 0 ? discovered[accept - 1].first : Key{0, 0};
+
+    // Roll back beyond-cap states: serial interning never admits them, so
+    // drop them from the shard arenas and tables to keep every reported
+    // figure (hash_occupancy, largest_shard) identical at any job count.
+    // A shard's wave entries are appended in ascending key order, so the
+    // rejects are a suffix of its arena.
+    if (has_cutoff) {
+      for (Shard& shard : shards) {
+        const std::size_t keep = static_cast<std::size_t>(
+            std::upper_bound(shard.new_keys.begin(), shard.new_keys.end(),
+                             cutoff) -
+            shard.new_keys.begin());
+        while (shard.new_keys.size() > keep) {
+          const State& s = shard.states.back();
+          shard.table.Erase(
+              static_cast<std::uint64_t>(HashValue(s)),
+              static_cast<std::int64_t>(shard.states.size()) - 1);
+          shard.states.pop_back();
+          shard.meta.pop_back();
+          shard.new_keys.pop_back();
+          shard.new_ids.pop_back();
+        }
+      }
+    }
+    for (Shard& shard : shards) {
+      shard.new_ids.clear();
+      shard.new_keys.clear();
+    }
+
+    // Commit violation candidates in (key, property) order — the minimal
+    // (depth, canonical-trace) counterexample per property, and the same
+    // violations-vector order as serial.
+    struct VCand {
+      Key key{};
+      std::uint32_t property = 0;
+      std::uint64_t id = 0;
+    };
+    std::vector<VCand> vcands;
+    if (options.base.detect_deadlock && !violated.contains("deadlock")) {
+      for (const auto& positions : worker_deadlocks) {
+        for (const std::uint64_t pos : positions) {
+          vcands.push_back({Key{pos, 0}, kDeadlockProp, frontier[pos]});
+        }
+      }
+    }
+    for (Shard& shard : shards) {
+      for (const PropHit& hit : shard.hits) {
+        // States beyond the cap were never interned serially, so their
+        // property checks never happened.
+        if (has_cutoff && (accept == 0 || cutoff < hit.key)) continue;
+        vcands.push_back({hit.key, hit.property, hit.id});
+      }
+      shard.hits.clear();
+    }
+    std::sort(vcands.begin(), vcands.end(),
+              [](const VCand& a, const VCand& b) {
+                return std::tie(a.key, a.property) < std::tie(b.key, b.property);
+              });
+    for (const VCand& c : vcands) {
+      if (c.property == kDeadlockProp) {
+        if (violated.contains("deadlock")) continue;
+        violated.insert("deadlock");
+        result.violations.push_back(
+            {"deadlock", reconstruct(c.id), state_of(c.id)});
+        continue;
+      }
+      const std::string& name = properties[c.property].name;
+      if (fvpp && violated.contains(name)) continue;
+      violated.insert(name);
+      result.violations.push_back({name, reconstruct(c.id), state_of(c.id)});
+    }
+
+    next_frontier.clear();
+    next_frontier.reserve(accept);
+    for (std::size_t i = 0; i < accept; ++i) {
+      next_frontier.push_back(discovered[i].second);
+    }
+    frontier.swap(next_frontier);
+    ++depth;
+    if (truncated) break;
+  }
+  }
+
+  result.stats.states_visited = visited;
+  result.stats.truncated = truncated;
+  std::size_t table_size = 0;
+  std::size_t table_capacity = 0;
+  for (const Shard& shard : shards) {
+    table_size += shard.table.size();
+    table_capacity += shard.table.capacity();
+    result.par.largest_shard =
+        std::max(result.par.largest_shard,
+                 static_cast<std::uint64_t>(shard.table.size()));
+  }
+  result.stats.hash_occupancy =
+      table_capacity == 0
+          ? 0.0
+          : static_cast<double>(table_size) / static_cast<double>(table_capacity);
+  result.stats.elapsed_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  const std::vector<double> busy_after = pool->BusySeconds();
+  for (std::size_t w = 0; w < busy_after.size(); ++w) {
+    result.par.worker_busy_seconds +=
+        busy_after[w] - (w < busy_before.size() ? busy_before[w] : 0.0);
+  }
+  if (result.stats.elapsed_wall_seconds > 0 && jobs > 0) {
+    result.par.utilization =
+        std::min(1.0, result.par.worker_busy_seconds /
+                          (static_cast<double>(jobs) *
+                           result.stats.elapsed_wall_seconds));
+  }
+  return result;
+}
+
+}  // namespace cnv::mck

@@ -6,6 +6,7 @@
 // describes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_set>
@@ -56,6 +57,11 @@ WalkResult<M> RandomWalk(const M& model,
   WalkResult<M> result;
   std::unordered_set<std::string> violated;
   std::unordered_set<State, internal::StateHash<State>> distinct;
+  // Pre-size for the walk budget (capped: deep soaks revisit heavily, so the
+  // distinct count rarely approaches walks * steps).
+  distinct.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(options.walks * options.max_steps_per_walk + 1,
+                              1ull << 16)));
 
   auto check = [&](const State& s, const std::vector<Action>& trace) {
     for (const auto& p : properties) {

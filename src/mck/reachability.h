@@ -14,10 +14,10 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "mck/explorer.h"
+#include "mck/intern_table.h"
 
 namespace cnv::mck {
 
@@ -51,33 +51,26 @@ RecoverabilityResult<M> CheckRecoverable(
   };
   std::vector<Meta> meta;
 
-  struct RefHash {
-    const std::vector<State>* arena;
-    std::size_t operator()(std::int64_t i) const {
-      return HashValue((*arena)[static_cast<std::size_t>(i)]);
-    }
-  };
-  struct RefEq {
-    const std::vector<State>* arena;
-    bool operator()(std::int64_t a, std::int64_t b) const {
-      return (*arena)[static_cast<std::size_t>(a)] ==
-             (*arena)[static_cast<std::size_t>(b)];
-    }
-  };
-  std::unordered_map<std::int64_t, std::int64_t, RefHash, RefEq> index(
-      1024, RefHash{&states}, RefEq{&states});
+  // Cached-hash visited table over arena indices: probe by (hash, value)
+  // before appending, so duplicates never churn the arena and growth
+  // rehashes never recompute HashValue.
+  const std::size_t hint = internal::ReserveHint(options.max_states);
+  states.reserve(hint);
+  meta.reserve(hint);
+  reverse_edges.reserve(hint);
+  InternTable index(hint);
 
   auto intern = [&](State s, std::int64_t parent,
                     const Action* via) -> std::pair<std::int64_t, bool> {
+    const std::uint64_t h = static_cast<std::uint64_t>(HashValue(s));
+    const std::int64_t found = index.Find(h, [&](std::int64_t i) {
+      return states[static_cast<std::size_t>(i)] == s;
+    });
+    if (found >= 0) return {found, false};
     states.push_back(std::move(s));
     meta.push_back({parent, via != nullptr ? *via : Action{}});
     const auto idx = static_cast<std::int64_t>(states.size()) - 1;
-    auto [it, inserted] = index.try_emplace(idx, idx);
-    if (!inserted) {
-      states.pop_back();
-      meta.pop_back();
-      return {it->second, false};
-    }
+    index.Insert(h, idx);
     reverse_edges.emplace_back();
     return {idx, true};
   };

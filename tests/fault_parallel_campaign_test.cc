@@ -1,0 +1,69 @@
+// Determinism suite for the parallel campaign runner: a sweep run with
+// parallelism N must produce byte-identical reports, traces and telemetry
+// exports to the serial sweep, in the same order.
+#include "fault/campaign.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cnv::fault {
+namespace {
+
+CampaignConfig SmallConfig() {
+  CampaignConfig cfg;
+  cfg.seeds = {1, 2};
+  cfg.plans = {plans::S2AttachDisruption(), plans::MmeCrashRestart()};
+  cfg.profiles = {stack::OpI(), stack::OpII()};
+  cfg.collect_telemetry = true;
+  return cfg;
+}
+
+TEST(ParallelCampaignTest, ReportsAreByteIdenticalToSerial) {
+  CampaignConfig serial_cfg = SmallConfig();
+  serial_cfg.parallelism = 1;
+  const CampaignResult serial = CampaignRunner(serial_cfg, true).Run();
+  ASSERT_EQ(serial.runs.size(), 8u);
+
+  for (const int parallelism : {2, 4}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(parallelism));
+    CampaignConfig cfg = SmallConfig();
+    cfg.parallelism = parallelism;
+    const CampaignResult par = CampaignRunner(cfg, true).Run();
+
+    EXPECT_EQ(par.Summary(), serial.Summary());
+    EXPECT_EQ(par.ChromeTraceJson(), serial.ChromeTraceJson());
+    EXPECT_EQ(par.runs_within_slo, serial.runs_within_slo);
+    EXPECT_EQ(par.runs_with_findings, serial.runs_with_findings);
+
+    ASSERT_EQ(par.runs.size(), serial.runs.size());
+    for (std::size_t i = 0; i < par.runs.size(); ++i) {
+      SCOPED_TRACE("run #" + std::to_string(i));
+      EXPECT_EQ(par.runs[i].seed, serial.runs[i].seed);
+      EXPECT_EQ(par.runs[i].plan, serial.runs[i].plan);
+      EXPECT_EQ(par.runs[i].profile, serial.runs[i].profile);
+      EXPECT_EQ(par.runs[i].faults_injected, serial.runs[i].faults_injected);
+      EXPECT_EQ(par.runs[i].trace_log, serial.runs[i].trace_log);
+      ASSERT_TRUE(par.runs[i].telemetry.has_value());
+      ASSERT_TRUE(serial.runs[i].telemetry.has_value());
+      EXPECT_EQ(par.runs[i].telemetry->ToJson(),
+                serial.runs[i].telemetry->ToJson());
+    }
+  }
+}
+
+TEST(ParallelCampaignTest, HardwareParallelismKeepsSerialOrdering) {
+  CampaignConfig cfg;
+  cfg.seeds = {7, 8, 9};
+  cfg.plans = {plans::S2AttachDisruption()};
+  cfg.parallelism = 0;  // hardware concurrency
+  const CampaignResult result = CampaignRunner(cfg).Run();
+  ASSERT_EQ(result.runs.size(), 3u);
+  EXPECT_EQ(result.runs[0].seed, 7u);
+  EXPECT_EQ(result.runs[1].seed, 8u);
+  EXPECT_EQ(result.runs[2].seed, 9u);
+}
+
+}  // namespace
+}  // namespace cnv::fault

@@ -1,0 +1,239 @@
+// Determinism suite for the parallel exploration engine: at any worker
+// count, ParallelExplore must return byte-identical results to the serial
+// wave-BFS of mck::Explore — same stats, same violations in the same order
+// with the same counterexample traces — on every toy and screening model,
+// bounded or not.
+#include "mck/parallel_explorer.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mck/toy_models.h"
+#include "model/s1_model.h"
+#include "model/s2_model.h"
+#include "model/s3_model.h"
+#include "model/s4_model.h"
+
+namespace cnv::mck {
+namespace {
+
+// Runs serial Explore and ParallelExplore at jobs 1, 2 and 8, asserting the
+// deterministic outputs match exactly. hash_occupancy and the wall-clock
+// figures are excluded from the serial comparison (a sharded table has a
+// different load factor than a single one) but must themselves be identical
+// across job counts.
+template <typename M>
+void ExpectMatchesSerial(const M& m,
+                         const PropertySet<typename M::State>& props,
+                         ExploreOptions base = {}) {
+  base.order = SearchOrder::kBreadthFirst;
+  const ExploreResult<M> serial = Explore(m, props, base);
+
+  double occupancy_ref = -1;
+  std::uint64_t waves_ref = 0;
+  for (const int jobs : {1, 2, 8}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    ParallelExploreOptions opt;
+    opt.base = base;
+    opt.jobs = jobs;
+    const ParallelExploreResult<M> par = ParallelExplore(m, props, opt);
+
+    EXPECT_EQ(par.stats.states_visited, serial.stats.states_visited);
+    EXPECT_EQ(par.stats.transitions, serial.stats.transitions);
+    EXPECT_EQ(par.stats.max_depth_reached, serial.stats.max_depth_reached);
+    EXPECT_EQ(par.stats.frontier_peak, serial.stats.frontier_peak);
+    EXPECT_EQ(par.stats.truncated, serial.stats.truncated);
+
+    ASSERT_EQ(par.violations.size(), serial.violations.size());
+    for (std::size_t i = 0; i < par.violations.size(); ++i) {
+      SCOPED_TRACE("violation #" + std::to_string(i));
+      EXPECT_EQ(par.violations[i].property, serial.violations[i].property);
+      EXPECT_TRUE(par.violations[i].state == serial.violations[i].state);
+      EXPECT_EQ(FormatTrace(m, par.violations[i]),
+                FormatTrace(m, serial.violations[i]));
+    }
+
+    EXPECT_EQ(par.par.jobs, jobs);
+    EXPECT_EQ(par.par.shards, 64u);
+    if (occupancy_ref < 0) {
+      occupancy_ref = par.stats.hash_occupancy;
+      waves_ref = par.par.waves;
+    } else {
+      EXPECT_DOUBLE_EQ(par.stats.hash_occupancy, occupancy_ref);
+      EXPECT_EQ(par.par.waves, waves_ref);
+    }
+  }
+}
+
+TEST(ParallelExploreTest, CorrectCounterMatchesSerial) {
+  toys::CounterModel m{4, false};
+  PropertySet<toys::CounterModel::State> props{
+      {"below_cap", [](const auto& s) { return s.value <= 4; }, ""}};
+  ExpectMatchesSerial(m, props);
+}
+
+TEST(ParallelExploreTest, BuggyCounterMatchesSerial) {
+  toys::CounterModel m{20, true};
+  PropertySet<toys::CounterModel::State> props{
+      {"below_cap", [](const auto& s) { return s.value <= 20; }, ""}};
+  ExpectMatchesSerial(m, props);
+}
+
+TEST(ParallelExploreTest, PetersonMatchesSerial) {
+  toys::PetersonModel good{true};
+  toys::PetersonModel broken{false};
+  PropertySet<toys::PetersonModel::State> props{
+      {"mutex",
+       [](const auto& s) { return !toys::PetersonModel::BothCritical(s); },
+       ""}};
+  ExpectMatchesSerial(good, props);
+  ExpectMatchesSerial(broken, props);
+}
+
+TEST(ParallelExploreTest, LossyPingDeadlockMatchesSerial) {
+  ExploreOptions base;
+  base.detect_deadlock = true;
+  PropertySet<toys::LossyPingModel::State> no_props;
+  ExpectMatchesSerial(toys::LossyPingModel{true}, no_props, base);
+  ExpectMatchesSerial(toys::LossyPingModel{false}, no_props, base);
+}
+
+TEST(ParallelExploreTest, DeadlockModelMatchesSerial) {
+  ExploreOptions base;
+  base.detect_deadlock = true;
+  PropertySet<toys::DeadlockModel::State> no_props;
+  ExpectMatchesSerial(toys::DeadlockModel{}, no_props, base);
+}
+
+TEST(ParallelExploreTest, AllViolationsModeMatchesSerial) {
+  // first_violation_per_property = false reports every violating state.
+  toys::CounterModel m{6, true};
+  PropertySet<toys::CounterModel::State> props{
+      {"below_cap", [](const auto& s) { return s.value <= 6; }, ""}};
+  ExploreOptions base;
+  base.first_violation_per_property = false;
+  ExpectMatchesSerial(m, props, base);
+}
+
+TEST(ParallelExploreTest, MaxStatesTruncationMatchesSerial) {
+  toys::PetersonModel m{true};
+  PropertySet<toys::PetersonModel::State> props{
+      {"mutex",
+       [](const auto& s) { return !toys::PetersonModel::BothCritical(s); },
+       ""}};
+  for (const std::uint64_t cap : {1u, 2u, 7u, 10u, 25u}) {
+    SCOPED_TRACE("max_states=" + std::to_string(cap));
+    ExploreOptions base;
+    base.max_states = cap;
+    ExpectMatchesSerial(m, props, base);
+  }
+}
+
+TEST(ParallelExploreTest, MaxDepthTruncationMatchesSerial) {
+  toys::PetersonModel m{true};
+  PropertySet<toys::PetersonModel::State> props{
+      {"mutex",
+       [](const auto& s) { return !toys::PetersonModel::BothCritical(s); },
+       ""}};
+  for (const std::uint64_t depth : {1u, 3u, 6u}) {
+    SCOPED_TRACE("max_depth=" + std::to_string(depth));
+    ExploreOptions base;
+    base.max_depth = depth;
+    ExpectMatchesSerial(m, props, base);
+  }
+}
+
+TEST(ParallelExploreTest, S1ModelMatchesSerial) {
+  {
+    model::S1Model m{model::S1Model::Config{}};
+    ExpectMatchesSerial(m, model::S1Model::Properties());
+  }
+  {
+    model::S1Model::Config cfg;
+    cfg.allow_user_data_toggle = false;
+    model::S1Model m(cfg);
+    ExpectMatchesSerial(m, model::S1Model::Properties());
+  }
+}
+
+TEST(ParallelExploreTest, S2ModelMatchesSerial) {
+  // Loss-only, duplication-only, and the combined cell.
+  for (const bool allow_loss : {true, false}) {
+    for (const bool allow_duplicate : {true, false}) {
+      if (!allow_loss && !allow_duplicate) continue;
+      model::S2Model::Config cfg;
+      cfg.allow_loss = allow_loss;
+      cfg.allow_duplicate = allow_duplicate;
+      model::S2Model m(cfg);
+      ExpectMatchesSerial(m, model::S2Model::Properties());
+    }
+  }
+}
+
+TEST(ParallelExploreTest, S3ModelMatchesSerialForEveryPolicy) {
+  for (const auto policy : {model::SwitchPolicy::kReleaseWithRedirect,
+                            model::SwitchPolicy::kHandover,
+                            model::SwitchPolicy::kCellReselection}) {
+    model::S3Model::Config cfg;
+    cfg.policy = policy;
+    model::S3Model m(cfg);
+    ExpectMatchesSerial(m, m.Properties());
+  }
+}
+
+TEST(ParallelExploreTest, S4ModelMatchesSerial) {
+  model::S4Model m{model::S4Model::Config{}};
+  ExpectMatchesSerial(m, model::S4Model::Properties());
+}
+
+TEST(ParallelExploreTest, RepeatedRunsAreByteIdentical) {
+  model::S3Model m;
+  ParallelExploreOptions opt;
+  opt.jobs = 8;
+  const auto a = ParallelExplore(m, m.Properties(), opt);
+  const auto b = ParallelExplore(m, m.Properties(), opt);
+  EXPECT_EQ(a.stats.states_visited, b.stats.states_visited);
+  EXPECT_EQ(a.stats.transitions, b.stats.transitions);
+  EXPECT_DOUBLE_EQ(a.stats.hash_occupancy, b.stats.hash_occupancy);
+  EXPECT_EQ(a.par.waves, b.par.waves);
+  EXPECT_EQ(a.par.largest_shard, b.par.largest_shard);
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(FormatTrace(m, a.violations[i]), FormatTrace(m, b.violations[i]));
+  }
+}
+
+TEST(ParallelExploreTest, SharedPoolReusesWorkersAcrossModels) {
+  par::WorkerPool pool(4);
+  model::S3Model s3;
+  const auto first = ParallelExplore(s3, s3.Properties(), {}, &pool);
+  const auto second = ParallelExplore(s3, s3.Properties(), {}, &pool);
+  EXPECT_EQ(first.stats.states_visited, second.stats.states_visited);
+  EXPECT_EQ(first.par.jobs, 4);
+  // Busy time accrued before the second run must not leak into its figures.
+  EXPECT_GE(second.par.worker_busy_seconds, 0.0);
+}
+
+TEST(ParallelExploreTest, ShardBitsZeroStillMatchesSerial) {
+  toys::PetersonModel m{false};
+  PropertySet<toys::PetersonModel::State> props{
+      {"mutex",
+       [](const auto& s) { return !toys::PetersonModel::BothCritical(s); },
+       ""}};
+  const auto serial = Explore(m, props);
+  ParallelExploreOptions opt;
+  opt.jobs = 4;
+  opt.shard_bits = 0;  // single shard: the striping degenerates gracefully
+  const auto par = ParallelExplore(m, props, opt);
+  EXPECT_EQ(par.par.shards, 1u);
+  EXPECT_EQ(par.stats.states_visited, serial.stats.states_visited);
+  ASSERT_EQ(par.violations.size(), serial.violations.size());
+  for (std::size_t i = 0; i < par.violations.size(); ++i) {
+    EXPECT_EQ(FormatTrace(m, par.violations[i]),
+              FormatTrace(m, serial.violations[i]));
+  }
+}
+
+}  // namespace
+}  // namespace cnv::mck
