@@ -8,7 +8,8 @@
 // triple replays the identical QXDM trace byte for byte.
 //
 // Usage:  ./chaos_campaign [seeds] [plans] [--robust] [--jobs N]
-//                          [--metrics-json DIR]
+//                          [--metrics-json DIR] [--checkpoint-dir DIR]
+//                          [--resume] [--cell-timeout-ms T] [--max-retries R]
 //   seeds     number of seeds to sweep (default 20)
 //   plans     "findings" = the S1-S6 set, "all" = every canned plan,
 //             or a comma-separated list of plan names (default "all")
@@ -25,22 +26,40 @@
 //             procedure span (open in chrome://tracing or Perfetto). All
 //             exported values are simulated-time based, so files are
 //             byte-identical across replays.
+//   --checkpoint-dir DIR
+//             persist a manifest + one blob per completed (seed, plan,
+//             profile) cell under DIR (atomic checksummed writes); with
+//             --resume, completed cells replay from their blobs and only
+//             missing cells run — report and metrics files are
+//             byte-identical to an uninterrupted run, at any --jobs.
+//             SIGINT/SIGTERM drain gracefully (in-flight cells finish and
+//             checkpoint; exit status 75).
+//   --cell-timeout-ms T / --max-retries R
+//             per-cell watchdog: a cell whose attempt overran T wall-clock
+//             milliseconds is retried up to R times with exponential
+//             backoff (defaults: no watchdog, no retries)
 //
 // CI runs the smoke version: ./chaos_campaign 3 s2-attach-disruption,mme-crash-restart
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "ckpt/manifest.h"
 #include "fault/campaign.h"
 #include "obs/export.h"
 #include "par/pool.h"
+#include "util/args.h"
 
 using namespace cnv;
 
 namespace {
+
+constexpr char kUsage[] =
+    "usage: chaos_campaign [seeds] [plans] [--robust] [--jobs N]\n"
+    "                      [--metrics-json DIR] [--checkpoint-dir DIR]\n"
+    "                      [--resume] [--cell-timeout-ms T] [--max-retries R]";
 
 std::vector<fault::FaultPlan> SelectPlans(const std::string& spec) {
   if (spec == "findings") return fault::plans::Findings();
@@ -73,42 +92,34 @@ std::vector<fault::FaultPlan> SelectPlans(const std::string& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  args::ArgParser parser(argc, argv, kUsage);
+  const bool robust = parser.Flag("--robust");
+  int jobs = 0;
+  parser.IntValue("--jobs", &jobs, 0);
+  std::string metrics_dir;
+  parser.StrValue("--metrics-json", &metrics_dir);
+  std::string checkpoint_dir;
+  parser.StrValue("--checkpoint-dir", &checkpoint_dir);
+  const bool resume = parser.Flag("--resume");
+  std::int64_t cell_timeout_ms = 0;
+  parser.I64Value("--cell-timeout-ms", &cell_timeout_ms, 0);
+  int max_retries = 0;
+  parser.IntValue("--max-retries", &max_retries, 0);
+  const auto positional = parser.Finish(2);
+
   int n_seeds = 20;
   std::string plan_spec = "all";
-  bool robust = false;
-  int jobs = 0;
-  std::string metrics_dir;
-  int positional = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--robust") == 0) {
-      robust = true;
-    } else if (std::strcmp(argv[i], "--jobs") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--jobs needs a worker count\n");
-        return 2;
-      }
-      jobs = std::atoi(argv[++i]);
-      if (jobs < 0) {
-        std::fprintf(stderr, "--jobs must be >= 0 (0 = hardware)\n");
-        return 2;
-      }
-    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--metrics-json needs an output directory\n");
-        return 2;
-      }
-      metrics_dir = argv[++i];
-    } else if (positional == 0) {
-      n_seeds = std::atoi(argv[i]);
-      ++positional;
-    } else {
-      plan_spec = argv[i];
-      ++positional;
+  if (!positional.empty()) {
+    std::int64_t v = 0;
+    if (!args::ParseI64(positional[0], &v) || v < 1) {
+      parser.Fail("seed count must be an integer >= 1, got '" +
+                  positional[0] + "'");
     }
+    n_seeds = static_cast<int>(v);
   }
-  if (n_seeds < 1) {
-    std::fprintf(stderr, "seed count must be >= 1\n");
-    return 2;
+  if (positional.size() > 1) plan_spec = positional[1];
+  if (resume && checkpoint_dir.empty()) {
+    parser.Fail("--resume requires --checkpoint-dir");
   }
 
   fault::CampaignConfig cfg;
@@ -124,6 +135,16 @@ int main(int argc, char** argv) {
   }
   cfg.collect_telemetry = !metrics_dir.empty();
   cfg.parallelism = jobs;
+  cfg.checkpoint_dir = checkpoint_dir;
+  cfg.resume = resume;
+  cfg.retry.cell_timeout_ms = cell_timeout_ms;
+  cfg.retry.max_retries = max_retries;
+
+  // Graceful drain: SIGINT/SIGTERM stop new cells; in-flight cells finish
+  // and checkpoint before we exit with the distinct interrupted status.
+  ckpt::CancelToken cancel;
+  ckpt::InstallSignalDrain(&cancel);
+  cfg.cancel = &cancel;
 
   std::printf(
       "chaos campaign: %zu seed(s) x %zu plan(s) x %zu profile(s)%s [%d "
@@ -137,6 +158,26 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   const fault::CampaignResult result = fault::CampaignRunner(cfg).Run();
+  ckpt::InstallSignalDrain(nullptr);
+
+  // Execution accounting goes to stderr: it varies with interruption
+  // history, and stdout / the metrics files must stay byte-identical
+  // between a resumed and an uninterrupted campaign.
+  if (!checkpoint_dir.empty() || result.exec.retries > 0 ||
+      result.exec.watchdog_hits > 0) {
+    std::fprintf(stderr, "execution: %s\n", result.exec.ToString().c_str());
+  }
+  if (!result.complete) {
+    std::fprintf(stderr,
+                 "campaign interrupted: %llu/%llu cell(s) done; resume with "
+                 "--checkpoint-dir %s --resume\n",
+                 static_cast<unsigned long long>(result.exec.cells_resumed +
+                                                 result.exec.cells_run),
+                 static_cast<unsigned long long>(result.exec.cells_total),
+                 checkpoint_dir.c_str());
+    return ckpt::kInterruptedExitCode;
+  }
+
   std::printf("%s\n", result.Summary().c_str());
 
   std::set<std::string> reproduced;

@@ -5,39 +5,87 @@
 // highlighted (render with: dot -Tsvg s3_model.dot -o s3_model.svg).
 //
 // Build and run:  ./model_explorer [output.dot] [--jobs N]
+//                                  [--checkpoint-dir DIR]
+//                                  [--checkpoint-every N] [--resume]
 //   --jobs N  explore on N workers (default 0 = hardware concurrency,
 //             1 = serial). Stats and counterexamples are identical at any N.
+//   --checkpoint-dir DIR
+//             write checksummed exploration snapshots (intern table, arena,
+//             frontier, stats) under DIR at wave boundaries; with --resume,
+//             exploration restarts from the newest good snapshot and the
+//             result — violations, traces, stats — is byte-identical to an
+//             uninterrupted run, at any --jobs.
+//   --checkpoint-every N
+//             snapshot only after >= N newly discovered states since the
+//             last snapshot (default 0 = every wave boundary)
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <memory>
 
+#include "ckpt/explore_ckpt.h"
 #include "mck/dot.h"
 #include "mck/parallel_explorer.h"
 #include "mck/reachability.h"
 #include "model/s3_model.h"
+#include "util/args.h"
 
 using namespace cnv;
 
 int main(int argc, char** argv) {
-  std::string out_path = "s3_model.dot";
+  args::ArgParser parser(
+      argc, argv,
+      "usage: model_explorer [output.dot] [--jobs N] [--checkpoint-dir DIR]\n"
+      "                      [--checkpoint-every N] [--resume]");
   int jobs = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--jobs needs a worker count\n");
-        return 2;
-      }
-      jobs = std::atoi(argv[++i]);
-    } else {
-      out_path = argv[i];
-    }
+  parser.IntValue("--jobs", &jobs, 0);
+  std::string checkpoint_dir;
+  parser.StrValue("--checkpoint-dir", &checkpoint_dir);
+  std::uint64_t checkpoint_every = 0;
+  parser.U64Value("--checkpoint-every", &checkpoint_every);
+  const bool resume = parser.Flag("--resume");
+  const auto positional = parser.Finish(1);
+  const std::string out_path =
+      positional.empty() ? "s3_model.dot" : positional[0];
+  if (resume && checkpoint_dir.empty()) {
+    parser.Fail("--resume requires --checkpoint-dir");
   }
+
   model::S3Model m;  // cell-reselection policy: the S3 configuration
 
-  // 1. Exhaustive screening on the worker pool.
+  // 1. Exhaustive screening on the worker pool, optionally checkpointed.
   mck::ParallelExploreOptions opt_explore;
   opt_explore.jobs = jobs;
-  const auto result = mck::ParallelExplore(m, m.Properties(), opt_explore);
+  std::unique_ptr<ckpt::ExploreCheckpointer<model::S3Model>> checkpointer;
+  mck::ExploreSnapshot<model::S3Model> snap;
+  const mck::SnapshotHooks<model::S3Model>* hooks = nullptr;
+  if (!checkpoint_dir.empty()) {
+    // The digest covers the model configuration, not --jobs: a snapshot
+    // written serially resumes on any worker count.
+    ckpt::DigestBuilder digest;
+    digest.Add(std::string_view("model_explorer/s3/cell-reselection"));
+    checkpointer = std::make_unique<ckpt::ExploreCheckpointer<model::S3Model>>(
+        checkpoint_dir, "s3", digest.Finish(), checkpoint_every);
+    bool resumed = false;
+    if (resume) {
+      const auto rs = checkpointer->TryLoad(&snap);
+      resumed = rs.loaded;
+      std::fprintf(stderr, "resume: primary=%s fallback=%s -> %s\n",
+                   ckpt::ToString(rs.primary).c_str(),
+                   ckpt::ToString(rs.fallback).c_str(),
+                   rs.loaded
+                       ? (rs.fell_back ? "resumed from last good snapshot"
+                                       : "resumed")
+                       : "starting fresh");
+    }
+    hooks = checkpointer->hooks(resumed ? &snap : nullptr);
+  }
+  const auto result =
+      mck::ParallelExplore(m, m.Properties(), opt_explore, nullptr, hooks);
+  if (checkpointer != nullptr) {
+    std::fprintf(stderr, "checkpoints written: %llu\n",
+                 static_cast<unsigned long long>(
+                     checkpointer->snapshots_written()));
+  }
   std::printf("explored %llu states, %llu transitions (%d job(s), %llu waves)\n",
               (unsigned long long)result.stats.states_visited,
               (unsigned long long)result.stats.transitions, result.par.jobs,

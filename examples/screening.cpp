@@ -4,6 +4,7 @@
 // findings.
 //
 // Usage:  ./screening [--jobs N] [--walks W] [--seed S] [--solutions]
+//                     [--checkpoint-dir DIR] [--resume]
 //   --jobs N     explore each cell on N workers (default 0 = hardware
 //                concurrency, 1 = serial). Findings, violated properties
 //                and counterexamples are byte-identical at any N; only the
@@ -13,39 +14,61 @@
 //   --seed S     RNG seed for the random walks (default 1)
 //   --solutions  screen the §8 remedies instead of the standard behaviour
 //                (expected outcome: zero findings)
+//   --checkpoint-dir DIR
+//                persist each completed catalog cell (plus the RNG stream
+//                position) under DIR; with --resume, completed cells replay
+//                from their blobs and the report is byte-identical to an
+//                uninterrupted run. SIGINT/SIGTERM drain gracefully between
+//                cells (exit status 75).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
+#include "ckpt/manifest.h"
 #include "core/screening.h"
+#include "util/args.h"
 
 using namespace cnv;
 
 int main(int argc, char** argv) {
+  args::ArgParser parser(
+      argc, argv,
+      "usage: screening [--jobs N] [--walks W] [--seed S] [--solutions]\n"
+      "                 [--checkpoint-dir DIR] [--resume]");
   core::ScreeningOptions opt;
   opt.jobs = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--solutions") == 0) {
-      opt.with_solutions = true;
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      opt.jobs = std::atoi(argv[++i]);
-      if (opt.jobs < 0) {
-        std::fprintf(stderr, "--jobs must be >= 0 (0 = hardware)\n");
-        return 2;
-      }
-    } else if (std::strcmp(argv[i], "--walks") == 0 && i + 1 < argc) {
-      opt.random_walks = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--jobs N] [--walks W] [--seed S] [--solutions]\n",
-                   argv[0]);
-      return 2;
-    }
+  opt.with_solutions = parser.Flag("--solutions");
+  parser.IntValue("--jobs", &opt.jobs, 0);
+  parser.U64Value("--walks", &opt.random_walks);
+  parser.U64Value("--seed", &opt.seed);
+  parser.StrValue("--checkpoint-dir", &opt.checkpoint_dir);
+  opt.resume = parser.Flag("--resume");
+  parser.Finish(0);
+  if (opt.resume && opt.checkpoint_dir.empty()) {
+    parser.Fail("--resume requires --checkpoint-dir");
   }
 
+  ckpt::CancelToken cancel;
+  ckpt::InstallSignalDrain(&cancel);
+  opt.cancel = &cancel;
+
   const auto report = core::ScreeningRunner(opt).RunAll();
+  ckpt::InstallSignalDrain(nullptr);
+
+  // Execution accounting to stderr only: stdout must stay byte-identical
+  // between a resumed and an uninterrupted screening run.
+  if (!opt.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "execution: %s\n", report.exec.ToString().c_str());
+  }
+  if (!report.complete) {
+    std::fprintf(stderr,
+                 "screening interrupted: %llu/%llu cell(s) done; resume "
+                 "with --checkpoint-dir %s --resume\n",
+                 static_cast<unsigned long long>(report.exec.cells_resumed +
+                                                 report.exec.cells_run),
+                 static_cast<unsigned long long>(report.exec.cells_total),
+                 opt.checkpoint_dir.c_str());
+    return ckpt::kInterruptedExitCode;
+  }
+
   std::printf("%s", core::ScreeningRunner::Format(report).c_str());
   return 0;
 }

@@ -1,0 +1,142 @@
+#include "ckpt/io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace cnv::ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'N', 'V', 'C', 'K', 'P', 'T', '\0'};
+
+struct Envelope {
+  char magic[8];
+  std::uint32_t format_version;
+  std::uint32_t payload_type;
+  std::uint32_t payload_version;
+  std::uint32_t reserved;
+  std::uint64_t config_digest;
+  std::uint64_t payload_size;
+  std::uint64_t payload_sum;
+};
+static_assert(std::is_trivially_copyable_v<Envelope>);
+
+}  // namespace
+
+std::string ToString(LoadStatus s) {
+  switch (s) {
+    case LoadStatus::kOk:
+      return "ok";
+    case LoadStatus::kMissing:
+      return "missing";
+    case LoadStatus::kTruncated:
+      return "truncated";
+    case LoadStatus::kBadMagic:
+      return "bad-magic";
+    case LoadStatus::kBadVersion:
+      return "bad-version";
+    case LoadStatus::kBadType:
+      return "bad-type";
+    case LoadStatus::kConfigMismatch:
+      return "config-mismatch";
+    case LoadStatus::kChecksumMismatch:
+      return "checksum-mismatch";
+  }
+  return "unknown";
+}
+
+bool WriteCheckpointFile(const std::string& path, PayloadType type,
+                         std::uint32_t payload_version,
+                         std::uint64_t config_digest,
+                         std::string_view payload) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path target(path);
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);  // best effort
+  }
+
+  Envelope env{};
+  std::memcpy(env.magic, kMagic, sizeof(kMagic));
+  env.format_version = kFormatVersion;
+  env.payload_type = static_cast<std::uint32_t>(type);
+  env.payload_version = payload_version;
+  env.config_digest = config_digest;
+  env.payload_size = payload.size();
+  env.payload_sum = Fnv1a64(payload);
+
+  const fs::path tmp(path + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(&env), sizeof(env));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+LoadStatus ReadCheckpointFile(const std::string& path, PayloadType type,
+                              std::uint32_t payload_version,
+                              std::uint64_t config_digest,
+                              std::string* payload,
+                              std::uint64_t* stored_digest) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return LoadStatus::kMissing;
+
+  Envelope env{};
+  in.read(reinterpret_cast<char*>(&env), sizeof(env));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(env))) {
+    return LoadStatus::kTruncated;
+  }
+  if (std::memcmp(env.magic, kMagic, sizeof(kMagic)) != 0) {
+    return LoadStatus::kBadMagic;
+  }
+  if (env.format_version != kFormatVersion ||
+      env.payload_version != payload_version) {
+    return LoadStatus::kBadVersion;
+  }
+  if (env.payload_type != static_cast<std::uint32_t>(type)) {
+    return LoadStatus::kBadType;
+  }
+  if (stored_digest != nullptr) *stored_digest = env.config_digest;
+  if (config_digest != kAnyConfigDigest &&
+      env.config_digest != config_digest) {
+    return LoadStatus::kConfigMismatch;
+  }
+
+  // Compare the declared size against what is actually on disk before
+  // allocating: a corrupted size field must not turn into a huge allocation,
+  // and both truncation and trailing garbage count as damage.
+  const std::streampos body_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::uint64_t on_disk =
+      static_cast<std::uint64_t>(in.tellg() - body_start);
+  in.seekg(body_start);
+  if (on_disk != env.payload_size) return LoadStatus::kTruncated;
+
+  std::string bytes(static_cast<std::size_t>(env.payload_size), '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (in.gcount() != static_cast<std::streamsize>(bytes.size())) {
+    return LoadStatus::kTruncated;
+  }
+  if (Fnv1a64(bytes) != env.payload_sum) {
+    return LoadStatus::kChecksumMismatch;
+  }
+  if (payload != nullptr) *payload = std::move(bytes);
+  return LoadStatus::kOk;
+}
+
+}  // namespace cnv::ckpt

@@ -1,0 +1,162 @@
+#include "ckpt/manifest.h"
+
+#include <csignal>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "util/strings.h"
+
+namespace cnv::ckpt {
+
+namespace {
+
+std::atomic<CancelToken*> g_drain_token{nullptr};
+
+void DrainHandler(int /*signum*/) {
+  CancelToken* token = g_drain_token.load(std::memory_order_relaxed);
+  if (token != nullptr) token->Cancel();
+}
+
+}  // namespace
+
+void InstallSignalDrain(CancelToken* token) {
+  g_drain_token.store(token, std::memory_order_relaxed);
+  if (token != nullptr) {
+    std::signal(SIGINT, DrainHandler);
+    std::signal(SIGTERM, DrainHandler);
+  } else {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+  }
+}
+
+RetryOutcome RunWithRetries(const RetryPolicy& policy,
+                            const std::function<bool()>& attempt) {
+  const auto now_ms = [&policy]() -> std::int64_t {
+    if (policy.wall_ms_for_test) return policy.wall_ms_for_test();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  const auto sleep_ms = [&policy](std::int64_t ms) {
+    if (ms <= 0) return;
+    if (policy.sleep_ms_for_test) {
+      policy.sleep_ms_for_test(ms);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  };
+
+  RetryOutcome out;
+  std::int64_t backoff = policy.backoff_initial_ms;
+  const int attempts = 1 + (policy.max_retries > 0 ? policy.max_retries : 0);
+  for (int i = 0; i < attempts; ++i) {
+    if (i > 0) {
+      ++out.retries;
+      sleep_ms(backoff);
+      backoff = static_cast<std::int64_t>(
+          static_cast<double>(backoff) * policy.backoff_multiplier);
+    }
+    const std::int64_t start = now_ms();
+    const bool ok = attempt();
+    const std::int64_t elapsed = now_ms() - start;
+    const bool overran =
+        policy.cell_timeout_ms > 0 && elapsed > policy.cell_timeout_ms;
+    if (overran) ++out.watchdog_hits;
+    if (ok && !overran) {
+      out.ok = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+std::string ExecutionStats::ToString() const {
+  return Format(
+      "cells=%llu resumed=%llu run=%llu retries=%llu watchdog=%llu "
+      "checkpoints=%llu corrupt-discarded=%llu%s",
+      static_cast<unsigned long long>(cells_total),
+      static_cast<unsigned long long>(cells_resumed),
+      static_cast<unsigned long long>(cells_run),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(watchdog_hits),
+      static_cast<unsigned long long>(checkpoints_written),
+      static_cast<unsigned long long>(corrupt_cells_discarded),
+      interrupted ? " INTERRUPTED" : "");
+}
+
+std::size_t Manifest::CountDone() const {
+  std::size_t n = 0;
+  for (const auto& c : cells) {
+    if (c.done != 0) ++n;
+  }
+  return n;
+}
+
+ManifestStore::ManifestStore(std::string dir, std::uint64_t config_digest)
+    : dir_(std::move(dir)), config_digest_(config_digest) {}
+
+std::string ManifestStore::ManifestPath() const {
+  return (std::filesystem::path(dir_) / "manifest.ckpt").string();
+}
+
+std::string ManifestStore::CellPath(std::size_t index) const {
+  return (std::filesystem::path(dir_) /
+          Format("cell_%zu.bin", index))
+      .string();
+}
+
+bool ManifestStore::SaveManifest(const Manifest& m) const {
+  BinaryWriter w;
+  w.U64(m.cells.size());
+  for (const auto& c : m.cells) {
+    w.U8(c.done);
+    w.U64(c.outcome_digest);
+  }
+  return WriteCheckpointFile(ManifestPath(), PayloadType::kCampaignManifest,
+                             kManifestVersion, config_digest_, w.Take());
+}
+
+LoadStatus ManifestStore::LoadManifest(Manifest* m) const {
+  std::string payload;
+  const LoadStatus s =
+      ReadCheckpointFile(ManifestPath(), PayloadType::kCampaignManifest,
+                         kManifestVersion, config_digest_, &payload);
+  if (s != LoadStatus::kOk) return s;
+  BinaryReader r(payload);
+  const std::uint64_t n = r.U64();
+  if (n > payload.size()) return LoadStatus::kChecksumMismatch;
+  Manifest out;
+  out.cells.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    CellRecord c;
+    c.done = r.U8();
+    c.outcome_digest = r.U64();
+    out.cells.push_back(c);
+  }
+  if (!r.AtEnd()) return LoadStatus::kChecksumMismatch;
+  *m = std::move(out);
+  return LoadStatus::kOk;
+}
+
+bool ManifestStore::SaveCell(std::size_t index, PayloadType type,
+                             std::string_view payload) const {
+  return WriteCheckpointFile(CellPath(index), type, kManifestVersion,
+                             config_digest_, payload);
+}
+
+LoadStatus ManifestStore::LoadCell(std::size_t index, PayloadType type,
+                                   std::uint64_t expected_digest,
+                                   std::string* payload) const {
+  std::string bytes;
+  const LoadStatus s = ReadCheckpointFile(CellPath(index), type,
+                                          kManifestVersion, config_digest_,
+                                          &bytes);
+  if (s != LoadStatus::kOk) return s;
+  if (Fnv1a64(bytes) != expected_digest) return LoadStatus::kChecksumMismatch;
+  if (payload != nullptr) *payload = std::move(bytes);
+  return LoadStatus::kOk;
+}
+
+}  // namespace cnv::ckpt

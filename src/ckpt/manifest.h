@@ -1,0 +1,142 @@
+// Campaign manifests and self-healing primitives. A manifest records, per
+// sweep cell (one (profile, plan, seed) triple or one screening catalog
+// cell), whether the cell has completed and a digest of its outcome; the
+// completed outcome itself lives in a sibling `cell_<index>.bin` checkpoint
+// file. A resumed campaign loads the manifest, replays completed cells from
+// their blobs, and runs only what is missing — the final report is
+// byte-identical to an uninterrupted run.
+//
+// Self-healing pieces shared by the campaign and screening runners:
+//   RetryPolicy / RunWithRetries  per-cell wall-clock watchdog + bounded
+//                                 retries with exponential backoff
+//   CancelToken / InstallSignalDrain  SIGINT/SIGTERM request a graceful
+//                                 drain: in-flight cells finish, the
+//                                 manifest is flushed, and the driver exits
+//                                 with kInterruptedExitCode
+//   ExecutionStats                process-level accounting (resumes,
+//                                 retries, watchdog hits, ...). Never part
+//                                 of a byte-compared report — print it to
+//                                 stderr.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ckpt/io.h"
+
+namespace cnv::ckpt {
+
+// --- graceful cancellation --------------------------------------------------
+
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  const std::atomic<bool>& flag() const { return cancelled_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Exit status a driver uses after a graceful drain, distinct from both
+// success and failure (mirrors sysexits' EX_TEMPFAIL).
+inline constexpr int kInterruptedExitCode = 75;
+
+// Arms SIGINT/SIGTERM to cancel `token` (async-signal-safe: the handler
+// only stores to an atomic). Pass nullptr to disarm. One token at a time.
+void InstallSignalDrain(CancelToken* token);
+
+// --- watchdog + retries -----------------------------------------------------
+
+struct RetryPolicy {
+  // Longest tolerated wall-clock time for one cell attempt; 0 disables the
+  // watchdog. The check is post-hoc: the attempt runs to completion and its
+  // result is discarded (and retried) when it overran.
+  std::int64_t cell_timeout_ms = 0;
+  int max_retries = 0;
+  std::int64_t backoff_initial_ms = 100;
+  double backoff_multiplier = 2.0;
+  // Test seams: a fake millisecond clock (sampled before and after each
+  // attempt) and a sleep override so backoff tests don't wait.
+  std::function<std::int64_t()> wall_ms_for_test;
+  std::function<void(std::int64_t)> sleep_ms_for_test;
+};
+
+struct RetryOutcome {
+  bool ok = false;  // some attempt returned true within the watchdog budget
+  std::uint64_t retries = 0;
+  std::uint64_t watchdog_hits = 0;
+};
+
+// Runs `attempt` under the policy: up to 1 + max_retries tries, exponential
+// backoff between tries, an attempt counting as failed when it returns
+// false or overruns cell_timeout_ms.
+RetryOutcome RunWithRetries(const RetryPolicy& policy,
+                            const std::function<bool()>& attempt);
+
+// --- execution accounting ---------------------------------------------------
+
+struct ExecutionStats {
+  std::uint64_t cells_total = 0;
+  std::uint64_t cells_resumed = 0;   // replayed from checkpoint blobs
+  std::uint64_t cells_run = 0;       // actually executed this process
+  std::uint64_t retries = 0;
+  std::uint64_t watchdog_hits = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t corrupt_cells_discarded = 0;
+  bool interrupted = false;
+
+  std::string ToString() const;  // single line for stderr
+};
+
+// --- manifest ---------------------------------------------------------------
+
+struct CellRecord {
+  std::uint8_t done = 0;
+  std::uint64_t outcome_digest = 0;  // FNV-1a of the cell blob payload
+};
+
+struct Manifest {
+  std::vector<CellRecord> cells;
+
+  std::size_t CountDone() const;
+};
+
+inline constexpr std::uint32_t kManifestVersion = 1;
+
+// Directory-backed store: `<dir>/manifest.ckpt` plus one
+// `<dir>/cell_<index>.bin` per completed cell, all written with the
+// checksummed tmp + rename protocol and guarded by the campaign's config
+// digest (a resume with a different sweep definition is rejected).
+class ManifestStore {
+ public:
+  ManifestStore(std::string dir, std::uint64_t config_digest);
+
+  const std::string& dir() const { return dir_; }
+  std::string ManifestPath() const;
+  std::string CellPath(std::size_t index) const;
+
+  bool SaveManifest(const Manifest& m) const;
+  LoadStatus LoadManifest(Manifest* m) const;
+
+  // Cell blobs carry the caller's payload type (campaign cell vs screening
+  // cell) and the cell outcome encoded by the caller.
+  bool SaveCell(std::size_t index, PayloadType type,
+                std::string_view payload) const;
+  // Validates the blob against the digest recorded in the manifest, so a
+  // swapped or stale cell file surfaces as kChecksumMismatch.
+  LoadStatus LoadCell(std::size_t index, PayloadType type,
+                      std::uint64_t expected_digest,
+                      std::string* payload) const;
+
+ private:
+  std::string dir_;
+  std::uint64_t config_digest_;
+};
+
+}  // namespace cnv::ckpt

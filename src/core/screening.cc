@@ -1,7 +1,10 @@
 #include "core/screening.h"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 
+#include "ckpt/io.h"
 #include "mck/parallel_explorer.h"
 #include "mck/random_walk.h"
 #include "model/s1_model.h"
@@ -58,6 +61,186 @@ ScenarioCellResult ExploreCell(const std::string& name, const M& m,
   return cell;
 }
 
+// One catalog entry: a name-bearing closure that builds the model and
+// explores the cell. Materializing the catalog as data (instead of inline
+// blocks) is what lets the runner checkpoint, resume, retry and cancel at
+// cell granularity.
+struct CellSpec {
+  std::function<ScenarioCellResult(Rng&, par::WorkerPool&)> run;
+};
+
+std::vector<CellSpec> BuildCatalog(const ScreeningOptions& options) {
+  const bool fix = options.with_solutions;
+  std::vector<CellSpec> catalog;
+
+  // --- S1 cells: inter-system context sharing.
+  {
+    model::S1Model::Config cfg;
+    cfg.fix_keep_context = fix;
+    cfg.fix_reactivate_bearer = fix;
+    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+      model::S1Model m(cfg);
+      return ExploreCell(
+          "S1 model / inter-system switches x all PDP deactivation causes", m,
+          model::S1Model::Properties(), FindingId::kS1, rng, options, pool);
+    }});
+  }
+  {
+    model::S1Model::Config cfg;
+    cfg.allow_user_data_toggle = false;
+    cfg.fix_keep_context = fix;
+    cfg.fix_reactivate_bearer = fix;
+    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+      model::S1Model m(cfg);
+      return ExploreCell("S1 model / network-initiated deactivations only", m,
+                         model::S1Model::Properties(), FindingId::kS1, rng,
+                         options, pool);
+    }});
+  }
+
+  // --- S2 cells: unreliable RRC under the attach procedure.
+  {
+    model::S2Model::Config cfg;
+    cfg.allow_duplicate = false;
+    cfg.reliable_shim = fix;
+    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+      model::S2Model m(cfg);
+      return ExploreCell("S2 model / lost signaling (Figure 5a)", m,
+                         model::S2Model::Properties(), FindingId::kS2, rng,
+                         options, pool);
+    }});
+  }
+  {
+    model::S2Model::Config cfg;
+    cfg.allow_loss = false;
+    cfg.reliable_shim = fix;
+    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+      model::S2Model m(cfg);
+      return ExploreCell("S2 model / duplicate signaling (Figure 5b)", m,
+                         model::S2Model::Properties(), FindingId::kS2, rng,
+                         options, pool);
+    }});
+  }
+  {
+    model::S2Model::Config cfg;
+    cfg.reliable_shim = fix;
+    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+      model::S2Model m(cfg);
+      return ExploreCell("S2 model / loss + duplication combined", m,
+                         model::S2Model::Properties(), FindingId::kS2, rng,
+                         options, pool);
+    }});
+  }
+
+  // --- S3 cells: every inter-system switching option (Figure 6a).
+  for (const auto policy : {model::SwitchPolicy::kReleaseWithRedirect,
+                            model::SwitchPolicy::kHandover,
+                            model::SwitchPolicy::kCellReselection}) {
+    model::S3Model::Config cfg;
+    cfg.policy = policy;
+    cfg.fix_csfb_tag = fix;
+    catalog.push_back({[cfg, policy, options](Rng& rng,
+                                              par::WorkerPool& pool) {
+      model::S3Model m(cfg);
+      return ExploreCell("S3 model / " + model::ToString(policy), m,
+                         m.Properties(), FindingId::kS3, rng, options, pool);
+    }});
+  }
+
+  // --- S4 cells: CS-only, PS-only and combined HOL blocking.
+  {
+    model::S4Model::Config cfg;
+    cfg.model_ps = false;
+    cfg.decoupled = fix;
+    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+      model::S4Model m(cfg);
+      return ExploreCell("S4 model / CS domain (CM over MM)", m,
+                         model::S4Model::Properties(), FindingId::kS4, rng,
+                         options, pool);
+    }});
+  }
+  {
+    model::S4Model::Config cfg;
+    cfg.model_cs = false;
+    cfg.decoupled = fix;
+    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+      model::S4Model m(cfg);
+      return ExploreCell("S4 model / PS domain (SM over GMM)", m,
+                         model::S4Model::Properties(), FindingId::kS4, rng,
+                         options, pool);
+    }});
+  }
+  {
+    model::S4Model::Config cfg;
+    cfg.decoupled = fix;
+    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+      model::S4Model m(cfg);
+      return ExploreCell("S4 model / both domains", m,
+                         model::S4Model::Properties(), FindingId::kS4, rng,
+                         options, pool);
+    }});
+  }
+
+  return catalog;
+}
+
+// Cell blob: the cell result plus the RNG state *after* the cell, so a
+// resumed run re-enters the shared random stream exactly where the
+// checkpointed run left it.
+std::string EncodeCell(const ScenarioCellResult& cell,
+                       const std::string& rng_state) {
+  ckpt::BinaryWriter w;
+  w.Str(cell.cell);
+  w.U64(cell.findings.size());
+  for (const auto f : cell.findings) w.U8(static_cast<std::uint8_t>(f));
+  w.U64(cell.violated_properties.size());
+  for (const auto& p : cell.violated_properties) w.Str(p);
+  w.U64(cell.counterexamples.size());
+  for (const auto& c : cell.counterexamples) w.Str(c);
+  w.U64(cell.stats.states_visited);
+  w.U64(cell.stats.transitions);
+  w.U64(cell.stats.max_depth_reached);
+  w.U8(cell.stats.truncated ? 1 : 0);
+  w.U64(cell.stats.frontier_peak);
+  w.F64(cell.stats.hash_occupancy);
+  w.F64(cell.stats.elapsed_wall_seconds);
+  w.Str(rng_state);
+  return w.Take();
+}
+
+bool DecodeCell(std::string_view payload, ScenarioCellResult* cell,
+                std::string* rng_state) {
+  ckpt::BinaryReader r(payload);
+  ScenarioCellResult out;
+  out.cell = r.Str();
+  const std::uint64_t n_findings = r.U64();
+  if (n_findings > payload.size()) return false;
+  for (std::uint64_t i = 0; i < n_findings && r.ok(); ++i) {
+    out.findings.push_back(static_cast<FindingId>(r.U8()));
+  }
+  const std::uint64_t n_props = r.U64();
+  if (n_props > payload.size()) return false;
+  for (std::uint64_t i = 0; i < n_props && r.ok(); ++i) {
+    out.violated_properties.push_back(r.Str());
+  }
+  const std::uint64_t n_cex = r.U64();
+  if (n_cex > payload.size()) return false;
+  for (std::uint64_t i = 0; i < n_cex && r.ok(); ++i) {
+    out.counterexamples.push_back(r.Str());
+  }
+  out.stats.states_visited = r.U64();
+  out.stats.transitions = r.U64();
+  out.stats.max_depth_reached = r.U64();
+  out.stats.truncated = r.U8() != 0;
+  out.stats.frontier_peak = r.U64();
+  out.stats.hash_occupancy = r.F64();
+  out.stats.elapsed_wall_seconds = r.F64();
+  *rng_state = r.Str();
+  if (!r.AtEnd()) return false;
+  *cell = std::move(out);
+  return true;
+}
+
 }  // namespace
 
 bool ScreeningReport::Found(FindingId id) const {
@@ -68,105 +251,89 @@ bool ScreeningReport::Found(FindingId id) const {
 ScreeningRunner::ScreeningRunner(ScreeningOptions options)
     : options_(options) {}
 
+std::uint64_t ScreeningRunner::ConfigDigest() const {
+  ckpt::DigestBuilder d;
+  d.Add(std::string_view("screening"));
+  d.Add(options_.with_solutions);
+  d.Add(options_.random_walks);
+  d.Add(options_.seed);
+  return d.Finish();
+}
+
 ScreeningReport ScreeningRunner::RunAll() const {
   ScreeningReport report;
   Rng rng(options_.seed);
-  const bool fix = options_.with_solutions;
   // One pool for all exhaustive passes; jobs == 1 runs inline.
   par::WorkerPool pool(options_.jobs);
+  const std::vector<CellSpec> catalog = BuildCatalog(options_);
+  report.exec.cells_total = catalog.size();
 
-  // --- S1 cells: inter-system context sharing.
-  {
-    model::S1Model::Config cfg;
-    cfg.fix_keep_context = fix;
-    cfg.fix_reactivate_bearer = fix;
-    model::S1Model m(cfg);
-    report.cells.push_back(ExploreCell(
-        "S1 model / inter-system switches x all PDP deactivation causes", m,
-        model::S1Model::Properties(), FindingId::kS1, rng, options_, pool));
-  }
-  {
-    model::S1Model::Config cfg;
-    cfg.allow_user_data_toggle = false;
-    cfg.fix_keep_context = fix;
-    cfg.fix_reactivate_bearer = fix;
-    model::S1Model m(cfg);
-    report.cells.push_back(
-        ExploreCell("S1 model / network-initiated deactivations only", m,
-                    model::S1Model::Properties(), FindingId::kS1, rng,
-                    options_, pool));
+  const bool checkpointing = !options_.checkpoint_dir.empty();
+  std::unique_ptr<ckpt::ManifestStore> store;
+  ckpt::Manifest manifest;
+  manifest.cells.resize(catalog.size());
+  if (checkpointing) {
+    store = std::make_unique<ckpt::ManifestStore>(options_.checkpoint_dir,
+                                                  ConfigDigest());
+    if (options_.resume) {
+      ckpt::Manifest loaded;
+      if (store->LoadManifest(&loaded) == ckpt::LoadStatus::kOk &&
+          loaded.cells.size() == catalog.size()) {
+        manifest = std::move(loaded);
+      }
+    }
   }
 
-  // --- S2 cells: unreliable RRC under the attach procedure.
-  {
-    model::S2Model::Config cfg;
-    cfg.allow_duplicate = false;
-    cfg.reliable_shim = fix;
-    model::S2Model m(cfg);
-    report.cells.push_back(
-        ExploreCell("S2 model / lost signaling (Figure 5a)", m,
-                    model::S2Model::Properties(), FindingId::kS2, rng,
-                    options_, pool));
-  }
-  {
-    model::S2Model::Config cfg;
-    cfg.allow_loss = false;
-    cfg.reliable_shim = fix;
-    model::S2Model m(cfg);
-    report.cells.push_back(
-        ExploreCell("S2 model / duplicate signaling (Figure 5b)", m,
-                    model::S2Model::Properties(), FindingId::kS2, rng,
-                    options_, pool));
-  }
-  {
-    model::S2Model::Config cfg;
-    cfg.reliable_shim = fix;
-    model::S2Model m(cfg);
-    report.cells.push_back(
-        ExploreCell("S2 model / loss + duplication combined", m,
-                    model::S2Model::Properties(), FindingId::kS2, rng,
-                    options_, pool));
-  }
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      report.exec.interrupted = true;
+      report.complete = false;
+      break;
+    }
 
-  // --- S3 cells: every inter-system switching option (Figure 6a).
-  for (const auto policy : {model::SwitchPolicy::kReleaseWithRedirect,
-                            model::SwitchPolicy::kHandover,
-                            model::SwitchPolicy::kCellReselection}) {
-    model::S3Model::Config cfg;
-    cfg.policy = policy;
-    cfg.fix_csfb_tag = fix;
-    model::S3Model m(cfg);
-    report.cells.push_back(ExploreCell(
-        "S3 model / " + model::ToString(policy), m, m.Properties(),
-        FindingId::kS3, rng, options_, pool));
-  }
+    // Replay a completed cell from its blob; a damaged blob re-runs the
+    // cell (the RNG stream is naturally in the right position, because
+    // every earlier cell either replayed its stored post-cell state or ran
+    // for real).
+    if (checkpointing && manifest.cells[i].done != 0) {
+      std::string blob;
+      std::string rng_state;
+      ScenarioCellResult cell;
+      if (store->LoadCell(i, ckpt::PayloadType::kScreeningCell,
+                          manifest.cells[i].outcome_digest,
+                          &blob) == ckpt::LoadStatus::kOk &&
+          DecodeCell(blob, &cell, &rng_state) && rng.RestoreState(rng_state)) {
+        report.cells.push_back(std::move(cell));
+        ++report.exec.cells_resumed;
+        continue;
+      }
+      manifest.cells[i] = {};
+      ++report.exec.corrupt_cells_discarded;
+    }
 
-  // --- S4 cells: CS-only, PS-only and combined HOL blocking.
-  {
-    model::S4Model::Config cfg;
-    cfg.model_ps = false;
-    cfg.decoupled = fix;
-    model::S4Model m(cfg);
-    report.cells.push_back(ExploreCell("S4 model / CS domain (CM over MM)", m,
-                                       model::S4Model::Properties(),
-                                       FindingId::kS4, rng, options_, pool));
-  }
-  {
-    model::S4Model::Config cfg;
-    cfg.model_cs = false;
-    cfg.decoupled = fix;
-    model::S4Model m(cfg);
-    report.cells.push_back(ExploreCell("S4 model / PS domain (SM over GMM)",
-                                       m, model::S4Model::Properties(),
-                                       FindingId::kS4, rng, options_, pool));
-  }
-  {
-    model::S4Model::Config cfg;
-    cfg.decoupled = fix;
-    model::S4Model m(cfg);
-    report.cells.push_back(ExploreCell("S4 model / both domains", m,
-                                       model::S4Model::Properties(),
-                                       FindingId::kS4, rng, options_, pool));
+    // A retried cell restores its starting RNG state, so a watchdog retry
+    // consumes the shared stream exactly once.
+    const std::string rng_before = rng.SaveState();
+    ScenarioCellResult cell;
+    const ckpt::RetryOutcome attempt =
+        ckpt::RunWithRetries(options_.retry, [&] {
+          rng.RestoreState(rng_before);
+          cell = catalog[i].run(rng, pool);
+          return true;
+        });
+    report.exec.retries += attempt.retries;
+    report.exec.watchdog_hits += attempt.watchdog_hits;
+    ++report.exec.cells_run;
+    report.cells.push_back(cell);
+    manifest.cells[i].done = 1;
+    if (checkpointing) {
+      const std::string blob = EncodeCell(cell, rng.SaveState());
+      if (store->SaveCell(i, ckpt::PayloadType::kScreeningCell, blob)) {
+        ++report.exec.checkpoints_written;
+        manifest.cells[i].outcome_digest = ckpt::Fnv1a64(blob);
+        store->SaveManifest(manifest);
+      }
+    }
   }
 
   // Aggregate.

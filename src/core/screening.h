@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/manifest.h"
 #include "core/findings.h"
 #include "mck/explorer.h"
 #include "util/rng.h"
@@ -30,6 +31,21 @@ struct ScreeningOptions {
   // sampling consumes one shared RNG stream — and exploration results are
   // byte-identical at any worker count.
   int jobs = 1;
+  // Crash safety: when checkpoint_dir is set, each completed catalog cell is
+  // persisted (result plus the post-cell RNG state) together with a
+  // manifest. With resume, completed cells replay from their blobs — the
+  // shared RNG stream picks up exactly where the blob left it, so the final
+  // report is byte-identical to an uninterrupted run. The config digest
+  // excludes `jobs`, so a resume may use a different worker count.
+  std::string checkpoint_dir;
+  bool resume = false;
+  // Self-healing: per-cell watchdog + bounded retries. A retried cell
+  // restores the RNG state it started from, so retries never skew the
+  // shared stream.
+  ckpt::RetryPolicy retry;
+  // Graceful drain: checked between cells; the report is then marked
+  // interrupted/incomplete.
+  ckpt::CancelToken* cancel = nullptr;
 };
 
 struct ScenarioCellResult {
@@ -48,6 +64,12 @@ struct ScreeningReport {
   // Wall-clock total across cells; throughput figure only, never part of a
   // determinism comparison.
   double total_wall_seconds = 0;
+  // Process-level accounting; never part of Format() or any byte-compared
+  // export (drivers print it to stderr).
+  ckpt::ExecutionStats exec;
+  // False when a drain stopped the catalog early; `cells` then holds only
+  // the completed prefix.
+  bool complete = true;
 
   double StatesPerSecond() const {
     return total_wall_seconds > 0
@@ -67,6 +89,11 @@ class ScreeningRunner {
 
   // Renders the report as text (scenario cells, findings, statistics).
   static std::string Format(const ScreeningReport& report);
+
+  // Digest of the catalog-shaping options (solutions flag, walk count,
+  // seed) guarding checkpoint resume; excludes jobs, retry policy and
+  // checkpoint paths.
+  std::uint64_t ConfigDigest() const;
 
  private:
   ScreeningOptions options_;

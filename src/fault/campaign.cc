@@ -1,7 +1,9 @@
 #include "fault/campaign.h"
 
 #include <memory>
+#include <mutex>
 
+#include "fault/checkpoint.h"
 #include "obs/harvest.h"
 #include "obs/span.h"
 #include "par/pool.h"
@@ -103,10 +105,35 @@ RunOutcome CampaignRunner::RunOne(
   return out;
 }
 
-CampaignResult CampaignRunner::Run() const {
-  CampaignResult result;
+std::vector<stack::CarrierProfile> CampaignRunner::ResolvedProfiles() const {
   std::vector<stack::CarrierProfile> profiles = config_.profiles;
   if (profiles.empty()) profiles.push_back(stack::OpI());
+  return profiles;
+}
+
+std::uint64_t CampaignRunner::ConfigDigest() const {
+  ckpt::DigestBuilder d;
+  d.Add(std::string_view("fault-campaign"));
+  d.Add(static_cast<std::uint64_t>(config_.seeds.size()));
+  for (const std::uint64_t seed : config_.seeds) d.Add(seed);
+  d.Add(static_cast<std::uint64_t>(config_.plans.size()));
+  for (const auto& plan : config_.plans) d.Add(std::string_view(plan.name));
+  const auto profiles = ResolvedProfiles();
+  d.Add(static_cast<std::uint64_t>(profiles.size()));
+  for (const auto& p : profiles) d.Add(std::string_view(p.name));
+  d.Add(config_.duration);
+  d.Add(config_.collect_telemetry);
+  d.Add(config_.snapshot_period);
+  d.Add(config_.slo.mm_recovery);
+  d.Add(config_.slo.ps_recovery);
+  d.Add(config_.slo.cs_recovery);
+  d.Add(keep_traces_);
+  return d.Finish();
+}
+
+CampaignResult CampaignRunner::Run() const {
+  CampaignResult result;
+  const std::vector<stack::CarrierProfile> profiles = ResolvedProfiles();
 
   // Enumerate the sweep up front so runs can execute on any worker while the
   // results vector keeps the serial profile -> plan -> seed ordering.
@@ -127,11 +154,84 @@ CampaignResult CampaignRunner::Run() const {
   }
 
   result.runs.resize(triples.size());
+  result.exec.cells_total = triples.size();
+
+  // Checkpoint bookkeeping: on resume, completed cells replay from their
+  // blobs; a blob that fails validation (damaged, stale, digest mismatch)
+  // is discarded and its cell re-runs.
+  const bool checkpointing = !config_.checkpoint_dir.empty();
+  std::unique_ptr<ckpt::ManifestStore> store;
+  ckpt::Manifest manifest;
+  manifest.cells.resize(triples.size());
+  if (checkpointing) {
+    store = std::make_unique<ckpt::ManifestStore>(config_.checkpoint_dir,
+                                                  ConfigDigest());
+    if (config_.resume) {
+      ckpt::Manifest loaded;
+      if (store->LoadManifest(&loaded) == ckpt::LoadStatus::kOk &&
+          loaded.cells.size() == triples.size()) {
+        manifest = std::move(loaded);
+      }
+      for (std::size_t i = 0; i < triples.size(); ++i) {
+        if (manifest.cells[i].done == 0) continue;
+        std::string blob;
+        RunOutcome out;
+        if (store->LoadCell(i, ckpt::PayloadType::kCampaignCell,
+                            manifest.cells[i].outcome_digest,
+                            &blob) == ckpt::LoadStatus::kOk &&
+            DecodeRunOutcome(blob, &out)) {
+          result.runs[i] = std::move(out);
+          ++result.exec.cells_resumed;
+        } else {
+          manifest.cells[i] = {};
+          ++result.exec.corrupt_cells_discarded;
+        }
+      }
+    }
+    store->SaveManifest(manifest);
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    if (manifest.cells[i].done == 0) pending.push_back(i);
+  }
+
+  std::mutex mu;  // guards manifest writes and exec counters
   par::WorkerPool pool(config_.parallelism);
-  pool.ParallelEach(triples.size(), [&](int, std::size_t i) {
-    const Triple& t = triples[i];
-    result.runs[i] = RunOne(t.seed, *t.plan, *t.profile);
-  });
+  const std::atomic<bool>* stop =
+      config_.cancel != nullptr ? &config_.cancel->flag() : nullptr;
+  pool.ParallelEachUntil(
+      pending.size(),
+      [&](int, std::size_t k) {
+        const std::size_t i = pending[k];
+        const Triple& t = triples[i];
+        RunOutcome out;
+        const ckpt::RetryOutcome attempt =
+            ckpt::RunWithRetries(config_.retry, [&] {
+              out = RunOne(t.seed, *t.plan, *t.profile);
+              return true;
+            });
+        result.runs[i] = std::move(out);
+        std::string blob;
+        if (checkpointing) blob = EncodeRunOutcome(result.runs[i]);
+        std::lock_guard<std::mutex> lock(mu);
+        result.exec.retries += attempt.retries;
+        result.exec.watchdog_hits += attempt.watchdog_hits;
+        ++result.exec.cells_run;
+        manifest.cells[i].done = 1;
+        if (checkpointing &&
+            store->SaveCell(i, ckpt::PayloadType::kCampaignCell, blob)) {
+          ++result.exec.checkpoints_written;
+          manifest.cells[i].outcome_digest = ckpt::Fnv1a64(blob);
+          store->SaveManifest(manifest);
+        }
+      },
+      stop);
+
+  if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+    result.exec.interrupted = true;
+  }
+  result.complete = manifest.CountDone() == triples.size();
 
   for (const RunOutcome& run : result.runs) {
     if (run.report.all_within_slo()) ++result.runs_within_slo;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/manifest.h"
 #include "fault/injector.h"
 #include "fault/monitor.h"
 #include "fault/plan.h"
@@ -46,6 +47,19 @@ struct CampaignConfig {
   // Summary(), traces and telemetry exports are byte-identical at any
   // parallelism.
   int parallelism = 1;
+  // Crash safety: when checkpoint_dir is set, a manifest plus one blob per
+  // completed cell is kept there (atomic, checksummed writes). With resume,
+  // completed cells replay from their blobs and only missing cells run —
+  // the final report is byte-identical to an uninterrupted run at any
+  // parallelism (the config digest deliberately excludes `parallelism`).
+  std::string checkpoint_dir;
+  bool resume = false;
+  // Self-healing: per-cell watchdog + bounded retries.
+  ckpt::RetryPolicy retry;
+  // Graceful drain: when the token fires, in-flight cells finish and are
+  // checkpointed, pending cells are skipped, and the result is marked
+  // interrupted/incomplete.
+  ckpt::CancelToken* cancel = nullptr;
 };
 
 struct RunOutcome {
@@ -65,6 +79,14 @@ struct CampaignResult {
   std::vector<RunOutcome> runs;
   std::size_t runs_within_slo = 0;
   std::size_t runs_with_findings = 0;
+  // Process-level accounting (resumes, retries, watchdog hits). Varies with
+  // interruption history, so it is never part of Summary() or any
+  // byte-compared export — drivers print it to stderr.
+  ckpt::ExecutionStats exec;
+  // False when a drain interrupted the sweep before every cell completed;
+  // runs[] then holds default entries for the unfinished cells and Summary()
+  // is not meaningful.
+  bool complete = true;
   std::string Summary() const;
   // Chrome trace-event document covering every run that carried telemetry
   // (one viewer process per run). Empty-run document when telemetry was off.
@@ -82,8 +104,14 @@ class CampaignRunner {
   RunOutcome RunOne(std::uint64_t seed, const FaultPlan& plan,
                     const stack::CarrierProfile& profile) const;
 
+  // Digest of the sweep definition (seeds, plans, profiles, duration, SLO,
+  // telemetry settings) guarding checkpoint resume; excludes parallelism,
+  // retry policy and checkpoint paths so those may differ across resumes.
+  std::uint64_t ConfigDigest() const;
+
  private:
   static void ScheduleWorkload(stack::Testbed& tb);
+  std::vector<stack::CarrierProfile> ResolvedProfiles() const;
 
   CampaignConfig config_;
   bool keep_traces_;

@@ -1,0 +1,147 @@
+#include "fault/checkpoint.h"
+
+#include <utility>
+
+#include "ckpt/io.h"
+
+namespace cnv::fault {
+
+namespace {
+
+using ckpt::BinaryReader;
+using ckpt::BinaryWriter;
+
+void EncodeMonitorReport(BinaryWriter& w, const MonitorReport& r) {
+  w.U64(r.properties.size());
+  for (const auto& p : r.properties) {
+    w.Str(p.name);
+    w.U8(p.established ? 1 : 0);
+    w.U8(p.ok_at_end ? 1 : 0);
+    w.I64(p.outages);
+    w.I64(p.total_outage);
+    w.I64(p.longest_outage);
+    w.I64(p.slo);
+  }
+  w.U64(r.findings.size());
+  for (const auto& f : r.findings) {
+    w.Str(f.id);
+    w.Str(f.detail);
+  }
+}
+
+bool DecodeMonitorReport(BinaryReader& r, MonitorReport* out) {
+  const std::uint64_t n_props = r.U64();
+  if (n_props > 1024) return false;
+  out->properties.clear();
+  for (std::uint64_t i = 0; i < n_props && r.ok(); ++i) {
+    PropertyReport p;
+    p.name = r.Str();
+    p.established = r.U8() != 0;
+    p.ok_at_end = r.U8() != 0;
+    p.outages = static_cast<int>(r.I64());
+    p.total_outage = r.I64();
+    p.longest_outage = r.I64();
+    p.slo = r.I64();
+    out->properties.push_back(std::move(p));
+  }
+  const std::uint64_t n_findings = r.U64();
+  if (n_findings > 4096) return false;
+  out->findings.clear();
+  for (std::uint64_t i = 0; i < n_findings && r.ok(); ++i) {
+    Finding f;
+    f.id = r.Str();
+    f.detail = r.Str();
+    out->findings.push_back(std::move(f));
+  }
+  return r.ok();
+}
+
+void EncodeTelemetry(BinaryWriter& w, const obs::RunReport& t) {
+  w.U64(t.meta.size());
+  for (const auto& [k, v] : t.meta) {
+    w.Str(k);
+    w.Str(v);
+  }
+  w.U64(t.snapshots.size());
+  for (const auto& s : t.snapshots) w.Str(s);
+  w.Str(t.final_metrics);
+  w.U64(t.spans.size());
+  for (const auto& s : t.spans) {
+    w.U8(static_cast<std::uint8_t>(s.kind));
+    w.I64(s.start);
+    w.I64(s.end);
+    w.U8(static_cast<std::uint8_t>(s.outcome));
+    w.I64(s.retries);
+    w.Str(s.detail);
+  }
+}
+
+bool DecodeTelemetry(BinaryReader& r, obs::RunReport* out) {
+  const std::uint64_t n_meta = r.U64();
+  if (n_meta > 4096) return false;
+  out->meta.clear();
+  for (std::uint64_t i = 0; i < n_meta && r.ok(); ++i) {
+    std::string k = r.Str();
+    std::string v = r.Str();
+    out->meta.emplace_back(std::move(k), std::move(v));
+  }
+  const std::uint64_t n_snaps = r.U64();
+  if (n_snaps > (1ull << 20)) return false;
+  out->snapshots.clear();
+  for (std::uint64_t i = 0; i < n_snaps && r.ok(); ++i) {
+    out->snapshots.push_back(r.Str());
+  }
+  out->final_metrics = r.Str();
+  const std::uint64_t n_spans = r.U64();
+  if (n_spans > (1ull << 20)) return false;
+  out->spans.clear();
+  for (std::uint64_t i = 0; i < n_spans && r.ok(); ++i) {
+    obs::ProcedureSpan s;
+    s.kind = static_cast<obs::SpanKind>(r.U8());
+    s.start = r.I64();
+    s.end = r.I64();
+    s.outcome = static_cast<obs::SpanOutcome>(r.U8());
+    s.retries = static_cast<int>(r.I64());
+    s.detail = r.Str();
+    out->spans.push_back(std::move(s));
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+std::string EncodeRunOutcome(const RunOutcome& out) {
+  BinaryWriter w;
+  w.U64(out.seed);
+  w.Str(out.plan);
+  w.Str(out.profile);
+  EncodeMonitorReport(w, out.report);
+  w.U64(out.faults_injected);
+  w.Str(out.trace_log);
+  w.U8(out.telemetry.has_value() ? 1 : 0);
+  if (out.telemetry.has_value()) EncodeTelemetry(w, *out.telemetry);
+  return w.Take();
+}
+
+bool DecodeRunOutcome(std::string_view payload, RunOutcome* out) {
+  BinaryReader r(payload);
+  RunOutcome o;
+  o.seed = r.U64();
+  o.plan = r.Str();
+  o.profile = r.Str();
+  if (!DecodeMonitorReport(r, &o.report)) return false;
+  o.faults_injected = static_cast<std::size_t>(r.U64());
+  o.trace_log = r.Str();
+  if (r.U8() != 0) {
+    obs::RunReport t;
+    if (!DecodeTelemetry(r, &t)) return false;
+    o.telemetry = std::move(t);
+  } else {
+    o.telemetry.reset();
+  }
+  if (!r.AtEnd()) return false;
+  *out = std::move(o);
+  return true;
+}
+
+}  // namespace cnv::fault

@@ -1,0 +1,22 @@
+// Binary codec for campaign cell outcomes. A completed (profile, plan,
+// seed) run serializes losslessly — monitor report, findings, trace log,
+// optional telemetry — so a resumed campaign replays the cell from its
+// checkpoint blob and produces a byte-identical final report.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fault/campaign.h"
+
+namespace cnv::fault {
+
+inline constexpr std::uint32_t kRunOutcomeVersion = 1;
+
+std::string EncodeRunOutcome(const RunOutcome& out);
+
+// Returns false when the payload does not decode cleanly (wrong layout or
+// trailing bytes); callers treat that like a checksum failure.
+bool DecodeRunOutcome(std::string_view payload, RunOutcome* out);
+
+}  // namespace cnv::fault

@@ -32,6 +32,8 @@
 #include <chrono>
 #include <concepts>
 #include <cstdint>
+#include <functional>
+#include <ostream>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -110,6 +112,44 @@ struct ExploreStats {
   }
 };
 
+// Canonical deterministic view of ExploreStats: every field that must be
+// identical across replays, job counts and checkpoint/resume boundaries —
+// and nothing wall-clock. The determinism suites compare these views
+// instead of hand-picking fields per test, so a new wall-clock field can
+// never silently leak into a byte-identity comparison.
+struct ExploreStatsView {
+  std::uint64_t states_visited = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t max_depth_reached = 0;
+  std::uint64_t frontier_peak = 0;
+  bool truncated = false;
+  double hash_occupancy = 0;
+  bool operator==(const ExploreStatsView&) const = default;
+};
+
+// `include_occupancy = false` zeroes hash_occupancy on the view — for
+// serial-vs-parallel comparisons, where a sharded table legitimately has a
+// different load factor than a single one.
+inline ExploreStatsView DeterministicView(const ExploreStats& s,
+                                          bool include_occupancy = true) {
+  return {s.states_visited,  s.transitions, s.max_depth_reached,
+          s.frontier_peak,   s.truncated,
+          include_occupancy ? s.hash_occupancy : 0.0};
+}
+
+inline std::string ToString(const ExploreStatsView& v) {
+  return "{states=" + std::to_string(v.states_visited) +
+         " transitions=" + std::to_string(v.transitions) +
+         " max_depth=" + std::to_string(v.max_depth_reached) +
+         " frontier_peak=" + std::to_string(v.frontier_peak) +
+         " truncated=" + std::to_string(v.truncated) +
+         " occupancy=" + std::to_string(v.hash_occupancy) + "}";
+}
+
+inline std::ostream& operator<<(std::ostream& os, const ExploreStatsView& v) {
+  return os << ToString(v);
+}
+
 template <typename M>
 struct ExploreResult {
   std::vector<Violation<M>> violations;
@@ -125,6 +165,84 @@ struct ExploreResult {
     return FindViolation(property) == nullptr;
   }
 };
+
+// --- wave-boundary snapshots (crash-safe checkpoint support) ----------------
+//
+// A snapshot captures the complete deterministic search state at a wave
+// boundary in an engine-neutral form: discovered states in global discovery
+// ("rank") order with their cached hashes and back-pointers, the current
+// frontier as ranks, carried stats, and the violations committed so far.
+// Rank order is exactly serial interning order, which ParallelExplore also
+// reproduces — so a snapshot written by either engine resumes in either
+// engine, at any job count, with byte-identical final results.
+
+inline constexpr std::uint64_t kNoParentRank = ~0ull;
+
+template <typename M>
+struct ExploreSnapshot {
+  struct Node {
+    typename M::State state{};
+    std::uint64_t hash = 0;      // cached HashValue(state)
+    std::uint64_t parent = kNoParentRank;  // rank of the parent state
+    typename M::Action via{};    // action that discovered this state
+  };
+  std::vector<Node> nodes;              // rank order
+  std::vector<std::uint64_t> frontier;  // ranks of the pending wave
+  std::uint64_t depth = 0;              // depth of the frontier states
+  // Carried stats (everything deterministic that is not derivable from the
+  // node list).
+  std::uint64_t transitions = 0;
+  std::uint64_t frontier_peak = 0;
+  std::uint64_t max_depth_reached = 0;
+  std::uint64_t waves = 0;  // == depth at a continuing wave boundary
+  std::vector<Violation<M>> violations;
+};
+
+// Observation and resume plumbing for Explore / ParallelExplore. When
+// `on_snapshot` is set, the engine captures an ExploreSnapshot at wave
+// boundaries, gated by the cadence fields; when `resume` is set, the engine
+// starts from that snapshot instead of the model's initial state (the
+// caller is responsible for passing the same model, properties and options
+// as the producing run — file-level resume guards this with a config
+// digest, see ckpt/explore_ckpt.h). Snapshots only observe: a hooked run's
+// results are identical to an unhooked one. BFS only; the DFS order of
+// Explore ignores hooks.
+template <typename M>
+struct SnapshotHooks {
+  std::function<void(const ExploreSnapshot<M>&)> on_snapshot;
+  // Capture when at least this many states were discovered since the last
+  // capture, or at least this many waves completed; with both zero, every
+  // wave boundary is captured.
+  std::uint64_t every_states = 0;
+  std::uint64_t every_waves = 0;
+  const ExploreSnapshot<M>* resume = nullptr;
+};
+
+namespace internal {
+
+// Wave-boundary cadence bookkeeping shared by the serial and parallel
+// engines.
+struct SnapshotCadence {
+  std::uint64_t every_states = 0;
+  std::uint64_t every_waves = 0;
+  std::uint64_t states_at_last = 0;
+  std::uint64_t waves_since = 0;
+
+  bool Due(std::uint64_t states_now) {
+    ++waves_since;
+    const bool due =
+        (every_states == 0 && every_waves == 0) ||
+        (every_states != 0 && states_now - states_at_last >= every_states) ||
+        (every_waves != 0 && waves_since >= every_waves);
+    if (due) {
+      states_at_last = states_now;
+      waves_since = 0;
+    }
+    return due;
+  }
+};
+
+}  // namespace internal
 
 namespace internal {
 
@@ -147,17 +265,22 @@ inline std::size_t ReserveHint(std::uint64_t max_states) {
 
 }  // namespace internal
 
-// Exhaustive exploration from the model's initial state.
+// Exhaustive exploration from the model's initial state. `hooks`, when
+// given, captures wave-boundary snapshots and/or resumes from one (BFS
+// only; see SnapshotHooks).
 template <CheckableModel M>
 ExploreResult<M> Explore(const M& model,
                          const PropertySet<typename M::State>& properties,
-                         const ExploreOptions& options = {}) {
+                         const ExploreOptions& options = {},
+                         const SnapshotHooks<M>* hooks = nullptr) {
   using State = typename M::State;
   using Action = typename M::Action;
 
   const auto wall_start = std::chrono::steady_clock::now();
   ExploreResult<M> result;
   std::unordered_set<std::string> violated;
+  const bool track =
+      hooks != nullptr && options.order == SearchOrder::kBreadthFirst;
 
   // Arena of discovered states with back-pointers for trace reconstruction.
   struct NodeMeta {
@@ -170,6 +293,10 @@ ExploreResult<M> Explore(const M& model,
   std::vector<NodeMeta> meta;
   arena.reserve(hint);
   meta.reserve(hint);
+  // Cached per-state hashes, kept only when snapshots are in play: the
+  // snapshot stores them so a resume never recomputes HashValue.
+  std::vector<std::uint64_t> hashes;
+  if (track) hashes.reserve(hint);
   // Visited set over arena indices with the 64-bit state hash cached in each
   // slot: probes and growth rehashes never recompute HashValue.
   InternTable seen(hint);
@@ -218,6 +345,7 @@ ExploreResult<M> Explore(const M& model,
     }
     arena.push_back(std::move(s));
     meta.push_back({parent, via != nullptr ? *via : Action{}, depth});
+    if (track) hashes.push_back(h);
     const std::int64_t idx = static_cast<std::int64_t>(arena.size()) - 1;
     seen.Insert(h, idx);
     return {idx, true};
@@ -238,13 +366,66 @@ ExploreResult<M> Explore(const M& model,
     // ParallelExplore at any worker count.
     std::vector<std::int64_t> frontier;
     std::vector<std::int64_t> next_frontier;
-    {
+    std::uint64_t depth = 0;
+    internal::SnapshotCadence cadence;
+    if (track) {
+      cadence.every_states = hooks->every_states;
+      cadence.every_waves = hooks->every_waves;
+    }
+    if (track && hooks->resume != nullptr) {
+      // Rebuild arena, meta and the intern table from the snapshot's
+      // rank-ordered node list. Inserting in rank order from the same
+      // initial Reserve replays the producing run's growth sequence, so the
+      // table layout — and hash_occupancy — end up identical.
+      const ExploreSnapshot<M>& snap = *hooks->resume;
+      for (std::size_t i = 0; i < snap.nodes.size(); ++i) {
+        const auto& n = snap.nodes[i];
+        const std::int64_t parent =
+            n.parent == kNoParentRank ? -1
+                                      : static_cast<std::int64_t>(n.parent);
+        const std::uint64_t d =
+            parent < 0 ? 0 : meta[static_cast<std::size_t>(parent)].depth + 1;
+        arena.push_back(n.state);
+        meta.push_back({parent, n.via, d});
+        hashes.push_back(n.hash);
+        seen.Insert(n.hash, static_cast<std::int64_t>(i));
+      }
+      frontier.reserve(snap.frontier.size());
+      for (const std::uint64_t r : snap.frontier) {
+        frontier.push_back(static_cast<std::int64_t>(r));
+      }
+      depth = snap.depth;
+      result.stats.transitions = snap.transitions;
+      result.stats.frontier_peak = snap.frontier_peak;
+      result.stats.max_depth_reached = snap.max_depth_reached;
+      result.violations = snap.violations;
+      for (const auto& v : result.violations) violated.insert(v.property);
+      cadence.states_at_last = snap.nodes.size();
+    } else {
       auto [idx, inserted] = intern(model.initial(), -1, nullptr, 0);
       (void)inserted;
       check_state(idx);
       frontier.push_back(idx);
     }
-    std::uint64_t depth = 0;
+    auto capture = [&] {
+      ExploreSnapshot<M> snap;
+      snap.nodes.resize(arena.size());
+      for (std::size_t i = 0; i < arena.size(); ++i) {
+        snap.nodes[i] = {arena[i], hashes[i],
+                         meta[i].parent < 0
+                             ? kNoParentRank
+                             : static_cast<std::uint64_t>(meta[i].parent),
+                         meta[i].via};
+      }
+      snap.frontier.assign(frontier.begin(), frontier.end());
+      snap.depth = depth;
+      snap.transitions = result.stats.transitions;
+      snap.frontier_peak = result.stats.frontier_peak;
+      snap.max_depth_reached = result.stats.max_depth_reached;
+      snap.waves = depth;
+      snap.violations = result.violations;
+      return snap;
+    };
     while (!frontier.empty() && !all_violated()) {
       result.stats.frontier_peak =
           std::max(result.stats.frontier_peak,
@@ -279,6 +460,12 @@ ExploreResult<M> Explore(const M& model,
       frontier.swap(next_frontier);
       ++depth;
       if (result.stats.truncated) break;
+      // Capture only at continuing boundaries: a snapshot of a finished
+      // exploration would never be resumed.
+      if (track && hooks->on_snapshot != nullptr && !frontier.empty() &&
+          !all_violated() && cadence.Due(seen.size())) {
+        hooks->on_snapshot(capture());
+      }
     }
   } else {
     std::vector<std::int64_t> frontier;

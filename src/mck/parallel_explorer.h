@@ -41,6 +41,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -72,6 +73,30 @@ struct ParallelExploreStats {
   double utilization = 0;          // busy / (jobs * elapsed_wall)
 };
 
+// Canonical deterministic view of ParallelExploreStats — the counterpart of
+// mck::DeterministicView(ExploreStats); execution-shape fields (jobs, busy
+// time, utilization) are excluded by construction.
+struct ParallelStatsView {
+  std::uint64_t waves = 0;
+  std::uint32_t shards = 1;
+  std::uint64_t largest_shard = 0;
+  bool operator==(const ParallelStatsView&) const = default;
+};
+
+inline ParallelStatsView DeterministicView(const ParallelExploreStats& s) {
+  return {s.waves, s.shards, s.largest_shard};
+}
+
+inline std::string ToString(const ParallelStatsView& v) {
+  return "{waves=" + std::to_string(v.waves) +
+         " shards=" + std::to_string(v.shards) +
+         " largest_shard=" + std::to_string(v.largest_shard) + "}";
+}
+
+inline std::ostream& operator<<(std::ostream& os, const ParallelStatsView& v) {
+  return os << ToString(v);
+}
+
 template <typename M>
 struct ParallelExploreResult {
   std::vector<Violation<M>> violations;
@@ -96,7 +121,8 @@ template <CheckableModel M>
 ParallelExploreResult<M> ParallelExplore(
     const M& model, const PropertySet<typename M::State>& properties,
     const ParallelExploreOptions& options = {},
-    par::WorkerPool* external_pool = nullptr) {
+    par::WorkerPool* external_pool = nullptr,
+    const SnapshotHooks<M>* hooks = nullptr) {
   using State = typename M::State;
   using Action = typename M::Action;
 
@@ -158,6 +184,9 @@ ParallelExploreResult<M> ParallelExplore(
     std::vector<std::uint64_t> new_ids;  // interned this wave, key order
     std::vector<Key> new_keys;
     std::vector<PropHit> hits;  // uncommitted property violations
+    // Cached per-state hashes, kept only when snapshot hooks are in play
+    // (aligned with `states`, rolled back with it).
+    std::vector<std::uint64_t> hashes;
   };
 
   std::vector<Shard> shards(n_shards);
@@ -168,6 +197,7 @@ ParallelExploreResult<M> ParallelExplore(
       s.states.reserve(hint);
       s.meta.reserve(hint);
       s.table.Reserve(hint);
+      if (hooks != nullptr) s.hashes.reserve(hint);
     }
   }
 
@@ -211,19 +241,70 @@ ParallelExploreResult<M> ParallelExplore(
            !options.base.detect_deadlock;
   };
 
-  // Intern the initial state and check it (single-threaded).
+  // Snapshot bookkeeping, maintained only when hooks are in play: the global
+  // discovery ("rank") order of states and the reverse id -> rank map. Rank
+  // order is identical to serial interning order, which is what makes a
+  // snapshot resumable by either engine at any job count.
+  const bool track = hooks != nullptr;
+  std::vector<std::uint64_t> order;         // rank -> id
+  std::unordered_map<std::uint64_t, std::uint64_t> rank_of;  // id -> rank
+  std::uint64_t depth = 0;
+
   std::vector<std::uint64_t> frontier;
   std::uint64_t visited = 0;
-  {
+  if (track && hooks->resume != nullptr) {
+    // Rebuild the shard arenas and tables from the snapshot's rank-ordered
+    // node list. Routing rank order through shard_of reproduces exactly the
+    // per-shard insertion order of the producing run (a shard sees its
+    // candidates in global key order), so arenas, table growth and
+    // hash_occupancy all come out identical.
+    const ExploreSnapshot<M>& snap = *hooks->resume;
+    order.reserve(snap.nodes.size());
+    for (std::size_t rank = 0; rank < snap.nodes.size(); ++rank) {
+      const auto& n = snap.nodes[rank];
+      const std::uint32_t sh = shard_of(n.hash);
+      Shard& shard = shards[sh];
+      const std::uint64_t parent_id =
+          n.parent == kNoParentRank ? kNoParent
+                                    : order[static_cast<std::size_t>(n.parent)];
+      shard.states.push_back(n.state);
+      shard.meta.push_back({parent_id, n.via});
+      shard.hashes.push_back(n.hash);
+      const std::int64_t idx =
+          static_cast<std::int64_t>(shard.states.size()) - 1;
+      shard.table.Insert(n.hash, idx);
+      const std::uint64_t id = make_id(sh, idx);
+      order.push_back(id);
+      rank_of.emplace(id, rank);
+    }
+    visited = snap.nodes.size();
+    frontier.reserve(snap.frontier.size());
+    for (const std::uint64_t r : snap.frontier) {
+      frontier.push_back(order[static_cast<std::size_t>(r)]);
+    }
+    depth = snap.depth;
+    result.par.waves = snap.waves;
+    result.stats.transitions = snap.transitions;
+    result.stats.frontier_peak = snap.frontier_peak;
+    result.stats.max_depth_reached = snap.max_depth_reached;
+    result.violations = snap.violations;
+    for (const auto& v : result.violations) violated.insert(v.property);
+  } else {
+    // Intern the initial state and check it (single-threaded).
     State init = model.initial();
     const std::uint64_t h = static_cast<std::uint64_t>(HashValue(init));
     const std::uint32_t sh = shard_of(h);
     Shard& shard = shards[sh];
     shard.states.push_back(std::move(init));
     shard.meta.push_back({kNoParent, Action{}});
+    if (track) shard.hashes.push_back(h);
     shard.table.Insert(h, 0);
     const std::uint64_t id = make_id(sh, 0);
     visited = 1;
+    if (track) {
+      order.push_back(id);
+      rank_of.emplace(id, 0);
+    }
     for (std::uint32_t p = 0; p < properties.size(); ++p) {
       if (!properties[p].holds(state_of(id))) {
         violated.insert(properties[p].name);
@@ -232,6 +313,44 @@ ParallelExploreResult<M> ParallelExplore(
     }
     frontier.push_back(id);
   }
+
+  internal::SnapshotCadence cadence;
+  if (track) {
+    cadence.every_states = hooks->every_states;
+    cadence.every_waves = hooks->every_waves;
+    cadence.states_at_last = visited;
+  }
+  auto capture = [&] {
+    ExploreSnapshot<M> snap;
+    snap.nodes.resize(order.size());
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      const std::uint64_t id = order[rank];
+      const Shard& shard = shards[static_cast<std::size_t>(id >> 48)];
+      const std::size_t local = static_cast<std::size_t>(id & kLocalMask);
+      const NodeMeta& m = shard.meta[local];
+      snap.nodes[rank] = {shard.states[local], shard.hashes[local],
+                          m.parent == kNoParent ? kNoParentRank
+                                                : rank_of.at(m.parent),
+                          m.via};
+    }
+    snap.frontier.reserve(frontier.size());
+    for (const std::uint64_t id : frontier) {
+      snap.frontier.push_back(rank_of.at(id));
+    }
+    snap.depth = depth;
+    snap.transitions = result.stats.transitions;
+    snap.frontier_peak = result.stats.frontier_peak;
+    snap.max_depth_reached = result.stats.max_depth_reached;
+    snap.waves = result.par.waves;
+    snap.violations = result.violations;
+    return snap;
+  };
+  auto maybe_snapshot = [&] {
+    if (track && hooks->on_snapshot != nullptr && !frontier.empty() &&
+        !all_violated() && cadence.Due(visited)) {
+      hooks->on_snapshot(capture());
+    }
+  };
 
   std::vector<std::uint64_t> worker_transitions(
       static_cast<std::size_t>(jobs), 0);
@@ -244,7 +363,6 @@ ParallelExploreResult<M> ParallelExplore(
   std::vector<std::vector<Candidate>> routed(
       static_cast<std::size_t>(jobs) * n_shards);
 
-  std::uint64_t depth = 0;
   bool truncated = false;
   std::vector<std::uint64_t> next_frontier;
   std::vector<std::pair<Key, std::uint64_t>> discovered;
@@ -299,11 +417,16 @@ ParallelExploreResult<M> ParallelExplore(
           }
           shard.states.push_back(std::move(next));
           shard.meta.push_back({parent_id, a});
+          if (track) shard.hashes.push_back(h);
           const std::int64_t idx =
               static_cast<std::int64_t>(shard.states.size()) - 1;
           shard.table.Insert(h, idx);
           ++visited;
           const std::uint64_t id = make_id(sh, idx);
+          if (track) {
+            rank_of.emplace(id, order.size());
+            order.push_back(id);
+          }
           for (std::uint32_t p = 0; p < properties.size(); ++p) {
             if (fvpp && violated.contains(properties[p].name)) continue;
             if (!properties[p].holds(state_of(id))) {
@@ -318,6 +441,7 @@ ParallelExploreResult<M> ParallelExplore(
       frontier.swap(next_frontier);
       ++depth;
       if (truncated) break;
+      maybe_snapshot();
     }
   } else {
   while (!frontier.empty() && !all_violated()) {
@@ -412,6 +536,7 @@ ParallelExploreResult<M> ParallelExplore(
             if (seen >= 0) continue;  // same-wave duplicate: first key wins
             shard.states.push_back(std::move(c.state));
             shard.meta.push_back({c.parent, c.via});
+            if (track) shard.hashes.push_back(c.hash);
             const std::int64_t idx =
                 static_cast<std::int64_t>(shard.states.size()) - 1;
             shard.table.Insert(c.hash, idx);
@@ -470,6 +595,7 @@ ParallelExploreResult<M> ParallelExplore(
               static_cast<std::int64_t>(shard.states.size()) - 1);
           shard.states.pop_back();
           shard.meta.pop_back();
+          if (track) shard.hashes.pop_back();
           shard.new_keys.pop_back();
           shard.new_ids.pop_back();
         }
@@ -528,9 +654,16 @@ ParallelExploreResult<M> ParallelExplore(
     for (std::size_t i = 0; i < accept; ++i) {
       next_frontier.push_back(discovered[i].second);
     }
+    if (track) {
+      for (std::size_t i = 0; i < accept; ++i) {
+        rank_of.emplace(discovered[i].second, order.size());
+        order.push_back(discovered[i].second);
+      }
+    }
     frontier.swap(next_frontier);
     ++depth;
     if (truncated) break;
+    maybe_snapshot();
   }
   }
 

@@ -114,4 +114,18 @@ void HarvestParallelExploreStats(Registry& reg,
   }
 }
 
+void HarvestExecutionStats(Registry& reg, const ckpt::ExecutionStats& stats,
+                           const std::string& prefix) {
+  reg.GetCounter(prefix + ".cells_total").Increment(stats.cells_total);
+  reg.GetCounter(prefix + ".cells_resumed").Increment(stats.cells_resumed);
+  reg.GetCounter(prefix + ".cells_run").Increment(stats.cells_run);
+  reg.GetCounter(prefix + ".retries").Increment(stats.retries);
+  reg.GetCounter(prefix + ".watchdog_hits").Increment(stats.watchdog_hits);
+  reg.GetCounter(prefix + ".checkpoints_written")
+      .Increment(stats.checkpoints_written);
+  reg.GetCounter(prefix + ".corrupt_cells_discarded")
+      .Increment(stats.corrupt_cells_discarded);
+  reg.GetGauge(prefix + ".interrupted").Set(stats.interrupted ? 1 : 0);
+}
+
 }  // namespace cnv::obs

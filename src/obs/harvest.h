@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "ckpt/manifest.h"
 #include "mck/explorer.h"
 #include "mck/parallel_explorer.h"
 #include "obs/metrics.h"
@@ -48,5 +49,14 @@ void HarvestParallelExploreStats(Registry& reg,
                                  const mck::ParallelExploreStats& stats,
                                  const std::string& prefix,
                                  bool include_wall = false);
+
+// Checkpoint/resume execution accounting under `prefix` (default "ckpt"):
+// "<prefix>.cells_total", ".cells_resumed", ".cells_run", ".retries",
+// ".watchdog_hits", ".checkpoints_written", ".corrupt_cells_discarded",
+// ".interrupted". These depend on the process's interruption history, so
+// harvest them only into exports that are never byte-compared against an
+// uninterrupted run (drivers keep them out of --metrics-json).
+void HarvestExecutionStats(Registry& reg, const ckpt::ExecutionStats& stats,
+                           const std::string& prefix = "ckpt");
 
 }  // namespace cnv::obs

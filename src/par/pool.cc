@@ -92,10 +92,17 @@ void WorkerPool::ParallelFor(
 
 void WorkerPool::ParallelEach(std::size_t n,
                               const std::function<void(int, std::size_t)>& fn) {
+  ParallelEachUntil(n, fn, nullptr);
+}
+
+void WorkerPool::ParallelEachUntil(
+    std::size_t n, const std::function<void(int, std::size_t)>& fn,
+    const std::atomic<bool>* stop) {
   if (n == 0) return;
   next_index_.store(0, std::memory_order_relaxed);
-  RunOnAll([this, &fn, n](int worker) {
+  RunOnAll([this, &fn, n, stop](int worker) {
     for (;;) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
       const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       fn(worker, i);

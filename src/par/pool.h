@@ -57,6 +57,14 @@ class WorkerPool {
   void ParallelEach(std::size_t n,
                     const std::function<void(int, std::size_t)>& fn);
 
+  // ParallelEach with a graceful drain: once *stop becomes true, workers
+  // finish the indices they already claimed and stop claiming new ones. The
+  // call still barriers; indices beyond the drain point are simply never
+  // dispatched. `stop == nullptr` behaves exactly like ParallelEach.
+  void ParallelEachUntil(std::size_t n,
+                         const std::function<void(int, std::size_t)>& fn,
+                         const std::atomic<bool>* stop);
+
   // Cumulative wall-clock seconds each worker spent inside task bodies.
   // Telemetry only (worker-utilization gauges); never feeds a deterministic
   // output.

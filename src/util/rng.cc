@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
 namespace cnv {
 
@@ -50,5 +51,20 @@ std::size_t Rng::PickWeighted(std::span<const double> weights) {
 }
 
 Rng Rng::Fork() { return Rng(engine_()); }
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::RestoreState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 engine;
+  in >> engine;
+  if (in.fail()) return false;
+  engine_ = engine;
+  return true;
+}
 
 }  // namespace cnv

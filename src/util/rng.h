@@ -7,6 +7,7 @@
 #include <random>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace cnv {
@@ -55,6 +56,12 @@ class Rng {
   Rng Fork();
 
   std::mt19937_64& engine() { return engine_; }
+
+  // Serializes / restores the full engine state (the distributions are
+  // created per call, so the engine is the only state). Lets a checkpointed
+  // run resume its random stream exactly where it left off.
+  std::string SaveState() const;
+  bool RestoreState(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

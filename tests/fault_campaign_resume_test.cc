@@ -1,0 +1,357 @@
+// Crash-safe campaign execution: the RunOutcome codec must be lossless, a
+// resumed campaign must replay completed cells from their blobs into a
+// byte-identical report at any parallelism, corrupted cell blobs must be
+// discarded and re-run, the watchdog/retry loop must account its work, and
+// a fired cancel token must drain gracefully.
+#include "fault/campaign.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/manifest.h"
+#include "fault/checkpoint.h"
+#include "gtest/gtest.h"
+
+namespace cnv::fault {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / "campaign_resume" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+void FlipPayloadByte(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes(std::istreambuf_iterator<char>(in), {});
+  in.close();
+  ASSERT_FALSE(bytes.empty());
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A small but non-trivial sweep: 2 seeds x 2 finding plans = 4 cells.
+CampaignConfig SmallConfig() {
+  CampaignConfig cfg;
+  cfg.seeds = {1, 2};
+  const auto all = plans::Findings();
+  cfg.plans = {all[0], all[1]};
+  return cfg;
+}
+
+void ExpectSameReport(const MonitorReport& a, const MonitorReport& b) {
+  ASSERT_EQ(a.properties.size(), b.properties.size());
+  for (std::size_t i = 0; i < a.properties.size(); ++i) {
+    SCOPED_TRACE("property #" + std::to_string(i));
+    EXPECT_EQ(a.properties[i].name, b.properties[i].name);
+    EXPECT_EQ(a.properties[i].established, b.properties[i].established);
+    EXPECT_EQ(a.properties[i].ok_at_end, b.properties[i].ok_at_end);
+    EXPECT_EQ(a.properties[i].outages, b.properties[i].outages);
+    EXPECT_EQ(a.properties[i].total_outage, b.properties[i].total_outage);
+    EXPECT_EQ(a.properties[i].longest_outage, b.properties[i].longest_outage);
+    EXPECT_EQ(a.properties[i].slo, b.properties[i].slo);
+  }
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].id, b.findings[i].id);
+    EXPECT_EQ(a.findings[i].detail, b.findings[i].detail);
+  }
+}
+
+void ExpectSameOutcome(const RunOutcome& a, const RunOutcome& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_EQ(a.profile, b.profile);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.trace_log, b.trace_log);
+  ExpectSameReport(a.report, b.report);
+  ASSERT_EQ(a.telemetry.has_value(), b.telemetry.has_value());
+  if (a.telemetry.has_value()) {
+    EXPECT_EQ(a.telemetry->ToJson(), b.telemetry->ToJson());
+  }
+}
+
+TEST(RunOutcomeCodecTest, RoundTripsWithTelemetryAndTrace) {
+  CampaignConfig cfg = SmallConfig();
+  cfg.collect_telemetry = true;
+  const CampaignRunner runner(cfg, /*keep_traces=*/true);
+  const RunOutcome out = runner.RunOne(1, cfg.plans[0], stack::OpI());
+  ASSERT_TRUE(out.telemetry.has_value());
+  ASSERT_FALSE(out.trace_log.empty());
+
+  const std::string payload = EncodeRunOutcome(out);
+  RunOutcome decoded;
+  ASSERT_TRUE(DecodeRunOutcome(payload, &decoded));
+  ExpectSameOutcome(decoded, out);
+  // Re-encoding the decoded outcome is the strongest lossless check.
+  EXPECT_EQ(EncodeRunOutcome(decoded), payload);
+}
+
+TEST(RunOutcomeCodecTest, RoundTripsWithoutTelemetry) {
+  const CampaignConfig cfg = SmallConfig();
+  const CampaignRunner runner(cfg);
+  const RunOutcome out = runner.RunOne(2, cfg.plans[1], stack::OpI());
+  EXPECT_FALSE(out.telemetry.has_value());
+  RunOutcome decoded;
+  ASSERT_TRUE(DecodeRunOutcome(EncodeRunOutcome(out), &decoded));
+  ExpectSameOutcome(decoded, out);
+}
+
+TEST(RunOutcomeCodecTest, RejectsDamagedPayloads) {
+  const CampaignConfig cfg = SmallConfig();
+  const std::string payload =
+      EncodeRunOutcome(CampaignRunner(cfg).RunOne(1, cfg.plans[0],
+                                                  stack::OpI()));
+  RunOutcome out;
+  EXPECT_FALSE(DecodeRunOutcome("", &out));
+  EXPECT_FALSE(DecodeRunOutcome("garbage", &out));
+  EXPECT_FALSE(DecodeRunOutcome(
+      std::string_view(payload).substr(0, payload.size() / 2), &out));
+  EXPECT_FALSE(DecodeRunOutcome(payload + "x", &out));
+}
+
+TEST(CampaignConfigDigestTest, IgnoresExecutionKnobsButNotTheSweep) {
+  CampaignConfig base = SmallConfig();
+  const std::uint64_t digest = CampaignRunner(base).ConfigDigest();
+
+  CampaignConfig execution = base;
+  execution.parallelism = 4;
+  execution.checkpoint_dir = "/somewhere/else";
+  execution.resume = true;
+  execution.retry.max_retries = 3;
+  execution.retry.cell_timeout_ms = 1000;
+  EXPECT_EQ(CampaignRunner(execution).ConfigDigest(), digest);
+
+  CampaignConfig more_seeds = base;
+  more_seeds.seeds.push_back(3);
+  EXPECT_NE(CampaignRunner(more_seeds).ConfigDigest(), digest);
+
+  CampaignConfig fewer_plans = base;
+  fewer_plans.plans.pop_back();
+  EXPECT_NE(CampaignRunner(fewer_plans).ConfigDigest(), digest);
+}
+
+class CampaignResumeTest : public testing::Test {
+ protected:
+  // Full checkpointed run: the baseline report plus a complete manifest.
+  CampaignResult Baseline(const std::string& dir) {
+    CampaignConfig cfg = SmallConfig();
+    cfg.checkpoint_dir = dir;
+    const CampaignResult result = CampaignRunner(cfg).Run();
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.exec.cells_run, result.runs.size());
+    EXPECT_EQ(result.exec.cells_resumed, 0u);
+    return result;
+  }
+
+  // Clears the done bit for `cleared` cells, simulating a crash that lost
+  // that part of the sweep's progress.
+  void ClearCells(const std::string& dir,
+                  const std::vector<std::size_t>& cleared) {
+    const ckpt::ManifestStore store(
+        dir, CampaignRunner(SmallConfig()).ConfigDigest());
+    ckpt::Manifest manifest;
+    ASSERT_EQ(store.LoadManifest(&manifest), ckpt::LoadStatus::kOk);
+    for (const std::size_t i : cleared) {
+      ASSERT_LT(i, manifest.cells.size());
+      manifest.cells[i] = ckpt::CellRecord{};
+    }
+    ASSERT_TRUE(store.SaveManifest(manifest));
+  }
+
+  CampaignResult Resume(const std::string& dir, int parallelism) {
+    CampaignConfig cfg = SmallConfig();
+    cfg.checkpoint_dir = dir;
+    cfg.resume = true;
+    cfg.parallelism = parallelism;
+    return CampaignRunner(cfg).Run();
+  }
+};
+
+TEST_F(CampaignResumeTest, PartialManifestResumesByteIdentical) {
+  for (const int parallelism : {1, 4}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(parallelism));
+    const std::string dir =
+        FreshDir("partial-p" + std::to_string(parallelism));
+    const CampaignResult baseline = Baseline(dir);
+    ClearCells(dir, {1, 3});
+
+    const CampaignResult resumed = Resume(dir, parallelism);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.exec.cells_total, baseline.runs.size());
+    EXPECT_EQ(resumed.exec.cells_resumed, 2u);
+    EXPECT_EQ(resumed.exec.cells_run, 2u);
+    EXPECT_EQ(resumed.exec.corrupt_cells_discarded, 0u);
+
+    EXPECT_EQ(resumed.Summary(), baseline.Summary());
+    ASSERT_EQ(resumed.runs.size(), baseline.runs.size());
+    for (std::size_t i = 0; i < resumed.runs.size(); ++i) {
+      SCOPED_TRACE("cell #" + std::to_string(i));
+      ExpectSameOutcome(resumed.runs[i], baseline.runs[i]);
+    }
+  }
+}
+
+TEST_F(CampaignResumeTest, FullyCompleteManifestReplaysEverything) {
+  const std::string dir = FreshDir("complete");
+  const CampaignResult baseline = Baseline(dir);
+  const CampaignResult resumed = Resume(dir, 1);
+  EXPECT_EQ(resumed.exec.cells_resumed, baseline.runs.size());
+  EXPECT_EQ(resumed.exec.cells_run, 0u);
+  EXPECT_EQ(resumed.Summary(), baseline.Summary());
+}
+
+TEST_F(CampaignResumeTest, CorruptedCellBlobIsDiscardedAndReRun) {
+  const std::string dir = FreshDir("corrupt-cell");
+  const CampaignResult baseline = Baseline(dir);
+  const ckpt::ManifestStore store(
+      dir, CampaignRunner(SmallConfig()).ConfigDigest());
+  FlipPayloadByte(store.CellPath(0));
+
+  const CampaignResult resumed = Resume(dir, 1);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.exec.corrupt_cells_discarded, 1u);
+  EXPECT_EQ(resumed.exec.cells_run, 1u);
+  EXPECT_EQ(resumed.exec.cells_resumed, baseline.runs.size() - 1);
+  EXPECT_EQ(resumed.Summary(), baseline.Summary());
+}
+
+TEST_F(CampaignResumeTest, MissingCellBlobIsDiscardedAndReRun) {
+  const std::string dir = FreshDir("missing-cell");
+  const CampaignResult baseline = Baseline(dir);
+  const ckpt::ManifestStore store(
+      dir, CampaignRunner(SmallConfig()).ConfigDigest());
+  fs::remove(store.CellPath(2));
+
+  const CampaignResult resumed = Resume(dir, 1);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.exec.corrupt_cells_discarded, 1u);
+  EXPECT_EQ(resumed.Summary(), baseline.Summary());
+}
+
+TEST(CampaignCancelTest, PreCancelledTokenDrainsImmediately) {
+  ckpt::CancelToken cancel;
+  cancel.Cancel();
+  CampaignConfig cfg = SmallConfig();
+  cfg.cancel = &cancel;
+  const CampaignResult result = CampaignRunner(cfg).Run();
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.exec.interrupted);
+  EXPECT_EQ(result.exec.cells_run, 0u);
+}
+
+TEST(CampaignCancelTest, DrainedRunResumesToCompletion) {
+  // Cancel before the sweep, but with a checkpoint dir: the manifest must
+  // land on disk so a later resume can finish the job.
+  const std::string dir = FreshDir("drain-resume");
+  ckpt::CancelToken cancel;
+  cancel.Cancel();
+  CampaignConfig cfg = SmallConfig();
+  cfg.cancel = &cancel;
+  cfg.checkpoint_dir = dir;
+  const CampaignResult interrupted = CampaignRunner(cfg).Run();
+  ASSERT_FALSE(interrupted.complete);
+
+  CampaignConfig resume_cfg = SmallConfig();
+  resume_cfg.checkpoint_dir = dir;
+  resume_cfg.resume = true;
+  const CampaignResult resumed = CampaignRunner(resume_cfg).Run();
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.exec.cells_run, resumed.runs.size());
+
+  // And it matches a never-interrupted run of the same sweep.
+  const CampaignResult plain = CampaignRunner(SmallConfig()).Run();
+  EXPECT_EQ(resumed.Summary(), plain.Summary());
+}
+
+TEST(CampaignWatchdogTest, OverrunningCellsAreRetriedAndAccounted) {
+  // A fake clock that advances 10ms per sample makes every attempt overrun
+  // the 1ms budget; each of the 4 cells burns its one retry and keeps the
+  // last attempt's (deterministic) outcome anyway.
+  CampaignConfig cfg = SmallConfig();
+  cfg.retry.cell_timeout_ms = 1;
+  cfg.retry.max_retries = 1;
+  auto now = std::make_shared<std::int64_t>(0);
+  cfg.retry.wall_ms_for_test = [now] { return *now += 10; };
+  auto slept = std::make_shared<std::vector<std::int64_t>>();
+  cfg.retry.sleep_ms_for_test = [slept](std::int64_t ms) {
+    slept->push_back(ms);
+  };
+  const CampaignResult result = CampaignRunner(cfg).Run();
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.exec.retries, 4u);
+  EXPECT_EQ(result.exec.watchdog_hits, 8u);  // 2 attempts per cell overran
+  EXPECT_EQ(slept->size(), 4u);  // one backoff sleep per retried cell
+
+  const CampaignResult plain = CampaignRunner(SmallConfig()).Run();
+  EXPECT_EQ(result.Summary(), plain.Summary());
+}
+
+TEST(RunWithRetriesTest, WatchdogOverrunTriggersRetry) {
+  ckpt::RetryPolicy policy;
+  policy.cell_timeout_ms = 100;
+  policy.max_retries = 2;
+  // Clock samples: attempt 1 spans 0 -> 200 (overrun), attempt 2 spans
+  // 200 -> 250 (within budget).
+  auto samples = std::make_shared<std::vector<std::int64_t>>(
+      std::vector<std::int64_t>{0, 200, 200, 250});
+  auto idx = std::make_shared<std::size_t>(0);
+  policy.wall_ms_for_test = [samples, idx]() -> std::int64_t {
+    const std::size_t i = std::min(*idx, samples->size() - 1);
+    ++*idx;
+    return (*samples)[i];
+  };
+  std::vector<std::int64_t> slept;
+  policy.sleep_ms_for_test = [&slept](std::int64_t ms) {
+    slept.push_back(ms);
+  };
+  int attempts = 0;
+  const ckpt::RetryOutcome out =
+      ckpt::RunWithRetries(policy, [&attempts] { return ++attempts > 0; });
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.retries, 1u);
+  EXPECT_EQ(out.watchdog_hits, 1u);
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(slept, (std::vector<std::int64_t>{100}));
+}
+
+TEST(RunWithRetriesTest, FailingAttemptExhaustsRetriesWithBackoff) {
+  ckpt::RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.backoff_initial_ms = 100;
+  policy.backoff_multiplier = 2.0;
+  std::vector<std::int64_t> slept;
+  policy.sleep_ms_for_test = [&slept](std::int64_t ms) {
+    slept.push_back(ms);
+  };
+  int attempts = 0;
+  const ckpt::RetryOutcome out = ckpt::RunWithRetries(policy, [&attempts] {
+    ++attempts;
+    return false;
+  });
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.retries, 2u);
+  EXPECT_EQ(out.watchdog_hits, 0u);
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(slept, (std::vector<std::int64_t>{100, 200}));
+}
+
+TEST(RunWithRetriesTest, FirstTrySuccessNeedsNoRetry) {
+  ckpt::RetryPolicy policy;
+  policy.max_retries = 5;
+  const ckpt::RetryOutcome out =
+      ckpt::RunWithRetries(policy, [] { return true; });
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.retries, 0u);
+  EXPECT_EQ(out.watchdog_hits, 0u);
+}
+
+}  // namespace
+}  // namespace cnv::fault
