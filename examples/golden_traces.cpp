@@ -1,0 +1,53 @@
+// Regenerates the golden QXDM-formatted traces for the S1-S6 scenario
+// catalog under a directory (one <stem>.log per scenario). The committed
+// goldens live in tests/golden/ and are byte-compared by trace_golden_test;
+// after an intentional behaviour change, regenerate them with
+//
+//   ./build/examples/golden_traces --out tests/golden
+//
+// and review the diff like any other code change.
+#include <cstdio>
+#include <filesystem>
+
+#include "conf/golden.h"
+#include "util/args.h"
+
+using namespace cnv;
+
+int main(int argc, char** argv) {
+  args::ArgParser parser(argc, argv,
+                         "usage: golden_traces --out DIR [--list]");
+  std::string out_dir;
+  const bool list_only = parser.Flag("--list");
+  parser.StrValue("--out", &out_dir);
+  parser.Finish(0);
+  if (list_only) {
+    for (const auto& g : conf::GoldenScenarios()) {
+      std::printf("%s: %s\n", g.name.c_str(), g.description.c_str());
+    }
+    return 0;
+  }
+  if (out_dir.empty()) parser.Fail("--out DIR is required");
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  for (const auto& g : conf::GoldenScenarios()) {
+    const std::string path = out_dir + "/" + g.name + ".log";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    const std::string log = g.generate();
+    std::fwrite(log.data(), 1, log.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), log.size());
+  }
+  return 0;
+}

@@ -192,6 +192,7 @@ enum class PayloadType : std::uint32_t {
   kCampaignManifest = 2,
   kCampaignCell = 3,
   kScreeningCell = 4,
+  kConformanceCell = 5,
 };
 
 enum class LoadStatus {

@@ -1,0 +1,152 @@
+#include "conf/abstract.h"
+
+namespace cnv::conf {
+
+std::string ToString(AbstractKind k) {
+  switch (k) {
+    case AbstractKind::kSwitch4gTo3g:
+      return "switch-4g-to-3g";
+    case AbstractKind::kCsfbFallback:
+      return "csfb-fallback";
+    case AbstractKind::kSwitch3gTo4g:
+      return "switch-3g-to-4g";
+    case AbstractKind::kCellReselection:
+      return "cell-reselection";
+    case AbstractKind::kAwaitReselection:
+      return "await-reselection";
+    case AbstractKind::kPdpDeactivated:
+      return "pdp-deactivated";
+    case AbstractKind::kUserDataOff:
+      return "user-data-off";
+    case AbstractKind::kUserDataOn:
+      return "user-data-on";
+    case AbstractKind::kAttachRequest:
+      return "attach-request";
+    case AbstractKind::kAttachAccept:
+      return "attach-accept";
+    case AbstractKind::kAttachComplete:
+      return "attach-complete";
+    case AbstractKind::kAttachReject:
+      return "attach-reject";
+    case AbstractKind::kTauRequest:
+      return "tau-request";
+    case AbstractKind::kTauReject:
+      return "tau-reject";
+    case AbstractKind::kNetworkDetach:
+      return "network-detach";
+    case AbstractKind::kServiceRecovered:
+      return "service-recovered";
+    case AbstractKind::kDataSessionStart:
+      return "data-session-start";
+    case AbstractKind::kDataSessionStop:
+      return "data-session-stop";
+    case AbstractKind::kCallDialed:
+      return "call-dialed";
+    case AbstractKind::kCmServiceRequest:
+      return "cm-service-request";
+    case AbstractKind::kCallDeferred:
+      return "call-deferred";
+    case AbstractKind::kCallEstablished:
+      return "call-established";
+    case AbstractKind::kCallEnded:
+      return "call-ended";
+    case AbstractKind::kLocationUpdateStart:
+      return "location-update-start";
+    case AbstractKind::kMmWaitNetCmd:
+      return "mm-wait-net-cmd";
+  }
+  return "?";
+}
+
+namespace {
+
+// Mapping table entry: a record whose module equals `module` and whose
+// description contains `needle` abstracts to `kind`. First match wins, so
+// the CSFB-specific switch rule precedes the generic one.
+struct Rule {
+  const char* module;
+  const char* needle;
+  AbstractKind kind;
+};
+
+// The abstraction-mapping table (documented in DESIGN.md). Strings are the
+// exact description fragments the UE emits in src/stack/ue.cc.
+constexpr Rule kRules[] = {
+    {"UE", "4G->3G switch (CSFB call)", AbstractKind::kCsfbFallback},
+    {"UE", "4G->3G switch", AbstractKind::kSwitch4gTo3g},
+    {"UE", "3G->4G switch", AbstractKind::kSwitch3gTo4g},
+    {"3G-RRC", "inter-system cell reselection to 4G",
+     AbstractKind::kCellReselection},
+    {"3G-RRC", "awaiting RRC IDLE for inter-system cell reselection",
+     AbstractKind::kAwaitReselection},
+    {"SM", "PDP context deactivated", AbstractKind::kPdpDeactivated},
+    {"SM", "Deactivate PDP Context Request sent",
+     AbstractKind::kPdpDeactivated},
+    {"UE", "user disables mobile data", AbstractKind::kUserDataOff},
+    {"UE", "user enables mobile data", AbstractKind::kUserDataOn},
+    // Module "EMM" keeps these from matching the 3G "GPRS Attach ..."
+    // records, which belong to GMM.
+    {"EMM", "Attach Request", AbstractKind::kAttachRequest},
+    {"EMM", "Attach Accept received", AbstractKind::kAttachAccept},
+    {"EMM", "Attach Complete sent", AbstractKind::kAttachComplete},
+    {"EMM", "Attach Reject received", AbstractKind::kAttachReject},
+    {"EMM", "Tracking Area Update Request sent", AbstractKind::kTauRequest},
+    {"EMM", "Tracking Area Update Reject received", AbstractKind::kTauReject},
+    {"EMM", "detached by network via", AbstractKind::kNetworkDetach},
+    {"EMM", "service recovered", AbstractKind::kServiceRecovered},
+    {"UE", "data session starts", AbstractKind::kDataSessionStart},
+    {"UE", "data session ends", AbstractKind::kDataSessionStop},
+    {"CM/CC", "user dials an outgoing call", AbstractKind::kCallDialed},
+    // A dial from 4G surfaces as the CSFB extended service request.
+    {"EMM", "Extended Service Request (CSFB) sent", AbstractKind::kCallDialed},
+    {"MM", "CM Service Request sent", AbstractKind::kCmServiceRequest},
+    {"MM", "CM service request deferred", AbstractKind::kCallDeferred},
+    {"CM/CC", "a call is established", AbstractKind::kCallEstablished},
+    {"CM/CC", "Disconnect sent (call ends)", AbstractKind::kCallEnded},
+    {"MM", "Location Updating Request sent",
+     AbstractKind::kLocationUpdateStart},
+    {"MM", "MM-WAIT-FOR-NET-CMD", AbstractKind::kMmWaitNetCmd},
+};
+
+}  // namespace
+
+std::vector<AbstractEvent> AbstractTrace(
+    const std::vector<trace::TraceRecord>& records) {
+  std::vector<AbstractEvent> out;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    for (const Rule& rule : kRules) {
+      if (r.module == rule.module &&
+          r.description.find(rule.needle) != std::string::npos) {
+        out.push_back({rule.kind, r.time, i});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+RefinementCheck CheckRefinement(const std::vector<AbstractEvent>& concrete,
+                                const std::vector<AbstractKind>& expected) {
+  RefinementCheck check;
+  std::size_t pos = 0;
+  for (std::size_t e = 0; e < expected.size(); ++e) {
+    bool found = false;
+    while (pos < concrete.size()) {
+      if (concrete[pos].kind == expected[e]) {
+        found = true;
+        ++pos;
+        break;
+      }
+      ++pos;
+    }
+    if (!found) {
+      if (check.missing.empty()) check.failed_index = e;
+      check.missing.push_back(expected[e]);
+    }
+  }
+  check.refines = check.missing.empty();
+  return check;
+}
+
+}  // namespace cnv::conf

@@ -1,0 +1,36 @@
+// Counterexample-to-scenario compiler: takes an mck violation trace from
+// one of the S1–S4 screening models and emits a deterministic simulator
+// script (conf/script.h) that drives a stack::Testbed through the same
+// event sequence. Before emitting anything, each compiler validates the
+// counterexample by replaying its actions through the model — a truncated
+// or hand-mangled trace that does not end in a violating state is rejected
+// rather than silently compiled.
+#pragma once
+
+#include <string>
+
+#include "conf/script.h"
+#include "mck/explorer.h"
+#include "model/s1_model.h"
+#include "model/s2_model.h"
+#include "model/s3_model.h"
+#include "model/s4_model.h"
+
+namespace cnv::conf {
+
+struct CompileResult {
+  bool ok = false;
+  std::string error;  // why compilation was refused (when !ok)
+  ScenarioScript script;
+};
+
+CompileResult CompileS1(const model::S1Model& m,
+                        const mck::Violation<model::S1Model>& v);
+CompileResult CompileS2(const model::S2Model& m,
+                        const mck::Violation<model::S2Model>& v);
+CompileResult CompileS3(const model::S3Model& m,
+                        const mck::Violation<model::S3Model>& v);
+CompileResult CompileS4(const model::S4Model& m,
+                        const mck::Violation<model::S4Model>& v);
+
+}  // namespace cnv::conf

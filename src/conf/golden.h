@@ -1,0 +1,25 @@
+// Golden-trace scenario catalog: one deterministic QXDM-formatted trace per
+// paper finding (S1–S6), generated from a fixed-seed testbed run. The
+// committed copies live in tests/golden/; trace_golden_test regenerates and
+// byte-diffs them, and `examples/golden_traces --out tests/golden` is the
+// one-command regen path for intentional changes.
+//
+// The byte-stability contract is per-toolchain: the testbed samples
+// lognormal latencies through libstdc++'s distributions, so the committed
+// goldens are tied to the repo's reference toolchain (the CI one).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cnv::conf {
+
+struct GoldenScenario {
+  std::string name;         // file stem, e.g. "s1_context_loss_opi"
+  std::string description;  // what the trace shows
+  std::string (*generate)();  // QXDM-formatted log (trace::FormatLog)
+};
+
+const std::vector<GoldenScenario>& GoldenScenarios();
+
+}  // namespace cnv::conf

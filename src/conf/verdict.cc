@@ -1,0 +1,25 @@
+#include "conf/verdict.h"
+
+namespace cnv::conf {
+
+std::string ToString(Verdict v) {
+  switch (v) {
+    case Verdict::kConfirmed:
+      return "confirmed";
+    case Verdict::kAgreedAbsent:
+      return "agreed-absent";
+    case Verdict::kModelOnlyDivergence:
+      return "model-only-divergence";
+    case Verdict::kSimOnlyDivergence:
+      return "sim-only-divergence";
+    case Verdict::kRefinementMismatch:
+      return "refinement-mismatch";
+    case Verdict::kCarrierMismatch:
+      return "carrier-mismatch";
+    case Verdict::kBadCounterexample:
+      return "bad-counterexample";
+  }
+  return "?";
+}
+
+}  // namespace cnv::conf

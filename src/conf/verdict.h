@@ -1,0 +1,36 @@
+// Machine-readable verdicts for one model-vs-stack cross-check. Every
+// conformance comparison ends in exactly one of these — never a silent
+// pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cnv::conf {
+
+enum class Verdict : std::uint8_t {
+  // The model finds the violation, the replay reproduces the same finding
+  // probe, and the abstracted concrete trace refines the counterexample.
+  kConfirmed,
+  // Neither side exhibits the defect (e.g. S3 replayed on a
+  // release-with-redirect carrier with a matching model config).
+  kAgreedAbsent,
+  // The model claims a violation the simulator does not reproduce (e.g.
+  // the stack runs a §8 remedy the model does not know about).
+  kModelOnlyDivergence,
+  // The simulator reproduces a defect the model claims cannot happen.
+  kSimOnlyDivergence,
+  // The probe fired but the abstracted trace does not contain the model's
+  // event sequence — same symptom, different mechanism.
+  kRefinementMismatch,
+  // The counterexample requires a carrier policy the target profile does
+  // not use; replaying it there would test nothing.
+  kCarrierMismatch,
+  // The counterexample failed validation (truncated, stitched, or claiming
+  // a property the final state does not violate).
+  kBadCounterexample,
+};
+
+std::string ToString(Verdict v);
+
+}  // namespace cnv::conf

@@ -1,0 +1,173 @@
+// The trace abstraction layer maps concrete modem-style records back into
+// the screening models' vocabulary; these tests pin the mapping table
+// (module + description substring -> AbstractKind) and the in-order
+// subsequence semantics of the refinement check.
+#include "conf/abstract.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "trace/record.h"
+
+namespace cnv::conf {
+namespace {
+
+trace::TraceRecord Rec(const std::string& module,
+                       const std::string& description) {
+  trace::TraceRecord r;
+  r.module = module;
+  r.description = description;
+  return r;
+}
+
+TEST(AbstractTraceTest, MapsCoreVocabulary) {
+  const std::vector<trace::TraceRecord> records = {
+      Rec("EMM", "Attach Request sent"),
+      Rec("EMM", "Attach Accept received"),
+      Rec("EMM", "Attach Complete sent"),
+      Rec("UE", "4G->3G switch (user mobility)"),
+      Rec("SM", "PDP context deactivated"),
+      Rec("UE", "3G->4G switch"),
+      Rec("EMM", "detached by network via MME (cause: no EPS bearer)"),
+  };
+  const auto events = AbstractTrace(records);
+  ASSERT_EQ(events.size(), 7u);
+  EXPECT_EQ(events[0].kind, AbstractKind::kAttachRequest);
+  EXPECT_EQ(events[1].kind, AbstractKind::kAttachAccept);
+  EXPECT_EQ(events[2].kind, AbstractKind::kAttachComplete);
+  EXPECT_EQ(events[3].kind, AbstractKind::kSwitch4gTo3g);
+  EXPECT_EQ(events[4].kind, AbstractKind::kPdpDeactivated);
+  EXPECT_EQ(events[5].kind, AbstractKind::kSwitch3gTo4g);
+  EXPECT_EQ(events[6].kind, AbstractKind::kNetworkDetach);
+  // Provenance: each event points back at its source record.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].record_index, i);
+  }
+}
+
+TEST(AbstractTraceTest, CsfbSwitchIsDistinctFromMobilitySwitch) {
+  const auto events = AbstractTrace({
+      Rec("UE", "4G->3G switch (CSFB call)"),
+      Rec("UE", "4G->3G switch (user mobility)"),
+  });
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, AbstractKind::kCsfbFallback);
+  EXPECT_EQ(events[1].kind, AbstractKind::kSwitch4gTo3g);
+}
+
+TEST(AbstractTraceTest, DialInEitherSystemAbstractsToCallDialed) {
+  // Serving 3G the CM layer logs the dial; serving 4G only the Extended
+  // Service Request is visible. Both must abstract to the same model event.
+  const auto events = AbstractTrace({
+      Rec("CM/CC", "user dials an outgoing call"),
+      Rec("EMM", "Extended Service Request (CSFB) sent"),
+  });
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, AbstractKind::kCallDialed);
+  EXPECT_EQ(events[1].kind, AbstractKind::kCallDialed);
+}
+
+TEST(AbstractTraceTest, ModuleMustMatchNotJustDescription) {
+  // "GPRS Attach Request sent" comes from GMM; it must not be swallowed by
+  // the EMM attach rules.
+  const auto events = AbstractTrace({Rec("GMM", "GPRS Attach Request sent")});
+  for (const auto& e : events) {
+    EXPECT_NE(e.kind, AbstractKind::kAttachRequest);
+  }
+}
+
+TEST(AbstractTraceTest, UnmappedRecordsAreDropped) {
+  const auto events = AbstractTrace({
+      Rec("4G-RRC", "RRC IDLE -> CONNECTED"),
+      Rec("EMM", "Attach Request sent"),
+      Rec("3G-RRC", "RAB established"),
+  });
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, AbstractKind::kAttachRequest);
+  EXPECT_EQ(events[0].record_index, 1u);
+}
+
+TEST(AbstractTraceTest, MmAndReselectionVocabulary) {
+  const auto events = AbstractTrace({
+      Rec("MM", "Location Updating Request sent"),
+      Rec("MM", "CM Service Request sent"),
+      Rec("MM", "CM service request deferred: location update in progress"),
+      Rec("3G-RRC", "awaiting RRC IDLE for inter-system cell reselection"),
+      Rec("3G-RRC", "inter-system cell reselection to 4G"),
+  });
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].kind, AbstractKind::kLocationUpdateStart);
+  EXPECT_EQ(events[1].kind, AbstractKind::kCmServiceRequest);
+  EXPECT_EQ(events[2].kind, AbstractKind::kCallDeferred);
+  EXPECT_EQ(events[3].kind, AbstractKind::kAwaitReselection);
+  EXPECT_EQ(events[4].kind, AbstractKind::kCellReselection);
+}
+
+TEST(ToStringTest, AllKindsHaveDistinctNonEmptyNames) {
+  std::vector<std::string> names;
+  for (int i = 0; i <= static_cast<int>(AbstractKind::kMmWaitNetCmd); ++i) {
+    names.push_back(ToString(static_cast<AbstractKind>(i)));
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]) << i << " vs " << j;
+    }
+  }
+}
+
+std::vector<AbstractEvent> Events(std::vector<AbstractKind> kinds) {
+  std::vector<AbstractEvent> out;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    out.push_back({kinds[i], 0, i});
+  }
+  return out;
+}
+
+TEST(CheckRefinementTest, ExactSequenceRefines) {
+  const auto check = CheckRefinement(
+      Events({AbstractKind::kAttachRequest, AbstractKind::kAttachAccept}),
+      {AbstractKind::kAttachRequest, AbstractKind::kAttachAccept});
+  EXPECT_TRUE(check.refines);
+  EXPECT_TRUE(check.missing.empty());
+}
+
+TEST(CheckRefinementTest, SubsequenceWithExtraConcreteEventsRefines) {
+  const auto check = CheckRefinement(
+      Events({AbstractKind::kAttachRequest, AbstractKind::kDataSessionStart,
+              AbstractKind::kAttachAccept, AbstractKind::kAttachComplete}),
+      {AbstractKind::kAttachRequest, AbstractKind::kAttachComplete});
+  EXPECT_TRUE(check.refines);
+}
+
+TEST(CheckRefinementTest, OutOfOrderDoesNotRefine) {
+  const auto check = CheckRefinement(
+      Events({AbstractKind::kAttachAccept, AbstractKind::kAttachRequest}),
+      {AbstractKind::kAttachRequest, AbstractKind::kAttachAccept});
+  EXPECT_FALSE(check.refines);
+  EXPECT_EQ(check.failed_index, 1u);
+  ASSERT_EQ(check.missing.size(), 1u);
+  EXPECT_EQ(check.missing[0], AbstractKind::kAttachAccept);
+}
+
+TEST(CheckRefinementTest, MissingEventsReportedInOrder) {
+  const auto check =
+      CheckRefinement(Events({AbstractKind::kAttachRequest}),
+                      {AbstractKind::kAttachRequest, AbstractKind::kTauRequest,
+                       AbstractKind::kNetworkDetach});
+  EXPECT_FALSE(check.refines);
+  EXPECT_EQ(check.failed_index, 1u);
+  ASSERT_EQ(check.missing.size(), 2u);
+  EXPECT_EQ(check.missing[0], AbstractKind::kTauRequest);
+  EXPECT_EQ(check.missing[1], AbstractKind::kNetworkDetach);
+}
+
+TEST(CheckRefinementTest, EmptyExpectationTriviallyRefines) {
+  EXPECT_TRUE(CheckRefinement({}, {}).refines);
+  EXPECT_TRUE(
+      CheckRefinement(Events({AbstractKind::kAttachRequest}), {}).refines);
+}
+
+}  // namespace
+}  // namespace cnv::conf

@@ -1,0 +1,98 @@
+// Golden-trace regression suite: each S1–S6 catalog scenario regenerates
+// its QXDM-formatted trace and byte-compares it against the committed
+// golden under tests/golden/. Any behaviour change in the stack, simulator
+// or trace formatting shows up here as a readable log diff.
+//
+// After an *intentional* change, regenerate with
+//
+//   ./build/examples/golden_traces --out tests/golden
+//
+// and review the diff like any other code change. The goldens are tied to
+// the CI toolchain (libstdc++'s distribution sampling); see conf/golden.h.
+#include "conf/golden.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "trace/qxdm.h"
+
+namespace cnv::conf {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(CNV_GOLDEN_DIR) + "/" + name + ".log";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing golden: " << path
+                            << " (regenerate with examples/golden_traces)";
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+// One readable failure per scenario, with the first differing line.
+void ExpectGoldenMatch(const GoldenScenario& g) {
+  SCOPED_TRACE(g.name + ": " + g.description);
+  const std::string regenerated = g.generate();
+  const std::string golden = ReadFile(GoldenPath(g.name));
+  if (regenerated == golden) return;
+  std::istringstream a(golden);
+  std::istringstream b(regenerated);
+  std::string la;
+  std::string lb;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool more_a = static_cast<bool>(std::getline(a, la));
+    const bool more_b = static_cast<bool>(std::getline(b, lb));
+    if (!more_a && !more_b) break;
+    if (!more_a) la.clear();
+    if (!more_b) lb.clear();
+    ASSERT_EQ(la, lb) << g.name << " first differs at line " << line;
+  }
+  FAIL() << g.name << ": traces differ";  // e.g. trailing bytes only
+}
+
+TEST(TraceGoldenTest, CatalogCoversAllSixFindings) {
+  const auto& scenarios = GoldenScenarios();
+  ASSERT_EQ(scenarios.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& g : scenarios) {
+    EXPECT_TRUE(names.insert(g.name).second) << "duplicate " << g.name;
+    EXPECT_FALSE(g.description.empty());
+    EXPECT_NE(g.generate, nullptr);
+  }
+  for (int i = 1; i <= 6; ++i) {
+    const std::string prefix = "s" + std::to_string(i) + "_";
+    EXPECT_TRUE(std::any_of(names.begin(), names.end(),
+                            [&](const std::string& n) {
+                              return n.rfind(prefix, 0) == 0;
+                            }))
+        << "no golden for S" << i;
+  }
+}
+
+TEST(TraceGoldenTest, RegeneratedTracesMatchCommittedGoldens) {
+  for (const auto& g : GoldenScenarios()) {
+    ExpectGoldenMatch(g);
+  }
+}
+
+TEST(TraceGoldenTest, GoldensRoundTripThroughTheQxdmParser) {
+  // The committed goldens must stay parseable: FormatLog(ParseLog(x)) == x.
+  for (const auto& g : GoldenScenarios()) {
+    SCOPED_TRACE(g.name);
+    const std::string golden = ReadFile(GoldenPath(g.name));
+    ASSERT_FALSE(golden.empty());
+    const auto parsed = trace::ParseLog(golden);
+    EXPECT_EQ(trace::FormatLog(parsed), golden);
+  }
+}
+
+}  // namespace
+}  // namespace cnv::conf

@@ -1,0 +1,125 @@
+// Fuzz the CLI parser: random flag soups — valid flags, misspellings, bare
+// dashes, numbers, garbage bytes — must either parse cleanly (exit 0 from
+// the harness) or die with exit status 2 and the usage text. Never a crash,
+// never another exit path. Runs under ASan in CI.
+#include "util/args.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace cnv::args {
+namespace {
+
+constexpr char kUsage[] = "usage: fuzzprog [--jobs N] [--seed S] [--name X]";
+
+// Owns the backing storage for a fake argv.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    ptrs_.reserve(strings_.size());
+    for (auto& s : strings_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char* const* argv() const { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+};
+
+// Runs a canonical parse sequence over the tokens. Either every accessor
+// succeeds and we _exit(0), or ArgParser::Fail prints usage and exits 2.
+// (_exit, not return: the EXPECT_EXIT child must not run test teardown.)
+[[noreturn]] void ParseAndExit(std::vector<std::string> tokens) {
+  tokens.insert(tokens.begin(), "fuzzprog");
+  Argv argv(std::move(tokens));
+  ArgParser parser(argv.argc(), argv.argv(), kUsage);
+  int jobs = 0;
+  std::uint64_t seed = 0;
+  std::string name;
+  parser.Flag("--verbose");
+  parser.IntValue("--jobs", &jobs, 0);
+  parser.U64Value("--seed", &seed);
+  parser.StrValue("--name", &name);
+  parser.Finish(/*max_positional=*/1);
+  _exit(0);
+}
+
+// Random token built from a vocabulary of valid flags, near-misses and
+// byte garbage.
+std::string RandomToken(cnv::Rng& rng) {
+  static const std::vector<std::string> kVocabulary = {
+      "--jobs",  "--seed", "--name",   "--verbose", "--jbos", "--seed=4",
+      "--",      "-",      "---jobs",  "4",         "-7",     "0x10",
+      "18446744073709551616",  // one past uint64 max
+      "99999999999999999999999999",
+      "",        "porridge", "--name",
+  };
+  const auto pick = static_cast<std::size_t>(rng.UniformInt(
+      0, static_cast<std::int64_t>(kVocabulary.size()) + 1));
+  if (pick < kVocabulary.size()) return kVocabulary[pick];
+  // Raw bytes, including non-printables.
+  std::string s;
+  const std::int64_t len = rng.UniformInt(0, 5);
+  for (std::int64_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+  }
+  return s;
+}
+
+bool ExitedCleanlyOrUsage(int status) {
+  if (!WIFEXITED(status)) return false;
+  const int code = WEXITSTATUS(status);
+  return code == 0 || code == 2;
+}
+
+TEST(ArgsFuzzTest, RandomFlagSoupsNeverCrash) {
+  cnv::Rng rng(0x5eedf1a6);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::string> tokens;
+    const std::int64_t n = rng.UniformInt(0, 5);
+    for (std::int64_t i = 0; i < n; ++i) tokens.push_back(RandomToken(rng));
+    std::string label = "round " + std::to_string(round) + ":";
+    for (const auto& t : tokens) label += " [" + t + "]";
+    SCOPED_TRACE(label);
+    EXPECT_EXIT(ParseAndExit(tokens), ExitedCleanlyOrUsage, "");
+  }
+}
+
+TEST(ArgsFuzzTest, MalformedInputsDieWithUsageOnStderr) {
+  const std::vector<std::vector<std::string>> kMalformed = {
+      {"--jbos", "4"},          // unknown flag
+      {"--jobs"},               // missing value
+      {"--jobs", "four"},       // non-numeric
+      {"--jobs", "-3"},         // below minimum
+      {"--seed", "-1"},         // negative for unsigned
+      {"--seed", "99999999999999999999"},  // overflow
+      {"--name"},               // missing string value
+      {"pos1", "pos2"},         // excess positional (max 1)
+      {"---jobs", "1"},         // triple dash is not a flag we know
+  };
+  for (const auto& tokens : kMalformed) {
+    std::string label;
+    for (const auto& t : tokens) label += " [" + t + "]";
+    SCOPED_TRACE(label);
+    EXPECT_EXIT(ParseAndExit(tokens), testing::ExitedWithCode(2),
+                "usage: fuzzprog");
+  }
+}
+
+TEST(ArgsFuzzTest, ValidCombinationsExitZero) {
+  EXPECT_EXIT(ParseAndExit({"--jobs", "4", "--seed", "9", "--verbose"}),
+              testing::ExitedWithCode(0), "");
+  EXPECT_EXIT(ParseAndExit({"--name", "value", "positional"}),
+              testing::ExitedWithCode(0), "");
+  EXPECT_EXIT(ParseAndExit({}), testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace cnv::args
