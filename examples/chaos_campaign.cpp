@@ -38,8 +38,19 @@
 //             per-cell watchdog: a cell whose attempt overran T wall-clock
 //             milliseconds is retried up to R times with exponential
 //             backoff (defaults: no watchdog, no retries)
+//   --admission SPEC
+//             sweep core admission policies: comma list of off (legacy
+//             zero-queueing core), unbounded (bounded service rate, no
+//             admission control — the storm baseline), reject
+//             (reject-with-congestion + T3346 backoff), shed
+//             (priority shed preserving emergency/paging). Default "off".
+//   --storm-scale X
+//             scale the message count of every storm action in the
+//             selected plans by X (e.g. 0.1 for a smoke run)
 //
+// Storm sweeps: ./chaos_campaign 3 storms --admission unbounded,reject,shed
 // CI runs the smoke version: ./chaos_campaign 3 s2-attach-disruption,mme-crash-restart
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -59,11 +70,14 @@ namespace {
 constexpr char kUsage[] =
     "usage: chaos_campaign [seeds] [plans] [--robust] [--jobs N]\n"
     "                      [--metrics-json DIR] [--checkpoint-dir DIR]\n"
-    "                      [--resume] [--cell-timeout-ms T] [--max-retries R]";
+    "                      [--resume] [--cell-timeout-ms T] [--max-retries R]\n"
+    "                      [--admission off,unbounded,reject,shed]\n"
+    "                      [--storm-scale X]";
 
 std::vector<fault::FaultPlan> SelectPlans(const std::string& spec) {
   if (spec == "findings") return fault::plans::Findings();
   if (spec == "all") return fault::plans::All();
+  if (spec == "storms") return fault::plans::Storms();
   std::vector<fault::FaultPlan> picked;
   std::string rest = spec;
   while (!rest.empty()) {
@@ -89,6 +103,40 @@ std::vector<fault::FaultPlan> SelectPlans(const std::string& spec) {
   return picked;
 }
 
+bool IsStormKind(fault::FaultKind k) {
+  return k == fault::FaultKind::kStormMassAttach ||
+         k == fault::FaultKind::kStormTaPingPong ||
+         k == fault::FaultKind::kStormPagingFlood ||
+         k == fault::FaultKind::kStormAdversarialNas;
+}
+
+std::vector<stack::OverloadConfig> SelectAdmission(const std::string& spec) {
+  std::vector<stack::OverloadConfig> out;
+  std::string rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string name = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    stack::OverloadConfig cfg;
+    if (name == "off") {
+      out.push_back(cfg);  // legacy disabled core
+      continue;
+    }
+    stack::AdmissionPolicy policy;
+    if (!stack::ParseAdmissionPolicy(name, &policy)) {
+      std::fprintf(stderr,
+                   "unknown admission policy '%s' (want off, unbounded, "
+                   "reject or shed)\n",
+                   name.c_str());
+      std::exit(2);
+    }
+    cfg.enabled = true;
+    cfg.policy = policy;
+    out.push_back(cfg);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +153,10 @@ int main(int argc, char** argv) {
   parser.I64Value("--cell-timeout-ms", &cell_timeout_ms, 0);
   int max_retries = 0;
   parser.IntValue("--max-retries", &max_retries, 0);
+  std::string admission_spec;
+  parser.StrValue("--admission", &admission_spec);
+  double storm_scale = 1.0;
+  parser.DoubleValue("--storm-scale", &storm_scale);
   const auto positional = parser.Finish(2);
 
   int n_seeds = 20;
@@ -126,6 +178,18 @@ int main(int argc, char** argv) {
   cfg.seeds.clear();
   for (int s = 1; s <= n_seeds; ++s) cfg.seeds.push_back(s);
   cfg.plans = SelectPlans(plan_spec);
+  if (storm_scale != 1.0) {
+    if (storm_scale <= 0.0) parser.Fail("--storm-scale must be > 0");
+    for (auto& plan : cfg.plans) {
+      for (auto& action : plan.actions) {
+        if (!IsStormKind(action.kind)) continue;
+        action.count = std::max(
+            1, static_cast<int>(static_cast<double>(action.count) *
+                                storm_scale));
+      }
+    }
+  }
+  if (!admission_spec.empty()) cfg.admission = SelectAdmission(admission_spec);
   cfg.profiles = {stack::OpI(), stack::OpII()};
   if (robust) {
     cfg.robustness = {.nas_retry = true,
@@ -147,9 +211,13 @@ int main(int argc, char** argv) {
   cfg.cancel = &cancel;
 
   std::printf(
-      "chaos campaign: %zu seed(s) x %zu plan(s) x %zu profile(s)%s [%d "
+      "chaos campaign: %zu seed(s) x %zu plan(s) x %zu profile(s)%s%s [%d "
       "job(s)]\n",
       cfg.seeds.size(), cfg.plans.size(), cfg.profiles.size(),
+      cfg.admission.empty()
+          ? ""
+          : (" x " + std::to_string(cfg.admission.size()) + " admission")
+                .c_str(),
       robust ? " [robust stack]" : " [baseline stack]",
       par::ResolveJobs(jobs));
   for (const auto& plan : cfg.plans) {
@@ -199,7 +267,11 @@ int main(int argc, char** argv) {
       const std::string path =
           metrics_dir + "/run_seed" + std::to_string(run.seed) + "_" +
           obs::SanitizeFilename(run.plan) + "_" +
-          obs::SanitizeFilename(run.profile) + ".metrics.json";
+          obs::SanitizeFilename(run.profile) +
+          (run.admission.empty()
+               ? ""
+               : "_" + obs::SanitizeFilename(run.admission)) +
+          ".metrics.json";
       if (!obs::WriteFile(path, run.telemetry->ToJson())) {
         std::fprintf(stderr, "failed to write %s\n", path.c_str());
         return 1;

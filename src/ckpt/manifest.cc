@@ -1,8 +1,10 @@
 #include "ckpt/manifest.h"
 
+#include <algorithm>
 #include <csignal>
 #include <chrono>
 #include <filesystem>
+#include <limits>
 #include <thread>
 
 #include "util/strings.h"
@@ -49,14 +51,23 @@ RetryOutcome RunWithRetries(const RetryPolicy& policy,
   };
 
   RetryOutcome out;
-  std::int64_t backoff = policy.backoff_initial_ms;
+  // The cap is applied in double precision *before* the int64 cast: with an
+  // aggressive multiplier the uncapped product overflows int64 within a few
+  // dozen retries, and the cast would be undefined behaviour.
+  const double cap = policy.backoff_max_ms > 0
+                         ? static_cast<double>(policy.backoff_max_ms)
+                         : static_cast<double>(
+                               std::numeric_limits<std::int64_t>::max() / 2);
+  std::int64_t backoff =
+      static_cast<std::int64_t>(std::min(
+          static_cast<double>(policy.backoff_initial_ms), cap));
   const int attempts = 1 + (policy.max_retries > 0 ? policy.max_retries : 0);
   for (int i = 0; i < attempts; ++i) {
     if (i > 0) {
       ++out.retries;
       sleep_ms(backoff);
-      backoff = static_cast<std::int64_t>(
-          static_cast<double>(backoff) * policy.backoff_multiplier);
+      backoff = static_cast<std::int64_t>(std::min(
+          static_cast<double>(backoff) * policy.backoff_multiplier, cap));
     }
     const std::int64_t start = now_ms();
     const bool ok = attempt();

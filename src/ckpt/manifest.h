@@ -61,6 +61,10 @@ struct RetryPolicy {
   int max_retries = 0;
   std::int64_t backoff_initial_ms = 100;
   double backoff_multiplier = 2.0;
+  // Ceiling on a single backoff sleep; 0 = uncapped. Keeps a long retry
+  // ladder from doubling into hour-long sleeps (or overflowing the int64
+  // milliseconds under an aggressive multiplier).
+  std::int64_t backoff_max_ms = 60'000;
   // Test seams: a fake millisecond clock (sampled before and after each
   // attempt) and a sleep override so backoff tests don't wait.
   std::function<std::int64_t()> wall_ms_for_test;

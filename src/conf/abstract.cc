@@ -54,6 +54,16 @@ std::string ToString(AbstractKind k) {
       return "location-update-start";
     case AbstractKind::kMmWaitNetCmd:
       return "mm-wait-net-cmd";
+    case AbstractKind::kCongestionReject:
+      return "congestion-reject";
+    case AbstractKind::kCongestionBackoff:
+      return "congestion-backoff";
+    case AbstractKind::kOverloadReject:
+      return "overload-reject";
+    case AbstractKind::kAdversarialRejected:
+      return "adversarial-rejected";
+    case AbstractKind::kStormBegins:
+      return "storm-begins";
   }
   return "?";
 }
@@ -84,6 +94,36 @@ constexpr Rule kRules[] = {
      AbstractKind::kPdpDeactivated},
     {"UE", "user disables mobile data", AbstractKind::kUserDataOff},
     {"UE", "user enables mobile data", AbstractKind::kUserDataOn},
+    // Congestion rejects must precede the generic reject rules: an
+    // "Attach Reject received (cause: congestion)" is a backoff order, not
+    // the S2-style detach trigger the models reason about.
+    {"EMM", "Reject received (cause: congestion", AbstractKind::kCongestionReject},
+    {"MM", "Reject received (cause: congestion", AbstractKind::kCongestionReject},
+    {"GMM", "Reject received (cause: congestion", AbstractKind::kCongestionReject},
+    {"EMM", "T3346 armed", AbstractKind::kCongestionBackoff},
+    {"MM", "T3346 armed", AbstractKind::kCongestionBackoff},
+    {"GMM", "T3346 armed", AbstractKind::kCongestionBackoff},
+    {"SM", "SM backoff armed", AbstractKind::kCongestionBackoff},
+    // Core-side overload and adversarial screening events.
+    {"EMM", "Overload reject:", AbstractKind::kOverloadReject},
+    {"MM", "Overload reject:", AbstractKind::kOverloadReject},
+    {"GMM", "Overload reject:", AbstractKind::kOverloadReject},
+    {"EMM", "Overload shed:", AbstractKind::kOverloadReject},
+    {"MM", "Overload shed:", AbstractKind::kOverloadReject},
+    {"GMM", "Overload shed:", AbstractKind::kOverloadReject},
+    {"EMM", "Rejected malformed", AbstractKind::kAdversarialRejected},
+    {"EMM", "Rejected truncated", AbstractKind::kAdversarialRejected},
+    {"EMM", "Rejected wrong protocol", AbstractKind::kAdversarialRejected},
+    {"MM", "Rejected malformed", AbstractKind::kAdversarialRejected},
+    {"MM", "Rejected truncated", AbstractKind::kAdversarialRejected},
+    {"MM", "Rejected wrong protocol", AbstractKind::kAdversarialRejected},
+    {"GMM", "Rejected malformed", AbstractKind::kAdversarialRejected},
+    {"GMM", "Rejected truncated", AbstractKind::kAdversarialRejected},
+    {"GMM", "Rejected wrong protocol", AbstractKind::kAdversarialRejected},
+    {"EMM", "Dropped replayed", AbstractKind::kAdversarialRejected},
+    {"MM", "Dropped replayed", AbstractKind::kAdversarialRejected},
+    {"GMM", "Dropped replayed", AbstractKind::kAdversarialRejected},
+    {"STORM", "begins", AbstractKind::kStormBegins},
     // Module "EMM" keeps these from matching the 3G "GPRS Attach ..."
     // records, which belong to GMM.
     {"EMM", "Attach Request", AbstractKind::kAttachRequest},

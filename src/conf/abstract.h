@@ -51,6 +51,13 @@ enum class AbstractKind : std::uint8_t {
   kCallEnded,
   kLocationUpdateStart,
   kMmWaitNetCmd,
+  // Overload control (storm campaigns; no model counterpart yet, but the
+  // differential harness keys on them when replaying congestion scenarios).
+  kCongestionReject,    // UE-side reject with cause "congestion"
+  kCongestionBackoff,   // UE arms T3346-class backoff
+  kOverloadReject,      // core turns signalling away (reject or shed)
+  kAdversarialRejected, // core screens out malformed/replayed NAS
+  kStormBegins,         // a storm generator burst starts
 };
 
 std::string ToString(AbstractKind k);

@@ -105,6 +105,30 @@ std::string GenerateS6() {
   return trace::FormatLog(tb.traces().records());
 }
 
+// Overload control: a mass-attach storm saturates the MME's bounded
+// signalling queue under the reject-backoff policy. The device powers on
+// mid-storm, its Attach Request is congestion-rejected with a T3346 grant,
+// and the retry lands after the backlog has drained. A short adversarial
+// burst exercises the screening path (malformed / truncated / mis-typed /
+// replayed NAS) in the same trace.
+std::string GenerateCongestionStorm() {
+  stack::TestbedConfig cfg;
+  cfg.profile = stack::OpI();
+  cfg.seed = kGoldenSeed;
+  cfg.overload.enabled = true;
+  cfg.overload.policy = stack::AdmissionPolicy::kRejectBackoff;
+  cfg.overload.queue_capacity = 4;
+  cfg.overload.service_time = Millis(20);
+  cfg.overload.t3346_backoff = Seconds(5);
+  stack::Testbed tb(cfg);
+  tb.storm().MassAttach(Millis(10), 300, Millis(2));
+  tb.sim().ScheduleAt(Millis(100),
+                      [&tb] { tb.ue().PowerOn(nas::System::k4G); });
+  tb.storm().AdversarialNas(Seconds(1), 7, Millis(50));
+  tb.Run(Seconds(12));
+  return trace::FormatLog(tb.traces().records());
+}
+
 }  // namespace
 
 const std::vector<GoldenScenario>& GoldenScenarios() {
@@ -125,6 +149,10 @@ const std::vector<GoldenScenario>& GoldenScenarios() {
       {"s6_lu_failure_detach_opi",
        "S6: failed post-CSFB location update ends in implicit detach",
        &GenerateS6},
+      {"congestion_attach_storm_opi",
+       "Overload: storm congests the MME; attach congestion-rejected with "
+       "T3346 backoff, retried after the drain",
+       &GenerateCongestionStorm},
   };
   return kScenarios;
 }

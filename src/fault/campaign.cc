@@ -30,6 +30,25 @@ void HarvestMonitorReport(obs::Registry& reg, const MonitorReport& report) {
   for (const auto& f : report.findings) {
     reg.GetCounter("fault.findings." + f.id).Increment();
   }
+  if (report.degradation.active) {
+    const DegradationReport& d = report.degradation;
+    reg.GetCounter("fault.storm.injected").Increment(d.storm_injected);
+    reg.GetCounter("fault.storm.offered").Increment(d.offered);
+    reg.GetCounter("fault.storm.served").Increment(d.served);
+    reg.GetCounter("fault.storm.rejected_congestion")
+        .Increment(d.rejected_congestion);
+    reg.GetCounter("fault.storm.shed").Increment(d.shed);
+    reg.GetCounter("fault.storm.integrity_rejected")
+        .Increment(d.integrity_rejected);
+    reg.GetCounter("fault.storm.replay_dropped").Increment(d.replay_dropped);
+    reg.GetGauge("fault.storm.queue_peak")
+        .Set(static_cast<double>(d.queue_peak));
+    reg.GetGauge("fault.storm.shed_fraction").Set(d.shed_fraction);
+    reg.GetGauge("fault.storm.attach_p99_s").Set(d.attach_p99_s);
+    reg.GetGauge("fault.storm.time_to_drain_s")
+        .Set(d.drained ? ToSeconds(d.time_to_drain) : -1.0);
+    reg.GetGauge("fault.storm.within_slo").Set(d.within_slo() ? 1 : 0);
+  }
 }
 
 }  // namespace
@@ -52,13 +71,21 @@ void CampaignRunner::ScheduleWorkload(stack::Testbed& tb) {
   sim.ScheduleAt(Seconds(480), [&ue] { ue.HangUp(); });
 }
 
+std::string CampaignRunner::AdmissionLabel(
+    const stack::OverloadConfig& overload) {
+  if (!overload.enabled) return "";
+  return ToString(overload.policy);
+}
+
 RunOutcome CampaignRunner::RunOne(
     std::uint64_t seed, const FaultPlan& plan,
-    const stack::CarrierProfile& profile) const {
+    const stack::CarrierProfile& profile,
+    const stack::OverloadConfig& overload) const {
   stack::TestbedConfig cfg;
   cfg.profile = profile;
   cfg.solutions = config_.solutions;
   cfg.robustness = config_.robustness;
+  cfg.overload = overload;
   cfg.seed = seed;
   stack::Testbed tb(cfg);
 
@@ -82,6 +109,7 @@ RunOutcome CampaignRunner::RunOne(
   out.seed = seed;
   out.plan = plan.name;
   out.profile = profile.name;
+  out.admission = AdmissionLabel(overload);
   out.report = monitor.Finalize();
   out.faults_injected = injector.injected();
   if (keep_traces_) out.trace_log = trace::FormatLog(tb.traces().records());
@@ -91,6 +119,9 @@ RunOutcome CampaignRunner::RunOne(
     report.meta = {{"seed", std::to_string(seed)},
                    {"plan", plan.name},
                    {"profile", profile.name}};
+    if (!out.admission.empty()) {
+      report.meta.emplace_back("admission", out.admission);
+    }
     report.snapshots = snapshots->snapshots();
     report.spans = obs::StitchSpans(tb.traces().records());
 
@@ -111,6 +142,12 @@ std::vector<stack::CarrierProfile> CampaignRunner::ResolvedProfiles() const {
   return profiles;
 }
 
+std::vector<stack::OverloadConfig> CampaignRunner::ResolvedAdmission() const {
+  std::vector<stack::OverloadConfig> admission = config_.admission;
+  if (admission.empty()) admission.push_back(stack::OverloadConfig{});
+  return admission;
+}
+
 std::uint64_t CampaignRunner::ConfigDigest() const {
   ckpt::DigestBuilder d;
   d.Add(std::string_view("fault-campaign"));
@@ -128,27 +165,51 @@ std::uint64_t CampaignRunner::ConfigDigest() const {
   d.Add(config_.slo.ps_recovery);
   d.Add(config_.slo.cs_recovery);
   d.Add(keep_traces_);
+  // The admission dimension only perturbs the digest when it is actually
+  // swept, so checkpoints from admission-free campaigns stay compatible.
+  const auto admission = ResolvedAdmission();
+  const bool default_admission =
+      admission.size() == 1 && !admission.front().enabled;
+  if (!default_admission) {
+    d.Add(std::string_view("admission"));
+    d.Add(static_cast<std::uint64_t>(admission.size()));
+    for (const auto& a : admission) {
+      d.Add(a.enabled);
+      d.Add(static_cast<std::uint64_t>(a.policy));
+      d.Add(static_cast<std::uint64_t>(a.queue_capacity));
+      d.Add(a.service_time);
+      d.Add(a.t3346_backoff);
+    }
+    d.Add(config_.slo.storm_attach_p99);
+    d.Add(config_.slo.storm_max_shed_fraction);
+    d.Add(config_.slo.storm_drain_bound);
+  }
   return d.Finish();
 }
 
 CampaignResult CampaignRunner::Run() const {
   CampaignResult result;
   const std::vector<stack::CarrierProfile> profiles = ResolvedProfiles();
+  const std::vector<stack::OverloadConfig> admission = ResolvedAdmission();
 
-  // Enumerate the sweep up front so runs can execute on any worker while the
-  // results vector keeps the serial profile -> plan -> seed ordering.
+  // Enumerate the sweep up front so runs can execute on any worker while
+  // the results vector keeps the serial profile -> plan -> admission ->
+  // seed ordering.
   struct Triple {
     const stack::CarrierProfile* profile;
     const FaultPlan* plan;
+    const stack::OverloadConfig* overload;
     std::uint64_t seed;
   };
   std::vector<Triple> triples;
   triples.reserve(profiles.size() * config_.plans.size() *
-                  config_.seeds.size());
+                  admission.size() * config_.seeds.size());
   for (const auto& profile : profiles) {
     for (const auto& plan : config_.plans) {
-      for (const std::uint64_t seed : config_.seeds) {
-        triples.push_back({&profile, &plan, seed});
+      for (const auto& adm : admission) {
+        for (const std::uint64_t seed : config_.seeds) {
+          triples.push_back({&profile, &plan, &adm, seed});
+        }
       }
     }
   }
@@ -208,7 +269,7 @@ CampaignResult CampaignRunner::Run() const {
         RunOutcome out;
         const ckpt::RetryOutcome attempt =
             ckpt::RunWithRetries(config_.retry, [&] {
-              out = RunOne(t.seed, *t.plan, *t.profile);
+              out = RunOne(t.seed, *t.plan, *t.profile, *t.overload);
               return true;
             });
         result.runs[i] = std::move(out);
@@ -245,9 +306,15 @@ std::string CampaignResult::Summary() const {
       "%zu run(s): %zu within SLO, %zu with findings\n", runs.size(),
       runs_within_slo, runs_with_findings);
   for (const auto& r : runs) {
-    out += Format("  seed=%llu plan=%s profile=%s faults=%zu -> %s",
+    out += Format("  seed=%llu plan=%s profile=%s faults=%zu",
                   static_cast<unsigned long long>(r.seed), r.plan.c_str(),
-                  r.profile.c_str(), r.faults_injected,
+                  r.profile.c_str(), r.faults_injected);
+    // Admission label only when the run swept one, so legacy summaries are
+    // byte-identical.
+    if (!r.admission.empty()) {
+      out += Format(" admission=%s", r.admission.c_str());
+    }
+    out += Format(" -> %s",
                   r.report.all_within_slo() ? "OK" : "SLO-VIOLATION");
     if (!r.report.findings.empty()) {
       out += " [";
@@ -264,6 +331,20 @@ std::string CampaignResult::Summary() const {
                     p.name.c_str(), p.outages, ToSeconds(p.longest_outage),
                     ToSeconds(p.total_outage),
                     p.within_slo() ? "recovered-within-SLO" : "VIOLATION");
+    }
+    if (r.report.degradation.active) {
+      const DegradationReport& d = r.report.degradation;
+      out += Format(
+          "    %-16s injected=%llu offered=%llu rejected=%llu shed=%llu "
+          "(%.2f) queue-peak=%zu attach-p99=%.2fs drain=%s %s\n", "storm",
+          static_cast<unsigned long long>(d.storm_injected),
+          static_cast<unsigned long long>(d.offered),
+          static_cast<unsigned long long>(d.rejected_congestion),
+          static_cast<unsigned long long>(d.shed), d.shed_fraction,
+          d.queue_peak, d.attach_p99_s,
+          d.drained ? Format("%.1fs", ToSeconds(d.time_to_drain)).c_str()
+                    : "never",
+          d.within_slo() ? "degraded-within-SLO" : "VIOLATION");
     }
   }
   return out;

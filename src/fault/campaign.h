@@ -30,6 +30,11 @@ struct CampaignConfig {
   std::vector<std::uint64_t> seeds = {1, 2, 3};
   std::vector<FaultPlan> plans = plans::Findings();
   std::vector<stack::CarrierProfile> profiles;  // empty -> {OpI()}
+  // Admission-policy sweep dimension: each entry is one core overload
+  // configuration crossed with profiles x plans x seeds. Empty -> one
+  // default-constructed (disabled) entry, which keeps legacy campaigns —
+  // ordering, summaries, digests — byte-identical.
+  std::vector<stack::OverloadConfig> admission;
   stack::SolutionConfig solutions;
   stack::RobustnessConfig robustness;
   SloBounds slo;
@@ -66,6 +71,9 @@ struct RunOutcome {
   std::uint64_t seed = 0;
   std::string plan;
   std::string profile;
+  // Admission-policy label for the run ("" = legacy disabled core, else
+  // "unbounded" / "reject-backoff" / "priority-shed").
+  std::string admission;
   MonitorReport report;
   std::size_t faults_injected = 0;
   // The QXDM-formatted trace of the run; kept only when
@@ -101,8 +109,13 @@ class CampaignRunner {
   CampaignResult Run() const;
 
   // One deterministic run; exposed for tests and the determinism checks.
+  // The overload config defaults to the legacy disabled core.
   RunOutcome RunOne(std::uint64_t seed, const FaultPlan& plan,
-                    const stack::CarrierProfile& profile) const;
+                    const stack::CarrierProfile& profile,
+                    const stack::OverloadConfig& overload = {}) const;
+
+  // Label used for RunOutcome::admission.
+  static std::string AdmissionLabel(const stack::OverloadConfig& overload);
 
   // Digest of the sweep definition (seeds, plans, profiles, duration, SLO,
   // telemetry settings) guarding checkpoint resume; excludes parallelism,
@@ -112,6 +125,7 @@ class CampaignRunner {
  private:
   static void ScheduleWorkload(stack::Testbed& tb);
   std::vector<stack::CarrierProfile> ResolvedProfiles() const;
+  std::vector<stack::OverloadConfig> ResolvedAdmission() const;
 
   CampaignConfig config_;
   bool keep_traces_;

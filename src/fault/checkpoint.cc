@@ -27,6 +27,25 @@ void EncodeMonitorReport(BinaryWriter& w, const MonitorReport& r) {
     w.Str(f.id);
     w.Str(f.detail);
   }
+  const DegradationReport& d = r.degradation;
+  w.U8(d.active ? 1 : 0);
+  w.U64(d.storm_injected);
+  w.U64(d.offered);
+  w.U64(d.served);
+  w.U64(d.rejected_congestion);
+  w.U64(d.shed);
+  w.U64(d.integrity_rejected);
+  w.U64(d.replay_dropped);
+  w.U64(d.queue_peak);
+  w.F64(d.shed_fraction);
+  w.F64(d.attach_p99_s);
+  w.U64(d.ue_congestion_rejects);
+  w.U64(d.ue_congestion_backoffs);
+  w.U8(d.drained ? 1 : 0);
+  w.I64(d.time_to_drain);
+  w.I64(d.attach_p99_slo);
+  w.F64(d.shed_fraction_slo);
+  w.I64(d.drain_slo);
 }
 
 bool DecodeMonitorReport(BinaryReader& r, MonitorReport* out) {
@@ -53,6 +72,25 @@ bool DecodeMonitorReport(BinaryReader& r, MonitorReport* out) {
     f.detail = r.Str();
     out->findings.push_back(std::move(f));
   }
+  DegradationReport& d = out->degradation;
+  d.active = r.U8() != 0;
+  d.storm_injected = r.U64();
+  d.offered = r.U64();
+  d.served = r.U64();
+  d.rejected_congestion = r.U64();
+  d.shed = r.U64();
+  d.integrity_rejected = r.U64();
+  d.replay_dropped = r.U64();
+  d.queue_peak = static_cast<std::size_t>(r.U64());
+  d.shed_fraction = r.F64();
+  d.attach_p99_s = r.F64();
+  d.ue_congestion_rejects = r.U64();
+  d.ue_congestion_backoffs = r.U64();
+  d.drained = r.U8() != 0;
+  d.time_to_drain = r.I64();
+  d.attach_p99_slo = r.I64();
+  d.shed_fraction_slo = r.F64();
+  d.drain_slo = r.I64();
   return r.ok();
 }
 
@@ -115,6 +153,7 @@ std::string EncodeRunOutcome(const RunOutcome& out) {
   w.U64(out.seed);
   w.Str(out.plan);
   w.Str(out.profile);
+  w.Str(out.admission);
   EncodeMonitorReport(w, out.report);
   w.U64(out.faults_injected);
   w.Str(out.trace_log);
@@ -129,6 +168,7 @@ bool DecodeRunOutcome(std::string_view payload, RunOutcome* out) {
   o.seed = r.U64();
   o.plan = r.Str();
   o.profile = r.Str();
+  o.admission = r.Str();
   if (!DecodeMonitorReport(r, &o.report)) return false;
   o.faults_injected = static_cast<std::size_t>(r.U64());
   o.trace_log = r.Str();

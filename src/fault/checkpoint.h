@@ -11,7 +11,7 @@
 
 namespace cnv::fault {
 
-inline constexpr std::uint32_t kRunOutcomeVersion = 1;
+inline constexpr std::uint32_t kRunOutcomeVersion = 2;
 
 std::string EncodeRunOutcome(const RunOutcome& out);
 

@@ -117,6 +117,26 @@ void FaultInjector::Execute(const FaultAction& a) {
     case FaultKind::kTimerSkew:
       tb_.ue().set_timer_scale(a.value);
       break;
+    case FaultKind::kStormMassAttach:
+      tb_.storm().MassAttach(tb_.sim().now(),
+                             static_cast<std::size_t>(a.count),
+                             FromSeconds(a.value));
+      break;
+    case FaultKind::kStormTaPingPong:
+      tb_.storm().TaPingPong(tb_.sim().now(),
+                             static_cast<std::size_t>(a.count),
+                             FromSeconds(a.value));
+      break;
+    case FaultKind::kStormPagingFlood:
+      tb_.storm().PagingFlood(tb_.sim().now(),
+                              static_cast<std::size_t>(a.count),
+                              FromSeconds(a.value));
+      break;
+    case FaultKind::kStormAdversarialNas:
+      tb_.storm().AdversarialNas(tb_.sim().now(),
+                                 static_cast<std::size_t>(a.count),
+                                 FromSeconds(a.value));
+      break;
   }
 }
 

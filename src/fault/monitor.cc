@@ -1,5 +1,7 @@
 #include "fault/monitor.h"
 
+#include <algorithm>
+
 #include "util/strings.h"
 
 namespace cnv::fault {
@@ -114,6 +116,51 @@ void RecoveryMonitor::Start() {
   tb_.sim().ScheduleIn(period_, [this] { Sample(); });
 }
 
+DegradationReport RecoveryMonitor::ProbeDegradation(stack::Testbed& tb,
+                                                    const SloBounds& slo) {
+  DegradationReport d;
+  d.active = tb.storm().injected() > 0;
+  d.storm_injected = tb.storm().injected();
+  for (const stack::OverloadStats* s :
+       {&tb.mme().overload_stats(), &tb.msc().overload_stats(),
+        &tb.sgsn().overload_stats()}) {
+    d.offered += s->offered();
+    d.served += s->admitted + s->background_served;
+    d.rejected_congestion += s->rejected_congestion;
+    d.shed += s->shed;
+    d.integrity_rejected += s->integrity_rejected;
+    d.replay_dropped += s->replay_dropped;
+    d.queue_peak = std::max(d.queue_peak, s->queue_peak);
+  }
+  if (d.offered > 0) {
+    d.shed_fraction =
+        static_cast<double>(d.rejected_congestion + d.shed) /
+        static_cast<double>(d.offered);
+  }
+  const auto& attach = tb.ue().attach_latency_seconds();
+  d.attach_p99_s = attach.Empty() ? 0.0 : attach.Percentile(99.0);
+  d.ue_congestion_rejects = tb.ue().congestion_rejects();
+  d.ue_congestion_backoffs = tb.ue().congestion_backoffs();
+  // Time to drain: how long past the storm's final injection each element
+  // kept a backlog. DrainedAfter finds the first instant the queue emptied
+  // at or after the storm end, so later foreground bursts don't inflate it.
+  const SimTime storm_end = tb.storm().last_injection_at();
+  const SimTime drains[] = {tb.mme().DrainedAfter(storm_end),
+                            tb.msc().DrainedAfter(storm_end),
+                            tb.sgsn().DrainedAfter(storm_end)};
+  d.drained = true;
+  SimTime last_drain = storm_end;
+  for (const SimTime at : drains) {
+    if (at < 0) d.drained = false;
+    last_drain = std::max(last_drain, at);
+  }
+  if (d.drained) d.time_to_drain = last_drain - storm_end;
+  d.attach_p99_slo = slo.storm_attach_p99;
+  d.shed_fraction_slo = slo.storm_max_shed_fraction;
+  d.drain_slo = slo.storm_drain_bound;
+  return d;
+}
+
 MonitorReport RecoveryMonitor::Finalize() {
   running_ = false;
   MonitorReport report;
@@ -141,6 +188,21 @@ MonitorReport RecoveryMonitor::Finalize() {
     report.properties.push_back(std::move(p));
   }
   report.findings = ProbeFindings(tb_);
+  report.degradation = ProbeDegradation(tb_, slo_);
+  if (report.degradation.active) {
+    const DegradationReport& d = report.degradation;
+    tb_.traces().Recovery(
+        nas::System::kNone, "MONITOR",
+        Format("storm degradation: offered=%llu served=%llu rejected=%llu "
+               "shed=%llu (%.2f) attach-p99=%.2fs drain=%.1fs -> %s",
+               static_cast<unsigned long long>(d.offered),
+               static_cast<unsigned long long>(d.served),
+               static_cast<unsigned long long>(d.rejected_congestion),
+               static_cast<unsigned long long>(d.shed), d.shed_fraction,
+               d.attach_p99_s,
+               d.drained ? ToSeconds(d.time_to_drain) : -1.0,
+               d.within_slo() ? "within SLO" : "SLO-VIOLATION"));
+  }
   return report;
 }
 

@@ -32,6 +32,14 @@ std::string ToString(FaultKind k) {
       return "force-sgs-race";
     case FaultKind::kTimerSkew:
       return "timer-skew";
+    case FaultKind::kStormMassAttach:
+      return "storm-mass-attach";
+    case FaultKind::kStormTaPingPong:
+      return "storm-ta-ping-pong";
+    case FaultKind::kStormPagingFlood:
+      return "storm-paging-flood";
+    case FaultKind::kStormAdversarialNas:
+      return "storm-adversarial-nas";
   }
   return "?";
 }
@@ -85,6 +93,13 @@ std::string Describe(const FaultAction& a) {
       return Format("%s of %s (%s)", ToString(a.kind).c_str(),
                     ToString(a.target).c_str(),
                     a.lose_state ? "state lost" : "state kept");
+    case FaultKind::kStormMassAttach:
+    case FaultKind::kStormTaPingPong:
+    case FaultKind::kStormPagingFlood:
+    case FaultKind::kStormAdversarialNas:
+      return Format("%s at %s (n=%d, spacing=%.3f s)",
+                    ToString(a.kind).c_str(), ToString(a.target).c_str(),
+                    a.count, a.value);
     default:
       return ToString(a.kind) + " on " + ToString(a.target);
   }
@@ -170,6 +185,85 @@ FaultPlan S6LuFailurePropagation() {
                   {.at = Seconds(245),
                    .kind = FaultKind::kForceSgsRace,
                    .target = FaultTarget::kMme}},
+  };
+}
+
+FaultPlan MassAttachStorm() {
+  return {
+      .name = "mass-attach-storm",
+      .description = "30k background attach requests hit the MME at 500/s "
+                     "from 200 s; the 240 s area-crossing TAU lands mid-"
+                     "storm",
+      .actions = {{.at = Seconds(200),
+                   .kind = FaultKind::kStormMassAttach,
+                   .target = FaultTarget::kMme,
+                   .count = 30'000,
+                   .value = 0.002}},
+  };
+}
+
+FaultPlan TaPingPongStorm() {
+  return {
+      .name = "ta-ping-pong-storm",
+      .description = "border devices bounce 12k TAUs between two tracking "
+                     "areas at 400/s from 220 s, overlapping the 240 s "
+                     "crossing",
+      .actions = {{.at = Seconds(220),
+                   .kind = FaultKind::kStormTaPingPong,
+                   .target = FaultTarget::kMme,
+                   .count = 12'000,
+                   .value = 0.0025}},
+  };
+}
+
+FaultPlan PagingFloodStorm() {
+  return {
+      .name = "paging-flood-storm",
+      .description = "10k paging responses flood the MSC at 250/s from "
+                     "100 s, across the 120 s CSFB dial",
+      .actions = {{.at = Seconds(100),
+                   .kind = FaultKind::kStormPagingFlood,
+                   .target = FaultTarget::kMsc,
+                   .count = 10'000,
+                   .value = 0.004}},
+  };
+}
+
+FaultPlan AdversarialNasStorm() {
+  return {
+      .name = "adversarial-nas-storm",
+      .description = "2k malformed / truncated / mis-typed / replayed NAS "
+                     "messages at 100/s from 50 s; every one must be "
+                     "screened out with the right cause and no FSM damage",
+      .actions = {{.at = Seconds(50),
+                   .kind = FaultKind::kStormAdversarialNas,
+                   .target = FaultTarget::kMme,
+                   .count = 2'000,
+                   .value = 0.010}},
+  };
+}
+
+FaultPlan SignallingStormMix() {
+  return {
+      .name = "signalling-storm-mix",
+      .description = "adversarial NAS from 50 s, a paging flood from "
+                     "100 s and an attach flood from 200 s, overlapping "
+                     "the workload's calls and crossings",
+      .actions = {{.at = Seconds(50),
+                   .kind = FaultKind::kStormAdversarialNas,
+                   .target = FaultTarget::kMme,
+                   .count = 1'000,
+                   .value = 0.020},
+                  {.at = Seconds(100),
+                   .kind = FaultKind::kStormPagingFlood,
+                   .target = FaultTarget::kMsc,
+                   .count = 5'000,
+                   .value = 0.004},
+                  {.at = Seconds(200),
+                   .kind = FaultKind::kStormMassAttach,
+                   .target = FaultTarget::kMme,
+                   .count = 15'000,
+                   .value = 0.003}},
   };
 }
 
@@ -315,6 +409,11 @@ std::vector<FaultPlan> Findings() {
           S5SharedChannelDrop(),    S6LuFailurePropagation()};
 }
 
+std::vector<FaultPlan> Storms() {
+  return {MassAttachStorm(), TaPingPongStorm(), PagingFloodStorm(),
+          AdversarialNasStorm(), SignallingStormMix()};
+}
+
 std::vector<FaultPlan> All() {
   std::vector<FaultPlan> out = Findings();
   out.push_back(MmeCrashRestart());
@@ -325,6 +424,7 @@ std::vector<FaultPlan> All() {
   out.push_back(BackhaulDegradation());
   out.push_back(TimerSkew());
   out.push_back(AttachInterference());
+  for (FaultPlan& p : Storms()) out.push_back(std::move(p));
   return out;
 }
 

@@ -35,6 +35,14 @@ enum class FaultKind : std::uint8_t {
   kForceSgsRace,    // MME's next SGs update hits the §6.3 race (S6)
   // Device faults.
   kTimerSkew,  // scale the UE's NAS guard timers by `value`
+  // Signalling storms (the testbed's StormGenerator). `count` messages are
+  // injected at `value`-second spacing starting when the action fires; the
+  // target names the element the storm is aimed at (trace attribution —
+  // the generator routes messages itself).
+  kStormMassAttach,      // background attach flood at the MME
+  kStormTaPingPong,      // border devices bouncing TAU between two TAs
+  kStormPagingFlood,     // paging-response flood at the MSC
+  kStormAdversarialNas,  // malformed/truncated/replayed/mis-typed NAS
 };
 
 enum class FaultTarget : std::uint8_t {
@@ -84,6 +92,18 @@ FaultPlan S4MmHolBlocking();         // slow LU window overlapping a dial
 FaultPlan S5SharedChannelDrop();     // control: voice+data on the 3G channel
 FaultPlan S6LuFailurePropagation();  // disrupted 3G LU hits 4G service
 
+// Signalling-storm plans. Counts and windows are sized against the
+// standard workload so the 240 s area-crossing TAU (and the 250 s call)
+// land mid-storm: with admission control off the backlog head-of-line
+// blocks the real device and takes minutes to drain; with reject/shed
+// policies the device is told to back off and the queue drains in bounded
+// time.
+FaultPlan MassAttachStorm();      // sustained attach flood over 200-260 s
+FaultPlan TaPingPongStorm();      // TAU ping-pong burst over 220-260 s
+FaultPlan PagingFloodStorm();     // MSC paging flood across the 120 s call
+FaultPlan AdversarialNasStorm();  // malformed-NAS barrage from 50 s
+FaultPlan SignallingStormMix();   // all of the above, overlapping
+
 FaultPlan MmeCrashRestart();     // MME outage + lossy restart
 FaultPlan MscOutage();           // MSC down across a call attempt
 FaultPlan SgsnFlap();            // short SGSN flap with state loss
@@ -97,6 +117,8 @@ FaultPlan AttachInterference();  // drop+duplicate+corrupt attach signaling
 std::vector<FaultPlan> All();
 // The S1-S6 reproduction set only.
 std::vector<FaultPlan> Findings();
+// The signalling-storm set only (for overload-control sweeps).
+std::vector<FaultPlan> Storms();
 
 }  // namespace plans
 }  // namespace cnv::fault

@@ -40,6 +40,8 @@ std::string ToString(EmmCause c) {
       return "congestion";
     case EmmCause::kNetworkFailure:
       return "network failure";
+    case EmmCause::kSemanticallyIncorrect:
+      return "semantically incorrect message";
   }
   return "?";
 }
@@ -58,6 +60,8 @@ std::string ToString(MmCause c) {
       return "MSC temporarily not reachable";
     case MmCause::kUpdateDisrupted:
       return "location update disrupted";
+    case MmCause::kSemanticallyIncorrect:
+      return "semantically incorrect message";
   }
   return "?";
 }

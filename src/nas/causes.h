@@ -21,6 +21,7 @@ enum class EmmCause : std::uint8_t {
   kTrackingAreaNotAllowed,
   kCongestion,
   kNetworkFailure,
+  kSemanticallyIncorrect,  // malformed / truncated NAS rejected by the core
 };
 
 // MM (3G CS mobility management, TS 24.008) causes.
@@ -31,6 +32,7 @@ enum class MmCause : std::uint8_t {
   kCongestion,
   kMscTemporarilyNotReachable,
   kUpdateDisrupted,  // first CSFB LU cut short by the switch back to 4G
+  kSemanticallyIncorrect,  // malformed / truncated NAS rejected by the core
 };
 
 // PDP context deactivation causes (Table 3) with their originator.

@@ -84,6 +84,8 @@ std::string ToString(MsgKind k) {
       return "GPRS Attach Request";
     case MsgKind::kGprsAttachAccept:
       return "GPRS Attach Accept";
+    case MsgKind::kGprsAttachReject:
+      return "GPRS Attach Reject";
     case MsgKind::kRauRequest:
       return "Routing Area Update Request";
     case MsgKind::kRauAccept:
@@ -130,6 +132,20 @@ std::string ToString(MsgKind k) {
       return "HSS Update Location";
     case MsgKind::kHssUpdateLocationAck:
       return "HSS Update Location Ack";
+  }
+  return "?";
+}
+
+std::string ToString(MsgIntegrity i) {
+  switch (i) {
+    case MsgIntegrity::kOk:
+      return "ok";
+    case MsgIntegrity::kMalformed:
+      return "malformed";
+    case MsgIntegrity::kTruncated:
+      return "truncated";
+    case MsgIntegrity::kWrongProtocol:
+      return "wrong protocol";
   }
   return "?";
 }

@@ -10,6 +10,7 @@
 #include "nas/causes.h"
 #include "nas/context.h"
 #include "nas/ids.h"
+#include "util/time.h"
 
 namespace cnv::nas {
 
@@ -65,6 +66,7 @@ enum class MsgKind : std::uint8_t {
   // --- 3G GMM (PS domain)
   kGprsAttachRequest,
   kGprsAttachAccept,
+  kGprsAttachReject,
   kRauRequest,
   kRauAccept,
   kRauReject,
@@ -98,6 +100,18 @@ enum class MsgKind : std::uint8_t {
 
 std::string ToString(MsgKind k);
 
+// Wire-level integrity of a message as seen by the receiver. Normal traffic
+// is kOk; adversarial-UE storm generators inject the other values and the
+// core must reject them without state corruption (correct cause, no crash).
+enum class MsgIntegrity : std::uint8_t {
+  kOk = 0,
+  kMalformed,      // semantically incorrect contents (bit flips)
+  kTruncated,      // mandatory IEs missing
+  kWrongProtocol,  // protocol discriminator does not match the kind
+};
+
+std::string ToString(MsgIntegrity i);
+
 // One control-plane message. Unused fields stay default-initialized; this is
 // a modeling simplification (P.11: keep the mess in one place) that avoids a
 // 40-type variant while staying cheap to copy.
@@ -129,8 +143,21 @@ struct Message {
   std::uint32_t seq = 0;
   bool is_shim_ack = false;
 
-  // Monotone id for duplicate detection in experiments.
+  // Monotone id for duplicate detection in experiments. Normal stack traffic
+  // leaves it 0; storm generators stamp it so replayed duplicates are
+  // detectable by the core's replay cache.
   std::uint64_t uid = 0;
+
+  // Wire integrity (adversarial-UE injection); kOk for all normal traffic.
+  MsgIntegrity integrity = MsgIntegrity::kOk;
+
+  // Synthetic background load from a storm generator: occupies core
+  // signalling capacity but expects no reply delivered over a link.
+  bool synthetic = false;
+
+  // T3346-style backoff the network grants with a congestion reject
+  // (zero = none). The UE must not retry the procedure before it expires.
+  SimDuration backoff{0};
 
   std::string Describe() const;
 };

@@ -23,6 +23,11 @@ inline constexpr SimDuration kT3380PdpGuard = Seconds(30);
 // exponential backoff (capped at kNasBackoffCap per cycle).
 inline constexpr int kMaxNasQuickRetries = 3;
 inline constexpr SimDuration kNasBackoffCap = Seconds(120);
+// Congestion-control backoff (T3346, TS 24.301 §5.3.5 / TS 24.008 §4.1.1.7):
+// after a reject with cause "congestion" the UE must not retry mobility
+// management procedures until this timer expires. Networks may override the
+// value per reject (Message::backoff); this is the default grant.
+inline constexpr SimDuration kT3346CongestionBackoff = Seconds(20);
 // Periodic updates. The spec default for T3212 is carrier-configured
 // (tens of minutes); experiments override these per scenario.
 inline constexpr SimDuration kT3212PeriodicLu = Minutes(30);

@@ -79,6 +79,37 @@ void HarvestTestbed(Registry& reg, stack::Testbed& tb) {
   HarvestSamples(reg, "stack.stuck_in_3g.duration_s",
                  ue.stuck_in_3g_seconds());
   HarvestSamples(reg, "stack.call.duration_s", ue.call_durations_seconds());
+
+  // Overload-control view: per-element admission counters, the UE's
+  // congestion-backoff discipline, and the storm generator's load.
+  reg.GetCounter("stack.congestion.rejects_seen")
+      .Increment(ue.congestion_rejects());
+  reg.GetCounter("stack.congestion.backoffs")
+      .Increment(ue.congestion_backoffs());
+  HarvestSamples(reg, "stack.attach.latency_s", ue.attach_latency_seconds());
+  reg.GetCounter("stack.storm.injected").Increment(tb.storm().injected());
+  const struct {
+    const char* name;
+    const stack::OverloadStats& s;
+  } elements[] = {{"mme", tb.mme().overload_stats()},
+                  {"msc", tb.msc().overload_stats()},
+                  {"sgsn", tb.sgsn().overload_stats()},
+                  {"hss", tb.hss().overload_stats()}};
+  for (const auto& e : elements) {
+    const std::string prefix = std::string("stack.overload.") + e.name;
+    reg.GetCounter(prefix + ".admitted").Increment(e.s.admitted);
+    reg.GetCounter(prefix + ".rejected_congestion")
+        .Increment(e.s.rejected_congestion);
+    reg.GetCounter(prefix + ".shed").Increment(e.s.shed);
+    reg.GetCounter(prefix + ".background_served")
+        .Increment(e.s.background_served);
+    reg.GetCounter(prefix + ".integrity_rejected")
+        .Increment(e.s.integrity_rejected);
+    reg.GetCounter(prefix + ".replay_dropped")
+        .Increment(e.s.replay_dropped);
+    reg.GetGauge(prefix + ".queue_peak")
+        .Set(static_cast<double>(e.s.queue_peak));
+  }
 }
 
 void HarvestExploreStats(Registry& reg, const mck::ExploreStats& stats,

@@ -2,11 +2,32 @@
 
 namespace cnv::stack {
 
+bool Hss::AdmitOp() {
+  if (!overload_.enabled) {
+    ++stats_.admitted;
+    return true;
+  }
+  if (sim_.now() >= window_start_ + overload_.service_time) {
+    window_start_ = sim_.now();
+    ops_in_window_ = 0;
+  }
+  if (overload_.policy != AdmissionPolicy::kUnbounded &&
+      ops_in_window_ >= overload_.queue_capacity) {
+    ++stats_.shed;
+    return false;
+  }
+  ++ops_in_window_;
+  if (ops_in_window_ > stats_.queue_peak) stats_.queue_peak = ops_in_window_;
+  ++stats_.admitted;
+  return true;
+}
+
 void Hss::UpdateLocation(nas::Imsi imsi, nas::System system) {
   if (!available_) {
     if (queue_while_down_) pending_.push_back({imsi, system, false});
     return;
   }
+  if (!AdmitOp()) return;
   ++updates_;
   auto& loc = locations_[imsi.value];
   if (loc.system == nas::System::kNone && system != nas::System::kNone) {
@@ -21,6 +42,7 @@ void Hss::PurgeLocation(nas::Imsi imsi) {
     if (queue_while_down_) pending_.push_back({imsi, nas::System::kNone, true});
     return;
   }
+  if (!AdmitOp()) return;
   ++updates_;
   auto& loc = locations_[imsi.value];
   if (loc.system != nas::System::kNone) {

@@ -13,6 +13,7 @@
 
 #include "nas/ids.h"
 #include "sim/simulator.h"
+#include "stack/overload.h"
 #include "util/time.h"
 
 namespace cnv::stack {
@@ -58,7 +59,16 @@ class Hss {
 
   std::uint64_t updates_processed() const { return updates_; }
 
+  // Overload control: the HSS is op-based (location updates/purges), so its
+  // bounded "queue" is an op budget of `queue_capacity` per `service_time`
+  // window; over-budget ops are shed. Disabled = unlimited (legacy).
+  void ConfigureOverload(const OverloadConfig& cfg) { overload_ = cfg; }
+  const OverloadStats& overload_stats() const { return stats_; }
+
  private:
+  // Charges one location op against the overload budget; false = shed.
+  bool AdmitOp();
+
   struct LocationState {
     nas::System system = nas::System::kNone;
     SimTime since = 0;
@@ -78,6 +88,10 @@ class Hss {
   bool available_ = true;
   bool queue_while_down_ = false;
   std::vector<PendingOp> pending_;
+  OverloadConfig overload_;
+  OverloadStats stats_;
+  SimTime window_start_ = 0;
+  std::size_t ops_in_window_ = 0;
 };
 
 }  // namespace cnv::stack

@@ -16,6 +16,10 @@ constexpr SimDuration kCoreProcessing = Millis(50);
 
 // --------------------------------------------------------- CoreElement ---
 
+CoreElement::CoreElement(sim::Simulator& sim, nas::System system,
+                         std::string module)
+    : sim_(sim), system_(system), module_(std::move(module)) {}
+
 bool CoreElement::Admit(const nas::Message& m) {
   if (available_) return true;
   if (queue_while_down_) {
@@ -33,13 +37,179 @@ void CoreElement::Restart(bool lose_state) {
   // survive even a lossy restart and replay in arrival order.
   std::vector<nas::Message> pending = std::move(pending_);
   pending_.clear();
-  for (const auto& m : pending) Replay(m);
+  for (const auto& m : pending) OnUplink(m);
+  // Signalling that was already in the service queue resumes draining.
+  EnsureDraining();
+}
+
+void CoreElement::TraceEvent(const std::string& description) {
+  if (trace_ != nullptr) trace_->Event(system_, module_, description);
+}
+
+bool CoreElement::Screen(const nas::Message& m) {
+  if (m.integrity != nas::MsgIntegrity::kOk) {
+    // Adversarial NAS: refuse without touching any FSM state. TS 24.301
+    // §7.x / TS 24.008 §8: semantically incorrect messages are rejected
+    // with cause "semantically incorrect message".
+    ++stats_.integrity_rejected;
+    if (!m.synthetic) {
+      TraceEvent("Rejected " + ToString(m.integrity) + " " +
+                 ToString(m.kind) +
+                 " (cause: semantically incorrect message)");
+    }
+    return false;
+  }
+  if (m.uid != 0) {
+    // Replay cache: normal stack traffic never stamps uids, so only
+    // adversarial duplicates can hit this path.
+    if (!seen_uids_.insert(m.uid).second) {
+      ++stats_.replay_dropped;
+      if (!m.synthetic) {
+        TraceEvent("Dropped replayed " + ToString(m.kind) +
+                   " (duplicate uid)");
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void CoreElement::OnUplink(const nas::Message& m) {
+  if (!Admit(m)) return;
+  if (!Screen(m)) return;
+  if (!overload_.enabled) {
+    // Legacy zero-queueing core: dispatch immediately. Synthetic storm
+    // load is still "served" (it consumes nothing here — exactly why an
+    // unmodeled core cannot degrade gracefully).
+    if (m.synthetic) {
+      ++stats_.background_served;
+      return;
+    }
+    ++stats_.admitted;
+    Dispatch(m);
+    return;
+  }
+  if (overload_.policy != AdmissionPolicy::kUnbounded &&
+      queue_.size() >= overload_.queue_capacity) {
+    Overflow(m);
+    return;
+  }
+  Enqueue(m);
+}
+
+void CoreElement::Enqueue(const nas::Message& m) {
+  if (queue_.empty()) busy_since_ = sim_.now();
+  queue_.push_back(m);
+  if (queue_.size() > stats_.queue_peak) stats_.queue_peak = queue_.size();
+  EnsureDraining();
+}
+
+SimTime CoreElement::DrainedAfter(SimTime t) const {
+  for (const auto& [start, emptied] : busy_periods_) {
+    if (emptied < t) continue;
+    // The first busy period reaching past t: either it started after t
+    // (the queue was already empty at t) or it emptied the backlog.
+    return start > t ? t : emptied;
+  }
+  if (queue_.empty()) return t;        // empty ever since the last record
+  return busy_since_ > t ? t : -1;     // ongoing backlog spans t: not drained
+}
+
+void CoreElement::Overflow(const nas::Message& m) {
+  if (overload_.policy == AdmissionPolicy::kRejectBackoff) {
+    nas::Message r;
+    if (MakeCongestionReject(m, &r)) {
+      r.backoff = overload_.t3346_backoff;
+      ++stats_.rejected_congestion;
+      if (!m.synthetic) {
+        TraceEvent("Overload reject: " + r.Describe() + " [backoff " +
+                   FormatDuration(r.backoff) + "]");
+        Send(r);
+      }
+    } else {
+      // No reject counterpart for this kind: the overflow is shed.
+      ++stats_.shed;
+      if (!m.synthetic) TraceEvent("Overload shed: " + ToString(m.kind));
+    }
+    return;
+  }
+  // Priority shed: drop the least important message, favouring the newest
+  // among equals, so emergency and paging traffic survives bulk attach
+  // floods deterministically.
+  const MsgPriority incoming = PriorityOf(m.kind);
+  std::size_t victim = queue_.size();  // sentinel: shed the incoming message
+  MsgPriority worst = incoming;
+  for (std::size_t i = queue_.size(); i-- > 0;) {
+    const MsgPriority p = PriorityOf(queue_[i].kind);
+    if (p > worst) {
+      worst = p;
+      victim = i;
+    }
+  }
+  if (victim == queue_.size()) {
+    Shed(m, "");
+    return;
+  }
+  const nas::Message dropped = queue_[victim];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+  Shed(dropped, " (displaced by " + ToString(m.kind) + ")");
+  Enqueue(m);
+}
+
+void CoreElement::Shed(const nas::Message& victim, const std::string& how) {
+  ++stats_.shed;
+  if (victim.synthetic) return;
+  // Real devices get told about the shed when the procedure defines a
+  // reject, so they back off instead of hammering their guard timers.
+  nas::Message r;
+  if (MakeCongestionReject(victim, &r)) {
+    r.backoff = overload_.t3346_backoff;
+    TraceEvent("Overload shed: " + ToString(victim.kind) + how +
+               " [notified, backoff " + FormatDuration(r.backoff) + "]");
+    Send(r);
+  } else {
+    TraceEvent("Overload shed: " + ToString(victim.kind) + how);
+  }
+}
+
+void CoreElement::EnsureDraining() {
+  if (draining_ || queue_.empty() || !available_) return;
+  draining_ = true;
+  sim_.ScheduleIn(overload_.service_time, [this] { DrainOne(); });
+}
+
+void CoreElement::DrainOne() {
+  if (!available_) {
+    // Outage mid-drain: the backlog stays queued; Restart resumes it.
+    draining_ = false;
+    return;
+  }
+  if (queue_.empty()) {
+    draining_ = false;
+    busy_periods_.emplace_back(busy_since_, sim_.now());
+    return;
+  }
+  const nas::Message m = queue_.front();
+  queue_.pop_front();
+  if (m.synthetic) {
+    ++stats_.background_served;
+  } else {
+    ++stats_.admitted;
+    Dispatch(m);
+  }
+  if (queue_.empty()) {
+    draining_ = false;
+    busy_periods_.emplace_back(busy_since_, sim_.now());
+    return;
+  }
+  sim_.ScheduleIn(overload_.service_time, [this] { DrainOne(); });
 }
 
 // ---------------------------------------------------------------- Sgsn ---
 
 Sgsn::Sgsn(sim::Simulator& sim, Rng& rng, const CarrierProfile& profile)
-    : sim_(sim), rng_(rng), profile_(profile) {}
+    : CoreElement(sim, nas::System::k3G, "GMM"), rng_(rng),
+      profile_(profile) {}
 
 void Sgsn::Send(nas::Message m) {
   if (!available()) return;  // reply lost: element went down mid-processing
@@ -52,8 +222,29 @@ void Sgsn::OnStateLoss() {
   pdp_.active = false;
 }
 
-void Sgsn::OnUplink(const nas::Message& m) {
-  if (!Admit(m)) return;
+bool Sgsn::MakeCongestionReject(const nas::Message& m, nas::Message* r) const {
+  switch (m.kind) {
+    case nas::MsgKind::kGprsAttachRequest:
+      r->kind = nas::MsgKind::kGprsAttachReject;
+      r->protocol = nas::Protocol::kGmm;
+      r->mm_cause = nas::MmCause::kCongestion;
+      return true;
+    case nas::MsgKind::kRauRequest:
+      r->kind = nas::MsgKind::kRauReject;
+      r->protocol = nas::Protocol::kGmm;
+      r->mm_cause = nas::MmCause::kCongestion;
+      return true;
+    case nas::MsgKind::kPdpActivateRequest:
+      r->kind = nas::MsgKind::kPdpActivateReject;
+      r->protocol = nas::Protocol::kSm;
+      r->pdp_cause = nas::PdpDeactCause::kInsufficientResources;
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Sgsn::Dispatch(const nas::Message& m) {
   switch (m.kind) {
     case nas::MsgKind::kGprsAttachRequest: {
       registered_ = true;
@@ -127,7 +318,8 @@ void Sgsn::DeactivatePdp(nas::PdpDeactCause cause) {
 // ----------------------------------------------------------------- Msc ---
 
 Msc::Msc(sim::Simulator& sim, Rng& rng, const CarrierProfile& profile)
-    : sim_(sim), rng_(rng), profile_(profile) {}
+    : CoreElement(sim, nas::System::k3G, "MM"), rng_(rng),
+      profile_(profile) {}
 
 void Msc::Send(nas::Message m) {
   if (!available()) return;  // reply lost: element went down mid-processing
@@ -142,8 +334,24 @@ void Msc::OnStateLoss() {
   disrupt_next_lu_ = false;
 }
 
-void Msc::OnUplink(const nas::Message& m) {
-  if (!Admit(m)) return;
+bool Msc::MakeCongestionReject(const nas::Message& m, nas::Message* r) const {
+  switch (m.kind) {
+    case nas::MsgKind::kLocationUpdateRequest:
+      r->kind = nas::MsgKind::kLocationUpdateReject;
+      r->protocol = nas::Protocol::kMm;
+      r->mm_cause = nas::MmCause::kCongestion;
+      return true;
+    case nas::MsgKind::kCmServiceRequest:
+      r->kind = nas::MsgKind::kCmServiceReject;
+      r->protocol = nas::Protocol::kMm;
+      r->mm_cause = nas::MmCause::kCongestion;
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Msc::Dispatch(const nas::Message& m) {
   switch (m.kind) {
     case nas::MsgKind::kLocationUpdateRequest: {
       if (disrupt_next_lu_) {
@@ -251,7 +459,7 @@ nas::MmCause Msc::OnSgsLocationUpdate(bool first_update_completed) {
 
 Mme::Mme(sim::Simulator& sim, Rng& rng, const CarrierProfile& profile,
          bool lu_recovery_fix)
-    : sim_(sim), rng_(rng), profile_(profile),
+    : CoreElement(sim, nas::System::k4G, "EMM"), rng_(rng), profile_(profile),
       lu_recovery_fix_(lu_recovery_fix) {}
 
 void Mme::Send(nas::Message m) {
@@ -289,8 +497,24 @@ void Mme::DetachUe(nas::EmmCause cause) {
   Send(r);
 }
 
-void Mme::OnUplink(const nas::Message& m) {
-  if (!Admit(m)) return;
+bool Mme::MakeCongestionReject(const nas::Message& m, nas::Message* r) const {
+  switch (m.kind) {
+    case nas::MsgKind::kAttachRequest:
+      r->kind = nas::MsgKind::kAttachReject;
+      r->protocol = nas::Protocol::kEmm;
+      r->emm_cause = nas::EmmCause::kCongestion;
+      return true;
+    case nas::MsgKind::kTauRequest:
+      r->kind = nas::MsgKind::kTauReject;
+      r->protocol = nas::Protocol::kEmm;
+      r->emm_cause = nas::EmmCause::kCongestion;
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Mme::Dispatch(const nas::Message& m) {
   switch (m.kind) {
     case nas::MsgKind::kAttachRequest: {
       if (state_ == EmmState::kRegistered) {

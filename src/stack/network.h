@@ -7,8 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
+#include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "nas/causes.h"
@@ -18,6 +22,7 @@
 #include "sim/link.h"
 #include "sim/simulator.h"
 #include "stack/carrier.h"
+#include "stack/overload.h"
 #include "trace/collector.h"
 #include "util/rng.h"
 
@@ -35,6 +40,13 @@ class Sgsn;
 // Replies an element had scheduled before going down are also lost: every
 // downlink send funnels through the element's Send(), which checks
 // available().
+//
+// On top of the outage machinery sits overload control: an ingress screen
+// (malformed/truncated NAS refused with "semantically incorrect", duplicate
+// uids caught by a replay cache) and an optional bounded signalling queue
+// with a configurable admission policy (see stack/overload.h). With the
+// queue disabled (default) every screened uplink dispatches immediately —
+// the legacy behaviour all pre-storm tests and goldens depend on.
 class CoreElement {
  public:
   bool available() const { return available_; }
@@ -49,22 +61,73 @@ class CoreElement {
   // loss scenario. Buffered uplinks (if any) replay in arrival order.
   void Restart(bool lose_state);
 
+  // --- overload control
+  void ConfigureOverload(const OverloadConfig& cfg) { overload_ = cfg; }
+  const OverloadConfig& overload_config() const { return overload_; }
+  const OverloadStats& overload_stats() const { return stats_; }
+  // Optional collector for overload / adversarial-rejection trace records
+  // (only events outside legacy behaviour are traced, so attaching a
+  // collector never perturbs existing golden traces).
+  void SetTrace(trace::Collector* t) { trace_ = t; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  // First instant at or after `t` when the service queue was empty, or -1
+  // when the backlog present at `t` never cleared. The fault monitor
+  // derives time-to-drain after a storm from this.
+  SimTime DrainedAfter(SimTime t) const;
+
+  // Uplink entry point: outage absorption, integrity + replay screening,
+  // then admission per the configured policy.
+  void OnUplink(const nas::Message& m);
+
  protected:
+  CoreElement(sim::Simulator& sim, nas::System system, std::string module);
   ~CoreElement() = default;
 
   // Clears the element's volatile protocol state on a lossy restart.
   virtual void OnStateLoss() = 0;
-  // Re-injects a buffered uplink after a restart.
-  virtual void Replay(const nas::Message& m) = 0;
+  // Processes one admitted message in the element's protocol FSMs.
+  virtual void Dispatch(const nas::Message& m) = 0;
+  // Builds the element-specific congestion reject for an overflowed
+  // request into `*r`; returns false when `m.kind` has no reject
+  // counterpart (the overflow is shed instead).
+  virtual bool MakeCongestionReject(const nas::Message& m,
+                                    nas::Message* r) const = 0;
+  // Downlink transmission (subclass-owned transport).
+  virtual void Send(nas::Message m) = 0;
 
   // Returns true when the element should process `m` now; false when the
   // outage absorbed it (lost, or buffered for replay).
   bool Admit(const nas::Message& m);
 
+  sim::Simulator& sim_;
+
  private:
+  // True when the ingress screen passed `m` (well-formed, not a replay).
+  bool Screen(const nas::Message& m);
+  void Enqueue(const nas::Message& m);
+  void Overflow(const nas::Message& m);
+  void Shed(const nas::Message& victim, const std::string& how);
+  void EnsureDraining();
+  void DrainOne();
+  void TraceEvent(const std::string& description);
+
+  nas::System system_;
+  std::string module_;
   bool available_ = true;
   bool queue_while_down_ = false;
   std::vector<nas::Message> pending_;
+
+  OverloadConfig overload_;
+  OverloadStats stats_;
+  trace::Collector* trace_ = nullptr;
+  std::deque<nas::Message> queue_;
+  bool draining_ = false;
+  // Completed busy periods: {start of backlog, instant it emptied}. Small
+  // (one entry per burst), deterministic, and enough to reconstruct "when
+  // did the queue first catch up after time t".
+  std::vector<std::pair<SimTime, SimTime>> busy_periods_;
+  SimTime busy_since_ = 0;
+  std::unordered_set<std::uint64_t> seen_uids_;
 };
 
 // --- SGSN / 3G gateways: GPRS attach, routing area updates, PDP contexts.
@@ -73,7 +136,6 @@ class Sgsn : public CoreElement {
   Sgsn(sim::Simulator& sim, Rng& rng, const CarrierProfile& profile);
 
   void SetDownlink(sim::Link* to_ue) { downlink_ = to_ue; }
-  void OnUplink(const nas::Message& m);
 
   // MME <-> SGSN context transfer (inter-system switch, §5.1.1).
   void StoreMigratedContext(const nas::PdpContext& pdp);
@@ -88,12 +150,12 @@ class Sgsn : public CoreElement {
 
  protected:
   void OnStateLoss() override;
-  void Replay(const nas::Message& m) override { OnUplink(m); }
+  void Dispatch(const nas::Message& m) override;
+  bool MakeCongestionReject(const nas::Message& m,
+                            nas::Message* r) const override;
+  void Send(nas::Message m) override;
 
  private:
-  void Send(nas::Message m);
-
-  sim::Simulator& sim_;
   Rng& rng_;
   const CarrierProfile& profile_;
   sim::Link* downlink_ = nullptr;
@@ -112,7 +174,6 @@ class Msc : public CoreElement {
     hss_ = hss;
     imsi_ = imsi;
   }
-  void OnUplink(const nas::Message& m);
 
   // SGs interface: the MME relays the post-CSFB location update (§6.3).
   // Returns the MM cause (kNone on success).
@@ -146,12 +207,12 @@ class Msc : public CoreElement {
 
  protected:
   void OnStateLoss() override;
-  void Replay(const nas::Message& m) override { OnUplink(m); }
+  void Dispatch(const nas::Message& m) override;
+  bool MakeCongestionReject(const nas::Message& m,
+                            nas::Message* r) const override;
+  void Send(nas::Message m) override;
 
  private:
-  void Send(nas::Message m);
-
-  sim::Simulator& sim_;
   Rng& rng_;
   const CarrierProfile& profile_;
   sim::Link* downlink_ = nullptr;
@@ -195,8 +256,6 @@ class Mme : public CoreElement {
     on_csfb_redirect_ = std::move(h);
   }
 
-  void OnUplink(const nas::Message& m);
-
   // Arms the network-initiated post-CSFB location update over SGs (§6.3):
   // it runs shortly after the next tracking area update is accepted.
   // Whether the race that makes it fail is hit is drawn from the carrier's
@@ -236,13 +295,14 @@ class Mme : public CoreElement {
 
  protected:
   void OnStateLoss() override;
-  void Replay(const nas::Message& m) override { OnUplink(m); }
+  void Dispatch(const nas::Message& m) override;
+  bool MakeCongestionReject(const nas::Message& m,
+                            nas::Message* r) const override;
+  void Send(nas::Message m) override;
 
  private:
-  void Send(nas::Message m);
   void DetachUe(nas::EmmCause cause);
 
-  sim::Simulator& sim_;
   Rng& rng_;
   const CarrierProfile& profile_;
   bool lu_recovery_fix_;

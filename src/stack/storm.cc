@@ -1,0 +1,193 @@
+#include "stack/storm.h"
+
+#include <string>
+
+#include "stack/network.h"
+
+namespace cnv::stack {
+
+namespace {
+std::string BurstLabel(std::size_t count, SimDuration spacing) {
+  return "count=" + std::to_string(count) + " spacing=" +
+         FormatDuration(spacing);
+}
+}  // namespace
+
+StormGenerator::StormGenerator(sim::Simulator& sim, trace::Collector& trace,
+                               Mme& mme, Msc& msc, Sgsn& sgsn)
+    : sim_(sim), trace_(trace), mme_(mme), msc_(msc), sgsn_(sgsn) {}
+
+void StormGenerator::NoteBurst(SimTime start, std::size_t count,
+                               SimDuration spacing) {
+  if (count == 0) return;
+  const SimTime end =
+      start + static_cast<SimDuration>(count - 1) * spacing;
+  if (end > last_injection_at_) last_injection_at_ = end;
+}
+
+void StormGenerator::MassAttach(SimTime start, std::size_t count,
+                                SimDuration spacing) {
+  NoteBurst(start, count, spacing);
+  if (count == 0) return;
+  sim_.ScheduleAt(start, [this, count, spacing] {
+    trace_.Event(nas::System::k4G, "STORM",
+                 "Mass attach storm begins (" + BurstLabel(count, spacing) +
+                 ")");
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    nas::Message m;
+    m.kind = nas::MsgKind::kAttachRequest;
+    m.protocol = nas::Protocol::kEmm;
+    m.imsi = nas::Imsi{next_bg_imsi_++};
+    m.synthetic = true;
+    sim_.ScheduleAt(start + static_cast<SimDuration>(i) * spacing,
+                    [this, m] {
+                      ++injected_;
+                      mme_.OnUplink(m);
+                    });
+  }
+}
+
+void StormGenerator::TaPingPong(SimTime start, std::size_t count,
+                                SimDuration spacing) {
+  NoteBurst(start, count, spacing);
+  if (count == 0) return;
+  sim_.ScheduleAt(start, [this, count, spacing] {
+    trace_.Event(nas::System::k4G, "STORM",
+                 "TA ping-pong burst begins (" + BurstLabel(count, spacing) +
+                 ")");
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    nas::Message m;
+    m.kind = nas::MsgKind::kTauRequest;
+    m.protocol = nas::Protocol::kEmm;
+    m.imsi = nas::Imsi{next_bg_imsi_++};
+    // Border devices alternate between two tracking areas.
+    m.tai.tac = (i % 2 == 0) ? 0x0101 : 0x0102;
+    m.synthetic = true;
+    sim_.ScheduleAt(start + static_cast<SimDuration>(i) * spacing,
+                    [this, m] {
+                      ++injected_;
+                      mme_.OnUplink(m);
+                    });
+  }
+}
+
+void StormGenerator::PagingFlood(SimTime start, std::size_t count,
+                                 SimDuration spacing) {
+  NoteBurst(start, count, spacing);
+  if (count == 0) return;
+  sim_.ScheduleAt(start, [this, count, spacing] {
+    trace_.Event(nas::System::k3G, "STORM",
+                 "Paging flood begins (" + BurstLabel(count, spacing) + ")");
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    nas::Message m;
+    m.kind = nas::MsgKind::kPagingResponse;
+    m.protocol = nas::Protocol::kMm;
+    m.imsi = nas::Imsi{next_bg_imsi_++};
+    m.synthetic = true;
+    sim_.ScheduleAt(start + static_cast<SimDuration>(i) * spacing,
+                    [this, m] {
+                      ++injected_;
+                      msc_.OnUplink(m);
+                    });
+  }
+}
+
+void StormGenerator::AdversarialNas(SimTime start, std::size_t count,
+                                    SimDuration spacing) {
+  // Replayed entries inject twice, so they advance the burst grid like a
+  // single slot but count as two messages.
+  NoteBurst(start, count, spacing);
+  if (count == 0) return;
+  sim_.ScheduleAt(start, [this, count, spacing] {
+    trace_.Event(nas::System::k4G, "STORM",
+                 "Adversarial NAS burst begins (" + BurstLabel(count, spacing) +
+                 ")");
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    const SimTime at = start + static_cast<SimDuration>(i) * spacing;
+    nas::Message m;
+    m.imsi = nas::Imsi{next_bg_imsi_};
+    // Deterministic corpus cycle. Valid-integrity entries are restricted to
+    // kinds whose dispatch is a no-op outside an in-flight procedure and
+    // which have no congestion-reject counterpart, so an adversarial burst
+    // can never push spurious rejects to the real device.
+    switch (i % 7) {
+      case 0:
+        m.kind = nas::MsgKind::kAttachRequest;
+        m.protocol = nas::Protocol::kEmm;
+        m.integrity = nas::MsgIntegrity::kMalformed;
+        sim_.ScheduleAt(at, [this, m] {
+          ++injected_;
+          mme_.OnUplink(m);
+        });
+        break;
+      case 1:
+        m.kind = nas::MsgKind::kTauRequest;
+        m.protocol = nas::Protocol::kEmm;
+        m.integrity = nas::MsgIntegrity::kTruncated;
+        sim_.ScheduleAt(at, [this, m] {
+          ++injected_;
+          mme_.OnUplink(m);
+        });
+        break;
+      case 2:
+        m.kind = nas::MsgKind::kLocationUpdateRequest;
+        m.protocol = nas::Protocol::kEsm;  // discriminator mismatch
+        m.integrity = nas::MsgIntegrity::kWrongProtocol;
+        sim_.ScheduleAt(at, [this, m] {
+          ++injected_;
+          msc_.OnUplink(m);
+        });
+        break;
+      case 3:
+        // Replay: a captured (valid) Attach Complete sent twice. The first
+        // copy is a no-op unless an attach is mid-flight; the duplicate is
+        // caught by the replay cache.
+        m.kind = nas::MsgKind::kAttachComplete;
+        m.protocol = nas::Protocol::kEmm;
+        m.uid = next_uid_++;
+        sim_.ScheduleAt(at, [this, m] {
+          ++injected_;
+          mme_.OnUplink(m);
+          ++injected_;
+          mme_.OnUplink(m);
+        });
+        break;
+      case 4:
+        m.kind = nas::MsgKind::kGprsAttachRequest;
+        m.protocol = nas::Protocol::kGmm;
+        m.integrity = nas::MsgIntegrity::kMalformed;
+        sim_.ScheduleAt(at, [this, m] {
+          ++injected_;
+          sgsn_.OnUplink(m);
+        });
+        break;
+      case 5:
+        m.kind = nas::MsgKind::kCmServiceRequest;
+        m.protocol = nas::Protocol::kMm;
+        m.integrity = nas::MsgIntegrity::kTruncated;
+        sim_.ScheduleAt(at, [this, m] {
+          ++injected_;
+          msc_.OnUplink(m);
+        });
+        break;
+      default:
+        // Replay at the SGSN: a duplicated (valid) deactivation confirm.
+        m.kind = nas::MsgKind::kPdpDeactivateAccept;
+        m.protocol = nas::Protocol::kSm;
+        m.uid = next_uid_++;
+        sim_.ScheduleAt(at, [this, m] {
+          ++injected_;
+          sgsn_.OnUplink(m);
+          ++injected_;
+          sgsn_.OnUplink(m);
+        });
+        break;
+    }
+  }
+}
+
+}  // namespace cnv::stack

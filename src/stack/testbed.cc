@@ -41,9 +41,18 @@ Testbed::Testbed(TestbedConfig config)
     sgsn_->set_queue_while_down(true);
     hss_->set_queue_while_down(true);
   }
+  mme_->ConfigureOverload(config_.overload);
+  msc_->ConfigureOverload(config_.overload);
+  sgsn_->ConfigureOverload(config_.overload);
+  hss_->ConfigureOverload(config_.overload);
+  mme_->SetTrace(&trace_);
+  msc_->SetTrace(&trace_);
+  sgsn_->SetTrace(&trace_);
   ue_ = std::make_unique<UeDevice>(sim_, rng_, trace_, config_.profile,
                                    config_.solutions, channel3g_,
                                    config_.robustness);
+  storm_ = std::make_unique<StormGenerator>(sim_, trace_, *mme_, *msc_,
+                                            *sgsn_);
 
   mme_->SetDownlink(dl4g_.get());
   mme_->SetMsc(msc_.get());

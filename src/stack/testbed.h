@@ -16,6 +16,8 @@
 #include "stack/carrier.h"
 #include "stack/hss.h"
 #include "stack/network.h"
+#include "stack/overload.h"
+#include "stack/storm.h"
 #include "stack/ue.h"
 #include "trace/collector.h"
 #include "util/rng.h"
@@ -31,6 +33,9 @@ struct TestbedConfig {
   // Robustness machinery (UE retries/backoff, core queue-and-replay);
   // default off so the baseline reproduces the S1-S6 defects.
   RobustnessConfig robustness = {};
+  // Core overload control (bounded signalling queues + admission policy);
+  // default disabled = the legacy unbounded core.
+  OverloadConfig overload = {};
 };
 
 class Testbed {
@@ -47,6 +52,7 @@ class Testbed {
   Msc& msc() { return *msc_; }
   Sgsn& sgsn() { return *sgsn_; }
   Hss& hss() { return *hss_; }
+  StormGenerator& storm() { return *storm_; }
   nas::Imsi imsi() const { return kImsi; }
   sim::SharedChannel& channel3g() { return channel3g_; }
   const CarrierProfile& profile() const { return config_.profile; }
@@ -88,6 +94,7 @@ class Testbed {
   std::unique_ptr<Msc> msc_;
   std::unique_ptr<Sgsn> sgsn_;
   std::unique_ptr<UeDevice> ue_;
+  std::unique_ptr<StormGenerator> storm_;
 
   std::unique_ptr<solution::ShimEndpoint> ue_shim_;
   std::unique_ptr<solution::ShimEndpoint> mme_shim_;

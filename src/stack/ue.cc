@@ -69,7 +69,8 @@ UeDevice::UeDevice(sim::Simulator& sim, Rng& rng, trace::Collector& trace,
       gmm_guard_(sim, "T3330"),
       pdp_guard_(sim, "T3380"),
       cm_guard_(sim, "T3230"),
-      attach_backoff_(sim, "T3411") {
+      attach_backoff_(sim, "T3411"),
+      t3346_(sim, "T3346") {
   channel3g_.set_decoupled(solutions_.domain_decoupled);
 }
 
@@ -82,10 +83,22 @@ SimDuration UeDevice::Scaled(SimDuration d) const {
   return std::max<SimDuration>(scaled, Millis(1));
 }
 
-SimDuration UeDevice::BackoffDelay(int cycle) const {
-  SimDuration d = nas::timers::kT3411AttachRetry;
+SimDuration UeDevice::BackoffDelayFrom(SimDuration base, int cycle) const {
+  SimDuration d = base;
   for (int i = 0; i < cycle && d < nas::timers::kNasBackoffCap; ++i) d *= 2;
   return std::min(d, nas::timers::kNasBackoffCap);
+}
+
+SimDuration UeDevice::BackoffDelay(int cycle) const {
+  return BackoffDelayFrom(nas::timers::kT3411AttachRetry, cycle);
+}
+
+SimDuration UeDevice::CongestionBackoff(const nas::Message& m, int cycle) {
+  ++congestion_rejects_;
+  ++congestion_backoffs_;
+  const SimDuration base =
+      m.backoff > 0 ? m.backoff : nas::timers::kT3346CongestionBackoff;
+  return Scaled(BackoffDelayFrom(base, cycle));
 }
 
 void UeDevice::StopNasGuards() {
@@ -94,6 +107,7 @@ void UeDevice::StopNasGuards() {
   pdp_guard_.Stop();
   cm_guard_.Stop();
   attach_backoff_.Stop();
+  t3346_.Stop();
 }
 
 void UeDevice::ArmLuGuard() {
@@ -659,6 +673,7 @@ void UeDevice::SwitchTo4g() {
 void UeDevice::StartAttach() {
   if (!powered_ || serving_ != nas::System::k4G) return;
   emm_ = EmmState::kWaitAttachAccept;
+  if (!attach_started_at_) attach_started_at_ = sim_.now();
   ++attach_attempts_;
   ++attach_attempts_total_;
   trace_.Msg(nas::System::k4G, "EMM",
@@ -769,8 +784,14 @@ void UeDevice::OnDownlink4g(const nas::Message& m) {
       }
       t3410_.Stop();
       attach_backoff_.Stop();
+      t3346_.Stop();
+      t3346_cycles_ = 0;
       emm_ = EmmState::kRegistered;
       eps_ = m.eps;
+      if (attach_started_at_) {
+        attach_latency_s_.Add(ToSeconds(sim_.now() - *attach_started_at_));
+        attach_started_at_.reset();
+      }
       trace_.Msg(nas::System::k4G, "EMM", "Attach Accept received");
       trace_.State(nas::System::k4G, "EMM", "EMM-REGISTERED");
       trace_.State(nas::System::k4G, "ESM", "EPS bearer context activated");
@@ -795,6 +816,25 @@ void UeDevice::OnDownlink4g(const nas::Message& m) {
                  "Attach Reject received (cause: " +
                      nas::ToString(m.emm_cause) + ")");
       t3410_.Stop();
+      if (m.emm_cause == nas::EmmCause::kCongestion) {
+        // T3346: the network is overloaded, not rejecting the subscriber.
+        // Hold off (capped exponential per consecutive reject) instead of
+        // treating this as a detach; service is degraded meanwhile.
+        const SimDuration pause = CongestionBackoff(m, t3346_cycles_++);
+        trace_.Event(nas::System::k4G, "EMM",
+                     "T3346 armed (" + FormatDuration(pause) +
+                     "); attach retry deferred");
+        emm_ = EmmState::kOutOfService;
+        if (!recovery_started_at_) recovery_started_at_ = sim_.now();
+        t3346_.Start(pause, [this] {
+          if (powered_ && serving_ == nas::System::k4G &&
+              emm_ == EmmState::kOutOfService) {
+            attach_attempts_ = 0;
+            StartAttach();
+          }
+        });
+        break;
+      }
       HandleDetach(m.emm_cause, "Attach Reject");
       break;
 
@@ -802,6 +842,7 @@ void UeDevice::OnDownlink4g(const nas::Message& m) {
       if (emm_ != EmmState::kWaitTauAccept) break;
       t3430_.Stop();
       tau_attempts_ = 0;
+      t3346_cycles_ = 0;
       emm_ = EmmState::kRegistered;
       eps_ = m.eps;
       trace_.Msg(nas::System::k4G, "EMM",
@@ -812,6 +853,24 @@ void UeDevice::OnDownlink4g(const nas::Message& m) {
       trace_.Msg(nas::System::k4G, "EMM",
                  "Tracking Area Update Reject received (cause: " +
                      nas::ToString(m.emm_cause) + ")");
+      if (m.emm_cause == nas::EmmCause::kCongestion) {
+        // T3346 for mobility management: stay registered with the old
+        // tracking area and retry the TAU once the backoff expires.
+        t3430_.Stop();
+        tau_attempts_ = 0;
+        const SimDuration pause = CongestionBackoff(m, t3346_cycles_++);
+        trace_.Event(nas::System::k4G, "EMM",
+                     "T3346 armed (" + FormatDuration(pause) +
+                     "); TAU retry deferred");
+        emm_ = EmmState::kRegistered;
+        t3346_.Start(pause, [this] {
+          if (powered_ && serving_ == nas::System::k4G &&
+              emm_ == EmmState::kRegistered) {
+            StartTau();
+          }
+        });
+        break;
+      }
       HandleDetach(m.emm_cause, "Tracking Area Update Reject");
       break;
 
@@ -884,6 +943,21 @@ void UeDevice::OnDownlink3gCs(const nas::Message& m) {
                      nas::ToString(m.mm_cause) + ")");
       mm_ = MmState::kIdle;
       mm_registered_ = false;
+      if (m.mm_cause == nas::MmCause::kCongestion) {
+        // T3346 (TS 24.008 §4.1.1.7): honoured regardless of the optional
+        // robustness machinery — congestion backoff is mandated behaviour.
+        const SimDuration pause = CongestionBackoff(m, lu_backoff_cycles_++);
+        trace_.Event(nas::System::k3G, "MM",
+                     "T3346 armed (" + FormatDuration(pause) +
+                     "); location update retry deferred");
+        lu_guard_.Start(pause, [this] {
+          if (powered_ && serving_ == nas::System::k3G && !mm_registered_) {
+            lu_attempts_ = 0;
+            StartLau();
+          }
+        });
+        break;
+      }
       if (robustness_.nas_retry) {
         // Retry the update after a growing pause instead of staying
         // unregistered until the next mobility trigger.
@@ -960,7 +1034,12 @@ void UeDevice::OnDownlink3gCs(const nas::Message& m) {
       break;
 
     case nas::MsgKind::kCmServiceReject:
-      trace_.Msg(nas::System::k3G, "MM", "CM Service Reject received");
+      trace_.Msg(nas::System::k3G, "MM",
+                 m.mm_cause == nas::MmCause::kNone
+                     ? "CM Service Reject received"
+                     : "CM Service Reject received (cause: " +
+                           nas::ToString(m.mm_cause) + ")");
+      if (m.mm_cause == nas::MmCause::kCongestion) ++congestion_rejects_;
       cm_guard_.Stop();
       call_ = CallState::kNone;
       dialed_at_.reset();
@@ -1105,6 +1184,71 @@ void UeDevice::OnDownlink3gPs(const nas::Message& m) {
         SendPs(r);
       }
       Reevaluate3gPinning();
+      break;
+
+    case nas::MsgKind::kGprsAttachReject:
+      trace_.Msg(nas::System::k3G, "GMM",
+                 "GPRS Attach Reject received (cause: " +
+                     nas::ToString(m.mm_cause) + ")");
+      gmm_ = GmmState::kIdle;
+      gmm_guard_.Stop();
+      rau_started_at_.reset();
+      if (m.mm_cause == nas::MmCause::kCongestion) {
+        const SimDuration pause = CongestionBackoff(m, gmm_backoff_cycles_++);
+        trace_.Event(nas::System::k3G, "GMM",
+                     "T3346 armed (" + FormatDuration(pause) +
+                     "); GPRS attach retry deferred");
+        gmm_guard_.Start(pause, [this] {
+          if (powered_ && serving_ == nas::System::k3G && !gmm_attached_) {
+            gmm_attempts_ = 0;
+            StartGprsAttach();
+          }
+        });
+      }
+      break;
+
+    case nas::MsgKind::kRauReject:
+      if (gmm_ != GmmState::kRauInProgress) break;
+      trace_.Msg(nas::System::k3G, "GMM",
+                 "Routing Area Update Reject received (cause: " +
+                     nas::ToString(m.mm_cause) + ")");
+      gmm_ = GmmState::kIdle;
+      gmm_guard_.Stop();
+      rau_started_at_.reset();
+      if (m.mm_cause == nas::MmCause::kCongestion) {
+        const SimDuration pause = CongestionBackoff(m, gmm_backoff_cycles_++);
+        trace_.Event(nas::System::k3G, "GMM",
+                     "T3346 armed (" + FormatDuration(pause) +
+                     "); RAU retry deferred");
+        gmm_guard_.Start(pause, [this] {
+          if (powered_ && serving_ == nas::System::k3G && gmm_attached_) {
+            gmm_attempts_ = 0;
+            StartRau();
+          }
+        });
+      }
+      break;
+
+    case nas::MsgKind::kPdpActivateReject:
+      trace_.Msg(nas::System::k3G, "SM",
+                 "Activate PDP Context Reject received (cause: " +
+                     nas::ToString(m.pdp_cause) + ")");
+      pdp_guard_.Stop();
+      if (m.pdp_cause == nas::PdpDeactCause::kInsufficientResources) {
+        // The SM analogue of a congestion reject: retry once the network
+        // has drained (same capped-exponential discipline).
+        const SimDuration pause = CongestionBackoff(m, pdp_backoff_cycles_++);
+        trace_.Event(nas::System::k3G, "SM",
+                     "SM backoff armed (" + FormatDuration(pause) +
+                     "); PDP activation retry deferred");
+        pdp_guard_.Start(pause, [this] {
+          if (powered_ && serving_ == nas::System::k3G && data_enabled_ &&
+              !pdp_.active && (data_session_ || pdp_activation_pending_)) {
+            pdp_attempts_ = 0;
+            ActivatePdp();
+          }
+        });
+      }
       break;
 
     case nas::MsgKind::kPdpDeactivateAccept:

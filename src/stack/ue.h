@@ -168,6 +168,13 @@ class UeDevice {
   std::uint64_t cm_retries() const { return cm_retries_; }
   std::uint64_t cm_abandoned() const { return cm_abandoned_; }
   std::uint64_t attach_backoff_cycles() const { return attach_backoff_cycles_; }
+  // Congestion-control bookkeeping (T3346): rejects with cause "congestion"
+  // received, and backoff waits the device honoured before retrying.
+  std::uint64_t congestion_rejects() const { return congestion_rejects_; }
+  std::uint64_t congestion_backoffs() const { return congestion_backoffs_; }
+  // Completed attach procedure durations (first request to accept) — the
+  // storm campaigns report their p99 as a degradation SLO.
+  const Samples& attach_latency_seconds() const { return attach_latency_s_; }
   // Detach causes, split so the user study can attribute events to findings
   // (S1: missing bearer context; S6: propagated 3G LU failures).
   std::uint64_t detaches_no_eps_bearer() const {
@@ -207,6 +214,12 @@ class UeDevice {
   // Robustness machinery (guard expiries + backoff; no-ops unless enabled).
   SimDuration Scaled(SimDuration d) const;
   SimDuration BackoffDelay(int cycle) const;
+  // Capped-exponential backoff from an arbitrary base (T3346 congestion
+  // grants double per consecutive reject, capped at kNasBackoffCap).
+  SimDuration BackoffDelayFrom(SimDuration base, int cycle) const;
+  // Congestion-reject plumbing (TS 24.301 §5.3.5 / TS 24.008 §4.1.1.7):
+  // the granted (or default) T3346 value, exponentiated per retry cycle.
+  SimDuration CongestionBackoff(const nas::Message& m, int cycle);
   void ArmLuGuard();
   void OnLuTimeout();
   void ArmGmmGuard();
@@ -284,6 +297,8 @@ class UeDevice {
   sim::Timer pdp_guard_;     // T3380 class (PDP activation)
   sim::Timer cm_guard_;      // T3230 class (CM service)
   sim::Timer attach_backoff_;  // T3411/T3402 class (re-attach cycles)
+  sim::Timer t3346_;           // congestion backoff (4G attach/TAU)
+  int t3346_cycles_ = 0;
   double timer_scale_ = 1.0;
   int lu_attempts_ = 0;
   int lu_backoff_cycles_ = 0;
@@ -298,6 +313,8 @@ class UeDevice {
   std::uint64_t cm_retries_ = 0;
   std::uint64_t cm_abandoned_ = 0;
   std::uint64_t attach_backoff_cycles_ = 0;
+  std::uint64_t congestion_rejects_ = 0;
+  std::uint64_t congestion_backoffs_ = 0;
 
   // Attach retry state.
   int attach_attempts_ = 0;
@@ -305,6 +322,8 @@ class UeDevice {
 
   // Measurements.
   std::optional<SimTime> dialed_at_;
+  std::optional<SimTime> attach_started_at_;
+  Samples attach_latency_s_;
   std::optional<SimTime> lau_started_at_;
   std::optional<SimTime> rau_started_at_;
   Samples call_setup_s_;

@@ -91,6 +91,24 @@ bool ArgParser::I64Value(const std::string& name, std::int64_t* out,
   return true;
 }
 
+bool ArgParser::DoubleValue(const std::string& name, double* out) {
+  std::string raw;
+  if (!TakeValue(name, &raw)) return false;
+  // strtod skips leading whitespace; strict parsing must not.
+  if (raw.empty() || !(raw[0] == '-' || raw[0] == '.' ||
+                       (raw[0] >= '0' && raw[0] <= '9'))) {
+    Fail(name + ": not a number: '" + raw + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (errno != 0 || end != raw.c_str() + raw.size()) {
+    Fail(name + ": not a number: '" + raw + "'");
+  }
+  *out = v;
+  return true;
+}
+
 bool ArgParser::U64Value(const std::string& name, std::uint64_t* out) {
   std::string raw;
   if (!TakeValue(name, &raw)) return false;

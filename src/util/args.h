@@ -41,6 +41,7 @@ class ArgParser {
   bool I64Value(const std::string& name, std::int64_t* out,
                 std::int64_t min_value = INT64_MIN);
   bool StrValue(const std::string& name, std::string* out);
+  bool DoubleValue(const std::string& name, double* out);
 
   // Call after all flags have been extracted: any remaining token that
   // still looks like a flag is unknown and fatal, and more than

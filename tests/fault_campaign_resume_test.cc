@@ -343,6 +343,78 @@ TEST(RunWithRetriesTest, FailingAttemptExhaustsRetriesWithBackoff) {
   EXPECT_EQ(slept, (std::vector<std::int64_t>{100, 200}));
 }
 
+TEST(RunWithRetriesTest, BackoffIsCappedAtBackoffMax) {
+  ckpt::RetryPolicy policy;
+  policy.max_retries = 4;
+  policy.backoff_initial_ms = 100;
+  policy.backoff_multiplier = 3.0;
+  policy.backoff_max_ms = 500;
+  std::vector<std::int64_t> slept;
+  policy.sleep_ms_for_test = [&slept](std::int64_t ms) {
+    slept.push_back(ms);
+  };
+  const ckpt::RetryOutcome out =
+      ckpt::RunWithRetries(policy, [] { return false; });
+  EXPECT_FALSE(out.ok);
+  // 100 -> 300 -> 900-capped-to-500 -> stays 500.
+  EXPECT_EQ(slept, (std::vector<std::int64_t>{100, 300, 500, 500}));
+}
+
+TEST(RunWithRetriesTest, CapAppliesToAnOversizedInitialBackoff) {
+  ckpt::RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.backoff_initial_ms = 10'000;
+  policy.backoff_max_ms = 250;
+  std::vector<std::int64_t> slept;
+  policy.sleep_ms_for_test = [&slept](std::int64_t ms) {
+    slept.push_back(ms);
+  };
+  (void)ckpt::RunWithRetries(policy, [] { return false; });
+  EXPECT_EQ(slept, (std::vector<std::int64_t>{250, 250}));
+}
+
+TEST(RunWithRetriesTest, HugeMultiplierManyRetriesDoesNotOverflow) {
+  // Without the double-precision clamp, ~40 doublings of the backoff
+  // overflow int64 (UB on the cast). With the cap the sleeps saturate.
+  ckpt::RetryPolicy policy;
+  policy.max_retries = 100;
+  policy.backoff_initial_ms = 1;
+  policy.backoff_multiplier = 1e9;
+  policy.backoff_max_ms = 3;
+  std::vector<std::int64_t> slept;
+  policy.sleep_ms_for_test = [&slept](std::int64_t ms) {
+    slept.push_back(ms);
+  };
+  int attempts = 0;
+  const ckpt::RetryOutcome out = ckpt::RunWithRetries(policy, [&attempts] {
+    ++attempts;
+    return false;
+  });
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(attempts, 101);
+  ASSERT_EQ(slept.size(), 100u);
+  EXPECT_EQ(slept.front(), 1);
+  for (const std::int64_t ms : slept) {
+    EXPECT_GE(ms, 1);
+    EXPECT_LE(ms, 3);
+  }
+  EXPECT_EQ(slept.back(), 3);
+}
+
+TEST(RunWithRetriesTest, ZeroCapMeansUncapped) {
+  ckpt::RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_initial_ms = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_max_ms = 0;  // explicit opt-out
+  std::vector<std::int64_t> slept;
+  policy.sleep_ms_for_test = [&slept](std::int64_t ms) {
+    slept.push_back(ms);
+  };
+  (void)ckpt::RunWithRetries(policy, [] { return false; });
+  EXPECT_EQ(slept, (std::vector<std::int64_t>{100, 200, 400}));
+}
+
 TEST(RunWithRetriesTest, FirstTrySuccessNeedsNoRetry) {
   ckpt::RetryPolicy policy;
   policy.max_retries = 5;

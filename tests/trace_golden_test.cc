@@ -58,9 +58,9 @@ void ExpectGoldenMatch(const GoldenScenario& g) {
   FAIL() << g.name << ": traces differ";  // e.g. trailing bytes only
 }
 
-TEST(TraceGoldenTest, CatalogCoversAllSixFindings) {
+TEST(TraceGoldenTest, CatalogCoversAllSixFindingsPlusCongestion) {
   const auto& scenarios = GoldenScenarios();
-  ASSERT_EQ(scenarios.size(), 6u);
+  ASSERT_EQ(scenarios.size(), 7u);
   std::set<std::string> names;
   for (const auto& g : scenarios) {
     EXPECT_TRUE(names.insert(g.name).second) << "duplicate " << g.name;
@@ -75,6 +75,8 @@ TEST(TraceGoldenTest, CatalogCoversAllSixFindings) {
                             }))
         << "no golden for S" << i;
   }
+  EXPECT_TRUE(names.count("congestion_attach_storm_opi"))
+      << "no golden for the overload-control congestion scenario";
 }
 
 TEST(TraceGoldenTest, RegeneratedTracesMatchCommittedGoldens) {
