@@ -8,17 +8,73 @@
 //                         and show that every issue disappears.
 //
 // Build and run:  ./diagnose
+//
+// With a positional argument, runs in offline log-diagnosis mode instead:
+//
+//   ./diagnose capture.log
+//
+// parses the QXDM-format capture strictly (reporting exactly which lines
+// were malformed and skipped), replays it through the S1-S6 online monitors
+// and prints the alerts — the file-based twin of the `watchdog` tool.
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <string>
 
 #include "core/findings.h"
 #include "core/report.h"
 #include "core/screening.h"
 #include "core/validation.h"
+#include "rtv/monitors.h"
+#include "trace/qxdm.h"
+#include "util/args.h"
 
 using namespace cnv;
 
-int main() {
+namespace {
+
+int DiagnoseLog(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "diagnose: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << file.rdbuf();
+
+  trace::ParseLogStats stats;
+  const auto records = trace::ParseLogStrict(buf.str(), &stats);
+  std::printf("%s: %zu line(s), %zu record(s), %zu blank, %zu skipped\n",
+              path.c_str(), stats.lines, stats.parsed, stats.blank,
+              stats.skipped);
+  if (stats.skipped > 0) {
+    std::printf("  malformed line(s):");
+    for (const auto n : stats.skipped_lines) std::printf(" %zu", n);
+    if (stats.skipped > stats.skipped_lines.size()) {
+      std::printf(" ... (+%zu more)",
+                  stats.skipped - stats.skipped_lines.size());
+    }
+    std::printf("\n");
+  }
+
+  rtv::FindingMonitors monitors;
+  std::vector<rtv::Alert> alerts;
+  std::uint64_t ordinal = 0;
+  for (const auto& r : records) monitors.Step(r, ordinal++, &alerts);
+  std::printf("%zu alert(s)\n", alerts.size());
+  for (const auto& a : alerts) {
+    std::printf("  %s\n", rtv::FormatAlert(a).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  args::ArgParser parser(argc, argv, "usage: diagnose [capture.log]");
+  const auto positional = parser.Finish(1);
+  if (!positional.empty()) return DiagnoseLog(positional[0]);
+
   std::printf("CNetVerifier: two-phase control-plane diagnosis\n\n");
 
   // --- phase 1: screening

@@ -1,0 +1,126 @@
+// Online runtime-verification watchdog: tails a QXDM-format trace source
+// through the rtv gateway and prints an alert the moment one of the paper's
+// S1-S6 finding signatures (or an overload event) completes — live
+// monitoring, instead of the post-hoc analysis `diagnose` does.
+//
+//   ./watchdog trace.log                 # verify a capture file
+//   ./golden_traces && ./watchdog golden_traces/s1_context_loss_opi.log
+//   some_producer | ./watchdog -         # follow a byte stream on stdin
+//
+// Flags:
+//   --chunk N           feed size in bytes (default 65536); the alert log is
+//                       byte-identical at any chunking, including --chunk 1
+//   --policy block|drop backpressure when the ring fills (default block)
+//   --ring N            ring capacity in records (default 16384)
+//   --alert-log FILE    also write the alert log to FILE
+//   --metrics-json FILE write the final obs registry snapshot to FILE
+//   --snapshot-every N  refresh --metrics-json every N records while running
+//   --quiet             suppress live per-alert lines (final report only)
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "rtv/gateway.h"
+#include "util/args.h"
+
+using namespace cnv;
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: watchdog [trace.log|-] [--chunk N] [--policy block|drop]\n"
+    "                [--ring N] [--alert-log FILE] [--metrics-json FILE]\n"
+    "                [--snapshot-every N] [--quiet]";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  args::ArgParser parser(argc, argv, kUsage);
+  std::int64_t chunk = 64 * 1024;
+  parser.I64Value("--chunk", &chunk, 1);
+  std::int64_t ring = 1 << 14;
+  parser.I64Value("--ring", &ring, 2);
+  std::int64_t snapshot_every = 0;
+  parser.I64Value("--snapshot-every", &snapshot_every, 1);
+  std::string policy = "block";
+  parser.StrValue("--policy", &policy);
+  std::string alert_log_path;
+  parser.StrValue("--alert-log", &alert_log_path);
+  std::string metrics_path;
+  parser.StrValue("--metrics-json", &metrics_path);
+  const bool quiet = parser.Flag("--quiet");
+  const auto positional = parser.Finish(1);
+  const std::string source = positional.empty() ? "-" : positional[0];
+
+  rtv::GatewayConfig config;
+  config.ring_capacity = static_cast<std::size_t>(ring);
+  if (policy == "drop") {
+    config.backpressure = rtv::Backpressure::kDropNewest;
+  } else if (policy != "block") {
+    parser.Fail("--policy must be 'block' or 'drop'");
+  }
+  if (snapshot_every > 0 && !metrics_path.empty()) {
+    config.snapshot_every = static_cast<std::size_t>(snapshot_every);
+    config.snapshot_path = metrics_path;
+  }
+
+  rtv::Gateway gateway(config);
+  if (!quiet) {
+    gateway.set_alert_callback([](const rtv::Alert& a) {
+      std::printf("%s\n", rtv::FormatAlert(a).c_str());
+      std::fflush(stdout);
+    });
+  }
+  gateway.Start();
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (source != "-") {
+    file.open(source, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "watchdog: cannot open '%s'\n", source.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+
+  std::vector<char> buf(static_cast<std::size_t>(chunk));
+  while (*in) {
+    in->read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    const auto got = static_cast<std::size_t>(in->gcount());
+    if (got == 0) break;
+    gateway.Feed(0, std::string_view(buf.data(), got));
+  }
+  gateway.Finish();
+
+  const auto stats = gateway.stats();
+  std::printf(
+      "---\n"
+      "%llu bytes, %llu lines, %llu records (%llu skipped, %llu overlong, "
+      "%llu dropped)\n"
+      "%zu alert(s)\n",
+      static_cast<unsigned long long>(stats.bytes_in),
+      static_cast<unsigned long long>(stats.lines_in),
+      static_cast<unsigned long long>(stats.records_in),
+      static_cast<unsigned long long>(stats.lines_skipped),
+      static_cast<unsigned long long>(stats.lines_overlong),
+      static_cast<unsigned long long>(stats.records_dropped),
+      static_cast<std::size_t>(stats.alerts));
+  for (const auto& a : gateway.alerts()) {
+    std::printf("  %s\n", rtv::FormatAlert(a).c_str());
+  }
+
+  if (!alert_log_path.empty()) {
+    obs::WriteFile(alert_log_path, gateway.AlertLog());
+    std::fprintf(stderr, "alert log written to %s\n", alert_log_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    obs::WriteFile(metrics_path,
+                   gateway.registry().ToJson(gateway.last_record_time()));
+    std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "conf/abstract.h"
 
+#include <algorithm>
+#include <string_view>
+
 namespace cnv::conf {
 
 std::string ToString(AbstractKind k) {
@@ -64,6 +67,14 @@ std::string ToString(AbstractKind k) {
       return "adversarial-rejected";
     case AbstractKind::kStormBegins:
       return "storm-begins";
+    case AbstractKind::kLuDeferred:
+      return "lu-deferred";
+    case AbstractKind::kLuDisrupted:
+      return "lu-disrupted";
+    case AbstractKind::kChannelDegraded:
+      return "channel-degraded";
+    case AbstractKind::kChannelRestored:
+      return "channel-restored";
   }
   return "?";
 }
@@ -146,21 +157,78 @@ constexpr Rule kRules[] = {
     {"MM", "Location Updating Request sent",
      AbstractKind::kLocationUpdateStart},
     {"MM", "MM-WAIT-FOR-NET-CMD", AbstractKind::kMmWaitNetCmd},
+    // Location-update coupling and shared-channel vocabulary for the online
+    // S5/S6 monitors (src/rtv). These sit after the core rules so the
+    // established first-match semantics above are untouched.
+    {"MM", "location update deferred until the CSFB call completes",
+     AbstractKind::kLuDeferred},
+    {"MM", "location update disrupted by inter-system switch",
+     AbstractKind::kLuDisrupted},
+    {"3G-RRC", "64QAM disabled during CS voice call",
+     AbstractKind::kChannelDegraded},
+    {"3G-RRC", "64QAM re-enabled after voice call",
+     AbstractKind::kChannelRestored},
 };
 
+// The rules grouped by module, preserving table order within each group.
+// Matching a record then costs one module lookup plus a scan of only that
+// module's needles — the hot path of the runtime-verification gateway,
+// which matches every record of a live stream instead of whole traces.
+class RuleIndex {
+ public:
+  RuleIndex() {
+    for (const Rule& rule : kRules) {
+      auto it = std::find_if(groups_.begin(), groups_.end(),
+                             [&](const Group& g) {
+                               return g.module == rule.module;
+                             });
+      if (it == groups_.end()) {
+        groups_.push_back({rule.module, {}});
+        it = groups_.end() - 1;
+      }
+      it->rules.push_back(&rule);
+    }
+  }
+
+  std::optional<AbstractKind> Match(const trace::TraceRecord& r) const {
+    for (const Group& g : groups_) {
+      if (r.module != g.module) continue;
+      const std::string_view desc(r.description);
+      for (const Rule* rule : g.rules) {
+        if (desc.find(rule->needle) != std::string_view::npos) {
+          return rule->kind;
+        }
+      }
+      return std::nullopt;  // modules are unique across groups
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Group {
+    std::string_view module;
+    std::vector<const Rule*> rules;
+  };
+  std::vector<Group> groups_;
+};
+
+const RuleIndex& Index() {
+  static const RuleIndex index;
+  return index;
+}
+
 }  // namespace
+
+std::optional<AbstractKind> MatchAbstractKind(const trace::TraceRecord& r) {
+  return Index().Match(r);
+}
 
 std::vector<AbstractEvent> AbstractTrace(
     const std::vector<trace::TraceRecord>& records) {
   std::vector<AbstractEvent> out;
   for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto& r = records[i];
-    for (const Rule& rule : kRules) {
-      if (r.module == rule.module &&
-          r.description.find(rule.needle) != std::string::npos) {
-        out.push_back({rule.kind, r.time, i});
-        break;
-      }
+    if (const auto kind = MatchAbstractKind(records[i])) {
+      out.push_back({*kind, records[i].time, i});
     }
   }
   return out;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,12 @@ enum class AbstractKind : std::uint8_t {
   kOverloadReject,      // core turns signalling away (reject or shed)
   kAdversarialRejected, // core screens out malformed/replayed NAS
   kStormBegins,         // a storm generator burst starts
+  // Location-update coupling and shared-channel effects (S5/S6 signatures;
+  // consumed by the online runtime-verification monitors in src/rtv).
+  kLuDeferred,          // LU held back until the CSFB call completes
+  kLuDisrupted,         // LU torn down mid-flight by an inter-system switch
+  kChannelDegraded,     // 64QAM disabled while a CS voice call holds the channel
+  kChannelRestored,     // 64QAM re-enabled after the voice call
 };
 
 std::string ToString(AbstractKind k);
@@ -70,9 +77,17 @@ struct AbstractEvent {
   std::size_t record_index = 0;
 };
 
+// Abstracts one record through the kRules mapping table (first match wins,
+// in table order); std::nullopt when the record has no model-vocabulary
+// counterpart. This is the incremental entry point the runtime-verification
+// gateway steps per record; internally it dispatches on the record's module
+// first so unmapped modules (RRC churn, channel reconfigurations, ...) cost
+// one lookup instead of a full table scan.
+std::optional<AbstractKind> MatchAbstractKind(const trace::TraceRecord& r);
+
 // Abstracts a concrete record stream. Records with no model-vocabulary
-// counterpart (RRC churn, channel reconfigurations, ...) are dropped; the
-// result preserves record order.
+// counterpart are dropped; the result preserves record order. Equivalent to
+// MatchAbstractKind applied record by record.
 std::vector<AbstractEvent> AbstractTrace(
     const std::vector<trace::TraceRecord>& records);
 

@@ -1,0 +1,88 @@
+// Bounded lock-free single-producer/single-consumer ring buffer: the
+// hand-off between the runtime-verification gateway's ingest thread (which
+// parses trace bytes into records) and its monitor thread (which abstracts
+// records and steps the property automata).
+//
+// The contract is the classic SPSC one (cf. the ZMQ push/pull pattern the
+// ngic-rtc data plane uses between its interface and worker threads): one
+// thread calls TryPush, one thread calls TryPop, and the indices are
+// published with release stores / consumed with acquire loads so every slot
+// written by the producer is fully visible to the consumer before it can be
+// popped. No locks, no allocation after construction, TSan-clean.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cnv::rtv {
+
+// Rounds up to the next power of two (minimum 2) so the index masks stay
+// branch-free.
+constexpr std::size_t RingCapacityFor(std::size_t requested) {
+  std::size_t cap = 2;
+  while (cap < requested) cap <<= 1;
+  return cap;
+}
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : slots_(RingCapacityFor(capacity)), mask_(slots_.size() - 1) {}
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Producer side. Returns false when the ring is full (the caller decides
+  // whether to spin — backpressure — or count-and-drop); the value is left
+  // untouched on failure, so a blocked push can simply retry.
+  bool TryPush(T&& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPush(const T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    slots_[tail & mask_] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;  // empty
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Racy size estimate for gauges; exact only when both threads are quiet.
+  std::size_t SizeApprox() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  const std::size_t mask_;
+  // Head (consumer cursor) and tail (producer cursor) live on separate
+  // cache lines so the two threads do not false-share.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace cnv::rtv

@@ -29,6 +29,7 @@ void Collector::Add(TraceType type, nas::System system, std::string module,
   CNV_LOG_DEBUG << FormatClock(r.time) << " [" << ToString(r.type) << "] ["
                 << nas::ToString(r.system) << "] [" << r.module << "] "
                 << r.description;
+  if (tap_) tap_(r);
 }
 
 }  // namespace cnv::trace

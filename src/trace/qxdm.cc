@@ -34,6 +34,94 @@ std::optional<std::string> TakeBracketed(const std::string& line,
   return line.substr(open + 1, close - open - 1);
 }
 
+// --- fast path -------------------------------------------------------------
+//
+// The canonical FormatRecord grammar, parsed with no sscanf and no
+// intermediate strings:
+//
+//   <h+>:<mm>:<ss>.<mmm> [<TYPE>] [<SYS>] [<MOD>] <description>
+//
+// Anything that deviates (leading whitespace, doubled separators, a '+'
+// sign sscanf would tolerate, ...) returns nullopt here and is re-parsed by
+// the permissive scanner, so the two-tier parser accepts exactly what the
+// old one did and produces identical records.
+
+bool TakeDigits(std::string_view& s, int min_digits, int max_digits,
+                int* out) {
+  int n = 0;
+  int digits = 0;
+  while (digits < max_digits && !s.empty() && s.front() >= '0' &&
+         s.front() <= '9') {
+    n = n * 10 + (s.front() - '0');
+    s.remove_prefix(1);
+    ++digits;
+  }
+  if (digits < min_digits) return false;
+  *out = n;
+  return true;
+}
+
+bool TakeLiteral(std::string_view& s, std::string_view lit) {
+  if (s.substr(0, lit.size()) != lit) return false;
+  s.remove_prefix(lit.size());
+  return true;
+}
+
+// " [<field>]" where <field> runs to the first ']'.
+bool TakeField(std::string_view& s, std::string_view* out) {
+  if (!TakeLiteral(s, " [")) return false;
+  const auto close = s.find(']');
+  if (close == std::string_view::npos) return false;
+  *out = s.substr(0, close);
+  s.remove_prefix(close + 1);
+  return true;
+}
+
+bool IsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+         c == '\r';
+}
+
+std::optional<TraceRecord> ParseRecordFast(std::string_view line) {
+  std::string_view s = line;
+  int h = 0, m = 0, sec = 0, ms = 0;
+  // Hours may exceed two digits on long runs; minutes/seconds/millis are
+  // fixed-width in the canonical format.
+  if (!TakeDigits(s, 1, 9, &h)) return std::nullopt;
+  if (!TakeLiteral(s, ":") || !TakeDigits(s, 2, 2, &m)) return std::nullopt;
+  if (!TakeLiteral(s, ":") || !TakeDigits(s, 2, 2, &sec)) return std::nullopt;
+  if (!TakeLiteral(s, ".") || !TakeDigits(s, 3, 3, &ms)) return std::nullopt;
+  if (m > 59 || sec > 59) return std::nullopt;
+
+  std::string_view type_s, sys_s, module_s;
+  if (!TakeField(s, &type_s) || !TakeField(s, &sys_s) ||
+      !TakeField(s, &module_s)) {
+    return std::nullopt;
+  }
+  // The permissive scanner finds '[' anywhere; the fast path only claims
+  // the canonical single-space separation, and within a field the scanner
+  // would have stopped at the first ']' just like TakeField does. A '[' in
+  // a *description* is fine — the description is everything that remains.
+  const auto type = ParseType(std::string(type_s));
+  const auto sys = ParseSystem(std::string(sys_s));
+  if (!type || !sys) return std::nullopt;
+
+  // Trim(s) without the temporary: the canonical separator is one space,
+  // the description itself is stored trimmed.
+  while (!s.empty() && IsAsciiSpace(s.front())) s.remove_prefix(1);
+  while (!s.empty() && IsAsciiSpace(s.back())) s.remove_suffix(1);
+
+  TraceRecord r;
+  r.time = static_cast<SimTime>(h) * kHour + static_cast<SimTime>(m) * kMinute +
+           static_cast<SimTime>(sec) * kSecond +
+           static_cast<SimTime>(ms) * kMillisecond;
+  r.type = *type;
+  r.system = *sys;
+  r.module.assign(module_s);
+  r.description.assign(s);
+  return r;
+}
+
 }  // namespace
 
 std::string FormatRecord(const TraceRecord& r) {
@@ -50,7 +138,11 @@ std::string FormatLog(const std::vector<TraceRecord>& records) {
   return out;
 }
 
-std::optional<TraceRecord> ParseRecord(const std::string& line) {
+std::optional<TraceRecord> ParseRecord(std::string_view sv_line) {
+  if (auto fast = ParseRecordFast(sv_line)) return fast;
+  // The permissive scanner needs a null-terminated buffer for sscanf; the
+  // fast path above already handled the canonical (hot) shape copy-free.
+  const std::string line(sv_line);
   // Timestamp: "hh:mm:ss.mmm".
   int h = 0, m = 0, s = 0, ms = 0;
   int consumed = 0;
@@ -84,10 +176,33 @@ std::optional<TraceRecord> ParseRecord(const std::string& line) {
 }
 
 std::vector<TraceRecord> ParseLog(const std::string& text) {
+  return ParseLogStrict(text, nullptr);
+}
+
+std::vector<TraceRecord> ParseLogStrict(const std::string& text,
+                                        ParseLogStats* stats) {
   std::vector<TraceRecord> out;
-  for (const auto& line : Split(text, '\n')) {
-    if (Trim(line).empty()) continue;
-    if (auto r = ParseRecord(line)) out.push_back(std::move(*r));
+  auto pieces = Split(text, '\n');
+  // A trailing '\n' produces one empty final piece; that is the line
+  // terminator, not an extra blank line.
+  if (!pieces.empty() && pieces.back().empty()) pieces.pop_back();
+  std::size_t line_no = 0;
+  for (const auto& line : pieces) {
+    ++line_no;
+    if (stats) stats->lines = line_no;
+    if (Trim(line).empty()) {
+      if (stats) ++stats->blank;
+      continue;
+    }
+    if (auto r = ParseRecord(line)) {
+      out.push_back(std::move(*r));
+      if (stats) ++stats->parsed;
+    } else if (stats) {
+      ++stats->skipped;
+      if (stats->skipped_lines.size() < ParseLogStats::kMaxSkippedLines) {
+        stats->skipped_lines.push_back(line_no);
+      }
+    }
   }
   return out;
 }

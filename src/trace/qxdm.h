@@ -8,8 +8,10 @@
 // formatted log truncates sub-millisecond detail.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/record.h"
@@ -19,10 +21,32 @@ namespace cnv::trace {
 std::string FormatRecord(const TraceRecord& r);
 std::string FormatLog(const std::vector<TraceRecord>& records);
 
-// Parses one formatted line; std::nullopt on malformed input.
-std::optional<TraceRecord> ParseRecord(const std::string& line);
+// Parses one formatted line; std::nullopt on malformed input. Lines in the
+// canonical FormatRecord shape take an allocation-light fast path (the
+// streaming gateway parses millions of records per second through this);
+// anything else falls back to the permissive scanner, so accepted inputs
+// and parse results are unchanged.
+std::optional<TraceRecord> ParseRecord(std::string_view line);
 
 // Parses a whole log, skipping blank and malformed lines.
 std::vector<TraceRecord> ParseLog(const std::string& text);
+
+// What ParseLog silently skips, made visible: line counts plus the
+// 1-based numbers of the malformed (non-blank, unparseable) lines.
+struct ParseLogStats {
+  std::size_t lines = 0;    // total lines seen (split on '\n')
+  std::size_t parsed = 0;   // lines that yielded a record
+  std::size_t blank = 0;    // whitespace-only lines (skipped, not an error)
+  std::size_t skipped = 0;  // malformed lines (skipped with a count)
+  // 1-based line numbers of the skipped lines, capped at kMaxSkippedLines
+  // so a corrupt multi-gigabyte capture cannot balloon the report.
+  std::vector<std::size_t> skipped_lines;
+  static constexpr std::size_t kMaxSkippedLines = 64;
+};
+
+// ParseLog with malformed-line accounting: same records, same order, but
+// `stats` (optional) reports exactly which lines were dropped.
+std::vector<TraceRecord> ParseLogStrict(const std::string& text,
+                                        ParseLogStats* stats);
 
 }  // namespace cnv::trace

@@ -63,6 +63,14 @@ bool ArgParser::TakeValue(const std::string& name, std::string* value) {
       args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
                   args_.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       present = true;
+    } else if (args_[i].size() > name.size() &&
+               args_[i].compare(0, name.size(), name) == 0 &&
+               args_[i][name.size()] == '=') {
+      // "--flag=value" form; an empty value ("--flag=") is taken literally
+      // and rejected by the strict value parsers just like a bad "--flag ''".
+      *value = args_[i].substr(name.size() + 1);
+      args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
+      present = true;
     } else {
       ++i;
     }

@@ -31,10 +31,10 @@ class ArgParser {
   // True when `name` (e.g. "--robust") is present; consumes it.
   bool Flag(const std::string& name);
 
-  // Valued flags: consume `name value`, returning true when present. The
-  // value is parsed strictly; a missing or malformed value is fatal. When
-  // given more than once, the last occurrence wins. `min_value` guards
-  // nonsensical counts (e.g. negative --jobs).
+  // Valued flags: consume `name value` or `name=value`, returning true when
+  // present. The value is parsed strictly; a missing or malformed value is
+  // fatal. When given more than once (either spelling), the last occurrence
+  // wins. `min_value` guards nonsensical counts (e.g. negative --jobs).
   bool IntValue(const std::string& name, int* out,
                 int min_value = INT32_MIN);
   bool U64Value(const std::string& name, std::uint64_t* out);

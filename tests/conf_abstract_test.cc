@@ -104,9 +104,48 @@ TEST(AbstractTraceTest, MmAndReselectionVocabulary) {
   EXPECT_EQ(events[4].kind, AbstractKind::kCellReselection);
 }
 
+TEST(AbstractTraceTest, LuCouplingAndChannelVocabulary) {
+  const auto events = AbstractTrace({
+      Rec("MM", "location update deferred until the CSFB call completes"),
+      Rec("MM", "location update disrupted by inter-system switch"),
+      Rec("3G-RRC",
+          "RRC Channel Config: 64QAM disabled during CS voice call (16QAM)"),
+      Rec("3G-RRC", "RRC Channel Config: 64QAM re-enabled after voice call"),
+  });
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, AbstractKind::kLuDeferred);
+  EXPECT_EQ(events[1].kind, AbstractKind::kLuDisrupted);
+  EXPECT_EQ(events[2].kind, AbstractKind::kChannelDegraded);
+  EXPECT_EQ(events[3].kind, AbstractKind::kChannelRestored);
+}
+
+TEST(MatchAbstractKindTest, AgreesWithAbstractTraceRecordByRecord) {
+  const std::vector<trace::TraceRecord> records = {
+      Rec("EMM", "Attach Request sent"),
+      Rec("4G-RRC", "RRC IDLE -> CONNECTED"),  // unmapped
+      Rec("UE", "4G->3G switch (CSFB call)"),
+      Rec("MM", "location update disrupted by inter-system switch"),
+      Rec("STORM", "Mass attach storm begins (count=3 spacing=2ms)"),
+      Rec("ESM", "nothing in the vocabulary"),  // unmapped
+  };
+  const auto events = AbstractTrace(records);
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto kind = MatchAbstractKind(records[i]);
+    if (kind) {
+      ASSERT_LT(next, events.size());
+      EXPECT_EQ(events[next].kind, *kind);
+      EXPECT_EQ(events[next].record_index, i);
+      ++next;
+    }
+  }
+  EXPECT_EQ(next, events.size());
+}
+
 TEST(ToStringTest, AllKindsHaveDistinctNonEmptyNames) {
   std::vector<std::string> names;
-  for (int i = 0; i <= static_cast<int>(AbstractKind::kMmWaitNetCmd); ++i) {
+  for (int i = 0; i <= static_cast<int>(AbstractKind::kChannelRestored);
+       ++i) {
     names.push_back(ToString(static_cast<AbstractKind>(i)));
   }
   for (std::size_t i = 0; i < names.size(); ++i) {

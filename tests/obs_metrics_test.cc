@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <ios>
 #include <stdexcept>
+#include <string>
 
 #include "obs/json.h"
 
@@ -91,6 +94,31 @@ TEST(RegistryTest, SummaryTableListsEveryMetric) {
 TEST(JsonTest, EscapesControlCharactersAndQuotes) {
   EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, EveryControlCharacterEscapesToItsCodePoint) {
+  // The full 0x00-0x1F range must come out as a valid JSON escape: the
+  // named short forms where JSON has them, "\u00XX" with the *unsigned*
+  // byte value everywhere else (a signed-char sign extension would print
+  // "￿ff83"-style garbage).
+  for (int c = 0x00; c < 0x20; ++c) {
+    const std::string escaped = JsonEscape(std::string(1, static_cast<char>(c)));
+    std::string want;
+    switch (c) {
+      case '\n': want = "\\n"; break;
+      case '\r': want = "\\r"; break;
+      case '\t': want = "\\t"; break;
+      default: {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        want = buf;
+      }
+    }
+    EXPECT_EQ(escaped, want) << "control char 0x" << std::hex << c;
+  }
+  // Bytes >= 0x80 (negative when char is signed) pass through untouched.
+  const std::string high(1, static_cast<char>(0x83));
+  EXPECT_EQ(JsonEscape(high), high);
 }
 
 TEST(JsonTest, NumberFormattingIsStable) {

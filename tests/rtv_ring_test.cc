@@ -1,0 +1,129 @@
+// Unit and two-thread stress tests for the bounded lock-free SPSC ring that
+// hands records from the ingest thread to the monitor thread. The stress
+// tests are the ones CI runs under TSan.
+#include "rtv/ring.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cnv::rtv {
+namespace {
+
+TEST(RingCapacityForTest, RoundsUpToPowersOfTwo) {
+  EXPECT_EQ(RingCapacityFor(0), 2u);  // minimum capacity is 2
+  EXPECT_EQ(RingCapacityFor(1), 2u);
+  EXPECT_EQ(RingCapacityFor(2), 2u);
+  EXPECT_EQ(RingCapacityFor(3), 4u);
+  EXPECT_EQ(RingCapacityFor(1000), 1024u);
+  EXPECT_EQ(RingCapacityFor(1024), 1024u);
+  EXPECT_EQ(RingCapacityFor(1025), 2048u);
+}
+
+TEST(SpscRingTest, PushPopSingleThreaded) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.EmptyApprox());
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_EQ(ring.SizeApprox(), 2u);
+  int v = 0;
+  EXPECT_TRUE(ring.TryPop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(ring.TryPop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(ring.TryPop(&v));
+}
+
+TEST(SpscRingTest, FullRingRejectsPush) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));
+  int v = 0;
+  EXPECT_TRUE(ring.TryPop(&v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ring.TryPush(99));  // freed slot is reusable
+  for (const int want : {1, 2, 3, 99}) {
+    EXPECT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, want);
+  }
+}
+
+TEST(SpscRingTest, WrapsAroundManyTimes) {
+  SpscRing<int> ring(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(ring.TryPush(i));
+    int v = -1;
+    EXPECT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(SpscRingTest, MoveOnlyElements) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  EXPECT_TRUE(ring.TryPush(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(ring.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+// The concurrent tests: one producer, one consumer, every value must come
+// out exactly once and in order. Run under TSan in the CI `rtv` job.
+TEST(SpscRingTest, ConcurrentOrderedTransfer) {
+  constexpr std::uint64_t kCount = 200'000;
+  SpscRing<std::uint64_t> ring(1024);
+  std::vector<std::uint64_t> got;
+  got.reserve(kCount);
+
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    while (got.size() < kCount) {
+      if (ring.TryPop(&v)) {
+        got.push_back(v);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    while (!ring.TryPush(std::uint64_t{i})) std::this_thread::yield();
+  }
+  consumer.join();
+
+  ASSERT_EQ(got.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(got[i], i) << "out-of-order at " << i;
+  }
+}
+
+TEST(SpscRingTest, ConcurrentStringsSurviveIntact) {
+  constexpr int kCount = 50'000;
+  SpscRing<std::string> ring(64);
+  std::uint64_t sum = 0;
+
+  std::thread consumer([&] {
+    std::string v;
+    for (int i = 0; i < kCount;) {
+      if (ring.TryPop(&v)) {
+        sum += std::stoull(v);
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    std::string s = std::to_string(i);
+    while (!ring.TryPush(std::move(s))) std::this_thread::yield();
+  }
+  consumer.join();
+
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(kCount) * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace cnv::rtv

@@ -54,6 +54,71 @@ TEST(QxdmTest, ParseRejectsMalformedLines) {
   EXPECT_FALSE(ParseRecord("12:99:00.000 [MSG] [3G] [MM] x").has_value());
 }
 
+TEST(QxdmTest, FastAndPermissivePathsAgree) {
+  // Non-canonical shapes sscanf tolerates must still parse — the fast path
+  // declines them and the permissive scanner produces the same record a
+  // canonical spelling would.
+  const auto canonical =
+      ParseRecord("00:01:01.250 [MSG] [3G] [MM] Location Updating Request");
+  ASSERT_TRUE(canonical.has_value());
+  for (const char* variant : {
+           "0:01:01.250 [MSG] [3G] [MM] Location Updating Request",
+           "00:01:01.250  [MSG]  [3G]  [MM]  Location Updating Request",
+           "00:01:01.250 [MSG] [3G] [MM]   Location Updating Request  ",
+       }) {
+    const auto parsed = ParseRecord(variant);
+    ASSERT_TRUE(parsed.has_value()) << variant;
+    EXPECT_EQ(*parsed, *canonical) << variant;
+  }
+  // Descriptions may contain brackets; everything after the third field
+  // belongs to the description on both paths.
+  const auto bracketed =
+      ParseRecord("00:00:01.000 [EVENT] [4G] [STORM] begins [x] (n=3)");
+  ASSERT_TRUE(bracketed.has_value());
+  EXPECT_EQ(bracketed->description, "begins [x] (n=3)");
+}
+
+TEST(QxdmTest, ParseLogStrictReportsSkippedLineNumbers) {
+  const std::string text =
+      "00:00:01.000 [MSG] [4G] [EMM] Attach Request sent\n"
+      "not a record\n"
+      "\n"
+      "00:00:02.000 [MSG] [4G] [EMM] Attach Accept received\n"
+      "also garbage\n";
+  ParseLogStats stats;
+  const auto records = ParseLogStrict(text, &stats);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(stats.lines, 5u);
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_EQ(stats.blank, 1u);
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(stats.skipped_lines, (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(QxdmTest, ParseLogStrictMatchesParseLog) {
+  const std::string text =
+      "junk\n00:00:01.000 [MSG] [4G] [EMM] Attach Request sent\n\nmore junk";
+  ParseLogStats stats;
+  EXPECT_EQ(ParseLogStrict(text, &stats), ParseLog(text));
+  // The trailing '\n'-less segment is a line; a trailing '\n' is not.
+  EXPECT_EQ(stats.lines, 4u);
+  ParseLogStats with_newline;
+  ParseLogStrict(text + "\n", &with_newline);
+  EXPECT_EQ(with_newline.lines, 4u);
+  EXPECT_EQ(with_newline.blank, stats.blank);
+}
+
+TEST(QxdmTest, ParseLogStrictCapsTheSkippedLineList) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "garbage line\n";
+  ParseLogStats stats;
+  ParseLogStrict(text, &stats);
+  EXPECT_EQ(stats.skipped, 100u);
+  EXPECT_EQ(stats.skipped_lines.size(), ParseLogStats::kMaxSkippedLines);
+  EXPECT_EQ(stats.skipped_lines.front(), 1u);
+  EXPECT_EQ(stats.skipped_lines.back(), ParseLogStats::kMaxSkippedLines);
+}
+
 TEST(QxdmTest, LogRoundTripSkipsBlankLines) {
   sim::Simulator sim;
   Collector c(sim);

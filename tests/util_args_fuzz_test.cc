@@ -60,6 +60,10 @@ std::string RandomToken(cnv::Rng& rng) {
       "18446744073709551616",  // one past uint64 max
       "99999999999999999999999999",
       "",        "porridge", "--name",
+      // "=" spellings: valid, empty value, garbage value, "=" in the value,
+      // near-miss flag, and a bare "=".
+      "--jobs=2", "--seed=",  "--jobs=four", "--name=a=b", "--jbos=1", "=",
+      "--name=",  "--verbose=1",
   };
   const auto pick = static_cast<std::size_t>(rng.UniformInt(
       0, static_cast<std::int64_t>(kVocabulary.size()) + 1));
@@ -103,6 +107,11 @@ TEST(ArgsFuzzTest, MalformedInputsDieWithUsageOnStderr) {
       {"--name"},               // missing string value
       {"pos1", "pos2"},         // excess positional (max 1)
       {"---jobs", "1"},         // triple dash is not a flag we know
+      {"--jobs=four"},          // non-numeric in "=" form
+      {"--seed="},              // empty value in "=" form
+      {"--jbos=1"},             // unknown flag in "=" form
+      {"--verbose=1", "a", "b"},  // Flag() never consumes "=", so this is
+                                  // an unknown --flag at Finish()
   };
   for (const auto& tokens : kMalformed) {
     std::string label;
@@ -115,6 +124,8 @@ TEST(ArgsFuzzTest, MalformedInputsDieWithUsageOnStderr) {
 
 TEST(ArgsFuzzTest, ValidCombinationsExitZero) {
   EXPECT_EXIT(ParseAndExit({"--jobs", "4", "--seed", "9", "--verbose"}),
+              testing::ExitedWithCode(0), "");
+  EXPECT_EXIT(ParseAndExit({"--jobs=4", "--seed=9", "--name=a=b"}),
               testing::ExitedWithCode(0), "");
   EXPECT_EXIT(ParseAndExit({"--name", "value", "positional"}),
               testing::ExitedWithCode(0), "");

@@ -106,6 +106,61 @@ TEST(ArgParserTest, LastOccurrenceWins) {
   EXPECT_TRUE(p.Finish(0).empty());  // both occurrences were consumed
 }
 
+TEST(ArgParserTest, EqualsFormParsesEveryValuedFlavor) {
+  const Argv a({"prog", "--jobs=4", "--seed=7", "--timeout-ms=-250",
+                "--out=x.json", "--rate=0.25", "plan"});
+  ArgParser p(a.argc(), a.argv(), kUsage);
+  int jobs = 0;
+  EXPECT_TRUE(p.IntValue("--jobs", &jobs, 0));
+  EXPECT_EQ(jobs, 4);
+  std::uint64_t seed = 0;
+  EXPECT_TRUE(p.U64Value("--seed", &seed));
+  EXPECT_EQ(seed, 7u);
+  std::int64_t timeout = 0;
+  EXPECT_TRUE(p.I64Value("--timeout-ms", &timeout));
+  EXPECT_EQ(timeout, -250);
+  std::string out;
+  EXPECT_TRUE(p.StrValue("--out", &out));
+  EXPECT_EQ(out, "x.json");
+  double rate = 0.0;
+  EXPECT_TRUE(p.DoubleValue("--rate", &rate));
+  EXPECT_DOUBLE_EQ(rate, 0.25);
+  EXPECT_EQ(p.Finish(1), (std::vector<std::string>{"plan"}));
+}
+
+TEST(ArgParserTest, EqualsFormValueMayContainEquals) {
+  // Only the first '=' separates flag from value.
+  const Argv a({"prog", "--out=key=value"});
+  ArgParser p(a.argc(), a.argv(), kUsage);
+  std::string out;
+  EXPECT_TRUE(p.StrValue("--out", &out));
+  EXPECT_EQ(out, "key=value");
+  EXPECT_TRUE(p.Finish(0).empty());
+}
+
+TEST(ArgParserTest, EqualsAndSpaceFormsMixWithLastWins) {
+  const Argv a({"prog", "--jobs", "2", "--jobs=9"});
+  ArgParser p(a.argc(), a.argv(), kUsage);
+  int jobs = 0;
+  EXPECT_TRUE(p.IntValue("--jobs", &jobs, 0));
+  EXPECT_EQ(jobs, 9);
+  EXPECT_TRUE(p.Finish(0).empty());
+}
+
+TEST(ArgParserTest, EqualsFormDoesNotMatchFlagPrefixes) {
+  // "--j=4" must not be consumed by "--jobs", and a bare Flag() never
+  // consumes an "=" spelling.
+  const Argv a({"prog", "--jobs-max=4"});
+  ArgParser p(a.argc(), a.argv(), kUsage);
+  int jobs = 0;
+  EXPECT_FALSE(p.IntValue("--jobs", &jobs, 0));
+  EXPECT_FALSE(p.Flag("--jobs-max"));
+  std::int64_t jobs_max = 0;
+  EXPECT_TRUE(p.I64Value("--jobs-max", &jobs_max));
+  EXPECT_EQ(jobs_max, 4);
+  EXPECT_TRUE(p.Finish(0).empty());
+}
+
 // Fatal paths: the parser prints usage and exits with status 2.
 int ParseAndFinish(const std::vector<std::string>& args,
                    std::size_t max_positional = 0) {
@@ -141,6 +196,16 @@ TEST(ArgParserDeathTest, NegativeSeedIsFatal) {
 
 TEST(ArgParserDeathTest, MissingValueIsFatal) {
   EXPECT_EXIT(ParseAndFinish({"prog", "--jobs"}),
+              testing::ExitedWithCode(2), "usage: prog");
+}
+
+TEST(ArgParserDeathTest, EqualsFormNonNumericIsFatal) {
+  EXPECT_EXIT(ParseAndFinish({"prog", "--jobs=four"}),
+              testing::ExitedWithCode(2), "usage: prog");
+}
+
+TEST(ArgParserDeathTest, EqualsFormEmptyValueIsFatal) {
+  EXPECT_EXIT(ParseAndFinish({"prog", "--seed="}),
               testing::ExitedWithCode(2), "usage: prog");
 }
 
