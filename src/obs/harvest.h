@@ -14,6 +14,8 @@
 #include "mck/parallel_explorer.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
+#include "sim/wheel.h"
+#include "stack/city.h"
 #include "stack/testbed.h"
 
 namespace cnv::obs {
@@ -23,6 +25,22 @@ namespace cnv::obs {
 //   sim.queue_depth_peak, sim.handler_slots,
 //   sim.timers_armed / fired / cancelled.
 void HarvestSimulator(Registry& reg, const sim::Simulator& sim);
+
+// Timer-wheel tier metrics under `prefix` (default "sim.wheel"): per-tier
+// insert counters and occupancy/peak gauges ("<prefix>.l0.inserts", ...),
+// overflow-calendar figures, and the cascade / migration / sorted-tick
+// counters. Everything is an event count — deterministic and byte-stable
+// across replays and worker counts.
+void HarvestTimerWheel(Registry& reg, const sim::TimerWheel::Stats& stats,
+                       const std::string& prefix = "sim.wheel");
+
+// City-engine metrics under "city.": kernel accounting (executed /
+// scheduled / cancelled / stale tombstones), protocol procedure counters,
+// parallel-window shape (windows, shard lookahead stalls, cross-cell
+// messages), arena footprint (bytes total and per UE), sampled-vs-dropped
+// trace records, the determinism digest, and the aggregated wheel tiers
+// under "city.wheel.". Deterministic at any --jobs value.
+void HarvestCity(Registry& reg, const stack::CityReport& report);
 
 // Protocol-stack metrics of one testbed run: per-module NAS message counts
 // (from the trace collector), per-procedure retry counters, attach/detach

@@ -19,9 +19,10 @@ Simulator::EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
   }
   slots_[slot].fn = std::move(fn);
   const EventId id = MakeId(slot, slots_[slot].gen);
-  queue_.push({t, next_seq_++, id});
+  wheel_.Schedule(t, next_seq_++, id);
   ++scheduled_;
-  peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+  ++live_;
+  peak_queue_depth_ = std::max(peak_queue_depth_, wheel_.Size());
   return id;
 }
 
@@ -38,7 +39,9 @@ void Simulator::Cancel(EventId id) {
   // A stale id (the slot moved on to a newer generation, or the event
   // already fired) is a no-op.
   if (slots_[slot].gen != GenOf(id) || !slots_[slot].fn) return;
-  if (cancelled_.insert(id).second) ++cancelled_total_;
+  ReleaseSlot(id);
+  ++cancelled_total_;
+  --live_;
 }
 
 std::function<void()> Simulator::ReleaseSlot(EventId id) {
@@ -50,45 +53,44 @@ std::function<void()> Simulator::ReleaseSlot(EventId id) {
   return fn;
 }
 
-void Simulator::PruneCancelled() {
-  while (!queue_.empty()) {
-    const Entry& e = queue_.top();
-    const auto it = cancelled_.find(e.id);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
-    ReleaseSlot(e.id);
-    queue_.pop();
-  }
-}
-
 bool Simulator::Step() {
-  PruneCancelled();
-  if (queue_.empty()) return false;
-  const Entry e = queue_.top();
-  queue_.pop();
-  now_ = e.time;
-  // Move out so re-entrant scheduling cannot alias the running handler.
-  std::function<void()> fn = ReleaseSlot(e.id);
-  ++executed_;
-  fn();
-  return true;
+  WheelEntry e;
+  while (wheel_.PopUntil(std::numeric_limits<SimTime>::max(), &e)) {
+    if (!IsLive(e)) continue;  // cancelled straggler: drop the tombstone
+    now_ = e.time;
+    // Move out so re-entrant scheduling cannot alias the running handler.
+    std::function<void()> fn = ReleaseSlot(e.payload);
+    ++executed_;
+    --live_;
+    fn();
+    return true;
+  }
+  return false;
 }
 
 void Simulator::RunUntil(SimTime t) {
   if (t < now_) throw std::invalid_argument("RunUntil: time in the past");
-  for (;;) {
-    PruneCancelled();
-    if (queue_.empty() || queue_.top().time > t) break;
-    Step();
+  WheelEntry e;
+  while (wheel_.PopUntil(t, &e)) {
+    if (!IsLive(e)) continue;
+    now_ = e.time;
+    std::function<void()> fn = ReleaseSlot(e.payload);
+    ++executed_;
+    --live_;
+    fn();
   }
   now_ = t;
 }
 
 void Simulator::RunAll(SimTime limit) {
-  for (;;) {
-    PruneCancelled();
-    if (queue_.empty() || queue_.top().time > limit) break;
-    Step();
+  WheelEntry e;
+  while (wheel_.PopUntil(limit, &e)) {
+    if (!IsLive(e)) continue;
+    now_ = e.time;
+    std::function<void()> fn = ReleaseSlot(e.payload);
+    ++executed_;
+    --live_;
+    fn();
   }
   if (now_ < limit && limit != std::numeric_limits<SimTime>::max()) {
     now_ = limit;

@@ -2,15 +2,25 @@
 // this: protocol stacks schedule message deliveries and guard timers as
 // events; virtual time advances from event to event, so runs are exact and
 // reproducible regardless of wall-clock load.
+//
+// The event queue is a hierarchical timer wheel (sim/wheel.h) rather than
+// the seed's binary heap: O(1) schedule, O(1) amortized pop, and — key for
+// protocol workloads where most guard timers are cancelled long before they
+// expire — O(1) cancellation through generation-checked slot tombstones. A
+// cancelled event's handler slot is released immediately; the entry left in
+// the wheel is recognized as stale when its tick drains because its
+// generation no longer matches, so neither Cancel() nor Step() does any
+// hashing. Pop order is exactly (time, seq): byte-identical event order to
+// the retired heap kernel, FIFO tie-break at equal timestamps included
+// (sim/heap_ref.h keeps that kernel as a differential oracle).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/wheel.h"
 #include "util/time.h"
 
 namespace cnv::sim {
@@ -39,7 +49,9 @@ class Simulator {
   EventId ScheduleIn(SimDuration d, std::function<void()> fn);
 
   // Cancels a pending event; cancelling an already-fired or unknown event is
-  // a no-op (guard timers routinely race their own expiry).
+  // a no-op (guard timers routinely race their own expiry). O(1): the
+  // handler slot is released on the spot and the wheel entry becomes a
+  // generation-mismatched tombstone skipped when its tick drains.
   void Cancel(EventId id);
 
   // Executes the next event, advancing time. Returns false when idle.
@@ -51,16 +63,24 @@ class Simulator {
   // Runs until the queue drains or `limit` is reached.
   void RunAll(SimTime limit = std::numeric_limits<SimTime>::max());
 
-  std::size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+  // Live (scheduled, not yet fired or cancelled) events. Counted directly,
+  // so interleaved schedule/cancel/fire sequences can never skew it — the
+  // seed derived this from queue size minus a tombstone set, which drifted
+  // while cancelled stragglers lingered unpruned.
+  std::size_t PendingEvents() const { return live_; }
   std::uint64_t ExecutedEvents() const { return executed_; }
   std::uint64_t ScheduledEvents() const { return scheduled_; }
   std::uint64_t CancelledEvents() const { return cancelled_total_; }
-  // Peak number of simultaneously queued entries (cancelled-but-unpruned
-  // entries included, as they still occupy the heap).
+  // Peak number of simultaneously queued entries (cancelled-but-undrained
+  // tombstones included, as they still occupy wheel slots).
   std::size_t PeakQueueDepth() const { return peak_queue_depth_; }
   // Number of handler slots ever allocated; bounded by the peak number of
   // simultaneously pending events, not by the total scheduled over time.
   std::size_t HandlerSlots() const { return slots_.size(); }
+
+  // The underlying wheel, exposed read-only for per-tier occupancy
+  // telemetry (obs::HarvestTimerWheel).
+  const TimerWheel& wheel() const { return wheel_; }
 
   // Guard-timer bookkeeping, incremented by sim::Timer. Lives on the
   // simulator so every timer bound to this run aggregates into one place
@@ -74,17 +94,6 @@ class Simulator {
   const TimerStats& timer_stats() const { return timer_stats_; }
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    EventId id;
-    // Ordered as a min-heap via std::greater.
-    bool operator>(const Entry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
-  };
-
   struct Slot {
     std::function<void()> fn;
     std::uint32_t gen = 0;
@@ -100,24 +109,29 @@ class Simulator {
     return (static_cast<EventId>(gen) << 32) | slot;
   }
 
+  // True when the popped entry's generation still matches its slot, i.e. the
+  // event was neither cancelled nor superseded.
+  bool IsLive(const WheelEntry& e) const {
+    const std::uint32_t slot = SlotOf(e.payload);
+    return slots_[slot].gen == GenOf(e.payload) &&
+           static_cast<bool>(slots_[slot].fn);
+  }
+
   // Returns the slot's handler and recycles the slot for reuse.
   std::function<void()> ReleaseSlot(EventId id);
-
-  // Drops cancelled entries off the head so queue_.top() is always live.
-  void PruneCancelled();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t scheduled_ = 0;
   std::uint64_t cancelled_total_ = 0;
+  std::size_t live_ = 0;
   std::size_t peak_queue_depth_ = 0;
   TimerStats timer_stats_;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  TimerWheel wheel_;
   // Slot 0 is reserved so no live event ever gets id kInvalidEvent.
   std::vector<Slot> slots_{Slot{}};
   std::vector<std::uint32_t> free_slots_;
-  std::unordered_set<EventId> cancelled_;
 };
 
 }  // namespace cnv::sim

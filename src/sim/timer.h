@@ -1,6 +1,11 @@
 // Protocol guard timer (T3410, T3210, RRC inactivity, ...) bound to a
-// Simulator. Restartable; stopping or destroying the timer cancels the
-// pending expiry.
+// simulation kernel. Restartable; stopping or destroying the timer cancels
+// the pending expiry.
+//
+// Templated on the kernel so the queue-discipline property suite can bind
+// the same timer logic to the reference heap kernel (sim/heap_ref.h) and
+// diff TimerStats against the wheel-backed Simulator. Production code uses
+// the `Timer` alias and never sees the template.
 #pragma once
 
 #include <functional>
@@ -12,13 +17,13 @@
 
 namespace cnv::sim {
 
-class Timer {
+template <class Sim>
+class BasicTimer {
  public:
-  Timer(Simulator& sim, std::string name)
-      : sim_(sim), name_(std::move(name)) {}
-  ~Timer() { Stop(); }
-  Timer(const Timer&) = delete;
-  Timer& operator=(const Timer&) = delete;
+  BasicTimer(Sim& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+  ~BasicTimer() { Stop(); }
+  BasicTimer(const BasicTimer&) = delete;
+  BasicTimer& operator=(const BasicTimer&) = delete;
 
   // (Re)starts the timer: `on_expiry` fires once after `d` unless stopped.
   void Start(SimDuration d, std::function<void()> on_expiry) {
@@ -27,7 +32,7 @@ class Timer {
     ++sim_.timer_stats().armed;
     id_ = sim_.ScheduleIn(d, [this, cb = std::move(on_expiry)] {
       running_ = false;
-      id_ = Simulator::kInvalidEvent;
+      id_ = Sim::kInvalidEvent;
       ++sim_.timer_stats().fired;
       cb();
     });
@@ -37,7 +42,7 @@ class Timer {
     if (running_) {
       sim_.Cancel(id_);
       running_ = false;
-      id_ = Simulator::kInvalidEvent;
+      id_ = Sim::kInvalidEvent;
       ++sim_.timer_stats().cancelled;
     }
   }
@@ -46,10 +51,12 @@ class Timer {
   const std::string& name() const { return name_; }
 
  private:
-  Simulator& sim_;
+  Sim& sim_;
   std::string name_;
   bool running_ = false;
-  Simulator::EventId id_ = Simulator::kInvalidEvent;
+  typename Sim::EventId id_ = Sim::kInvalidEvent;
 };
+
+using Timer = BasicTimer<Simulator>;
 
 }  // namespace cnv::sim
