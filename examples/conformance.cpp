@@ -6,6 +6,8 @@
 //
 // Usage:  ./conformance [--seeds N] [--seed-base S] [--walks W] [--jobs N]
 //                       [--json FILE] [--checkpoint-dir DIR] [--resume]
+//                       [--backend thread|process] [--workers N]
+//                       [--heartbeat-ms T] [--quarantine-after K]
 //   --seeds N    testbed/walk seeds per (scenario, carrier) group
 //                (default 64)
 //   --seed-base S
@@ -19,6 +21,15 @@
 //                completed cells replay from their blobs and the report is
 //                byte-identical to an uninterrupted run. SIGINT/SIGTERM
 //                drain gracefully between cells (exit status 75).
+//   --backend thread|process
+//                run cells in worker threads (default) or supervised worker
+//                processes (failure isolation: a crashing cell is retried in
+//                a fresh worker and quarantined after --quarantine-after
+//                strikes). The report is byte-identical either way.
+//   --workers N  alias for --jobs (whichever is given last wins)
+//   --heartbeat-ms T / --quarantine-after K
+//                process-backend liveness deadline and poisoned-cell strike
+//                budget (defaults 2000 ms, 3 strikes)
 //
 // Exit status: 0 = complete sweep, zero unexplained divergences;
 //              1 = complete sweep with unexplained divergences;
@@ -35,7 +46,9 @@ int main(int argc, char** argv) {
   args::ArgParser parser(
       argc, argv,
       "usage: conformance [--seeds N] [--seed-base S] [--walks W] [--jobs N]\n"
-      "                   [--json FILE] [--checkpoint-dir DIR] [--resume]");
+      "                   [--json FILE] [--checkpoint-dir DIR] [--resume]\n"
+      "                   [--backend thread|process] [--workers N]\n"
+      "                   [--heartbeat-ms T] [--quarantine-after K]");
   conf::DiffOptions opt;
   std::string json_path;
   parser.U64Value("--seeds", &opt.seeds);
@@ -45,11 +58,22 @@ int main(int argc, char** argv) {
   parser.StrValue("--json", &json_path);
   parser.StrValue("--checkpoint-dir", &opt.checkpoint_dir);
   opt.resume = parser.Flag("--resume");
+  std::string backend_spec = "thread";
+  parser.StrValue("--backend", &backend_spec);
+  int workers = -1;
+  parser.IntValue("--workers", &workers, -1);
+  parser.I64Value("--heartbeat-ms", &opt.heartbeat_ms, 2000);
+  parser.IntValue("--quarantine-after", &opt.quarantine_after, 3);
   parser.Finish(0);
   if (opt.resume && opt.checkpoint_dir.empty()) {
     parser.Fail("--resume requires --checkpoint-dir");
   }
   if (opt.seeds == 0) parser.Fail("--seeds must be >= 1");
+  if (workers >= 0) opt.jobs = workers;
+  if (!dist::ParseBackend(backend_spec, &opt.backend)) {
+    parser.Fail("--backend must be 'thread' or 'process', got '" +
+                backend_spec + "'");
+  }
 
   ckpt::CancelToken cancel;
   ckpt::InstallSignalDrain(&cancel);
@@ -63,6 +87,12 @@ int main(int argc, char** argv) {
   if (!opt.checkpoint_dir.empty()) {
     std::fprintf(stderr, "execution: %s\n", report.exec.ToString().c_str());
   }
+  for (const auto& q : report.quarantined) {
+    std::fprintf(stderr, "QUARANTINED cell %llu (%s) after %u strike(s): %s\n",
+                 static_cast<unsigned long long>(q.index), q.name.c_str(),
+                 static_cast<unsigned>(q.strikes), q.last_error.c_str());
+  }
+  if (!report.quarantined.empty()) return 1;
   if (!report.complete) {
     std::fprintf(stderr,
                  "conformance sweep interrupted: %llu/%llu cell(s) done; "

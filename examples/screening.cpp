@@ -5,6 +5,8 @@
 //
 // Usage:  ./screening [--jobs N] [--walks W] [--seed S] [--solutions]
 //                     [--checkpoint-dir DIR] [--resume]
+//                     [--backend thread|process] [--workers N]
+//                     [--heartbeat-ms T] [--quarantine-after K]
 //   --jobs N     explore each cell on N workers (default 0 = hardware
 //                concurrency, 1 = serial). Findings, violated properties
 //                and counterexamples are byte-identical at any N; only the
@@ -20,6 +22,17 @@
 //                from their blobs and the report is byte-identical to an
 //                uninterrupted run. SIGINT/SIGTERM drain gracefully between
 //                cells (exit status 75).
+//   --backend thread|process
+//                run the catalog in-process (default) or in a supervised
+//                worker process (failure isolation: a crashing or hanging
+//                cell is retried in a fresh worker and quarantined after
+//                --quarantine-after strikes). The catalog is a chained
+//                grid — cells always run in order — and the report is
+//                byte-identical either way.
+//   --workers N  alias for --jobs (whichever is given last wins)
+//   --heartbeat-ms T / --quarantine-after K
+//                process-backend liveness deadline and poisoned-cell strike
+//                budget (defaults 2000 ms, 3 strikes)
 #include <cstdio>
 
 #include "ckpt/manifest.h"
@@ -32,7 +45,9 @@ int main(int argc, char** argv) {
   args::ArgParser parser(
       argc, argv,
       "usage: screening [--jobs N] [--walks W] [--seed S] [--solutions]\n"
-      "                 [--checkpoint-dir DIR] [--resume]");
+      "                 [--checkpoint-dir DIR] [--resume]\n"
+      "                 [--backend thread|process] [--workers N]\n"
+      "                 [--heartbeat-ms T] [--quarantine-after K]");
   core::ScreeningOptions opt;
   opt.jobs = 0;
   opt.with_solutions = parser.Flag("--solutions");
@@ -41,9 +56,20 @@ int main(int argc, char** argv) {
   parser.U64Value("--seed", &opt.seed);
   parser.StrValue("--checkpoint-dir", &opt.checkpoint_dir);
   opt.resume = parser.Flag("--resume");
+  std::string backend_spec = "thread";
+  parser.StrValue("--backend", &backend_spec);
+  int workers = -1;
+  parser.IntValue("--workers", &workers, -1);
+  parser.I64Value("--heartbeat-ms", &opt.heartbeat_ms, 2000);
+  parser.IntValue("--quarantine-after", &opt.quarantine_after, 3);
   parser.Finish(0);
   if (opt.resume && opt.checkpoint_dir.empty()) {
     parser.Fail("--resume requires --checkpoint-dir");
+  }
+  if (workers >= 0) opt.jobs = workers;
+  if (!dist::ParseBackend(backend_spec, &opt.backend)) {
+    parser.Fail("--backend must be 'thread' or 'process', got '" +
+                backend_spec + "'");
   }
 
   ckpt::CancelToken cancel;
@@ -58,6 +84,12 @@ int main(int argc, char** argv) {
   if (!opt.checkpoint_dir.empty()) {
     std::fprintf(stderr, "execution: %s\n", report.exec.ToString().c_str());
   }
+  for (const auto& q : report.quarantined) {
+    std::fprintf(stderr, "QUARANTINED cell %llu (%s) after %u strike(s): %s\n",
+                 static_cast<unsigned long long>(q.index), q.name.c_str(),
+                 static_cast<unsigned>(q.strikes), q.last_error.c_str());
+  }
+  if (!report.quarantined.empty()) return 1;
   if (!report.complete) {
     std::fprintf(stderr,
                  "screening interrupted: %llu/%llu cell(s) done; resume "

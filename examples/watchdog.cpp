@@ -16,12 +16,22 @@
 //   --metrics-json FILE write the final obs registry snapshot to FILE
 //   --snapshot-every N  refresh --metrics-json every N records while running
 //   --quiet             suppress live per-alert lines (final report only)
+//
+// SIGINT/SIGTERM drain gracefully — also in `-` (stdin-follow) mode, where
+// the watchdog may sit forever in a blocked read: the feed loop polls, so a
+// signal is noticed within one poll tick even if no bytes ever arrive. On
+// drain the gateway finishes, the final report is printed and the alert
+// log / metrics snapshot are flushed, then the exit status is 75.
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
-#include <fstream>
-#include <iostream>
 #include <string>
 #include <vector>
 
+#include "ckpt/manifest.h"
 #include "obs/export.h"
 #include "rtv/gateway.h"
 #include "util/args.h"
@@ -76,25 +86,47 @@ int main(int argc, char** argv) {
   }
   gateway.Start();
 
-  std::ifstream file;
-  std::istream* in = &std::cin;
+  int fd = STDIN_FILENO;
   if (source != "-") {
-    file.open(source, std::ios::binary);
-    if (!file) {
+    fd = open(source.c_str(), O_RDONLY);
+    if (fd < 0) {
       std::fprintf(stderr, "watchdog: cannot open '%s'\n", source.c_str());
       return 1;
     }
-    in = &file;
   }
 
+  // Graceful drain, covering the stdin-follow mode where the producer may
+  // never send another byte: the loop polls with a short timeout and
+  // re-checks the drain flag every tick, so a SIGTERM cannot be lost to a
+  // blocked (or restarted) read.
+  ckpt::CancelToken cancel;
+  ckpt::InstallSignalDrain(&cancel);
+
+  bool interrupted = false;
   std::vector<char> buf(static_cast<std::size_t>(chunk));
-  while (*in) {
-    in->read(buf.data(), static_cast<std::streamsize>(buf.size()));
-    const auto got = static_cast<std::size_t>(in->gcount());
-    if (got == 0) break;
-    gateway.Feed(0, std::string_view(buf.data(), got));
+  for (;;) {
+    if (cancel.cancelled()) {
+      interrupted = true;
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // drain flag checked at loop top
+      break;
+    }
+    if (rc == 0) continue;  // tick: nothing to read, re-check the flag
+    const ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF
+    gateway.Feed(0, std::string_view(buf.data(), static_cast<std::size_t>(n)));
   }
+  if (fd != STDIN_FILENO) close(fd);
   gateway.Finish();
+  ckpt::InstallSignalDrain(nullptr);
 
   const auto stats = gateway.stats();
   std::printf(
@@ -121,6 +153,10 @@ int main(int argc, char** argv) {
     obs::WriteFile(metrics_path,
                    gateway.registry().ToJson(gateway.last_record_time()));
     std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
+  }
+  if (interrupted) {
+    std::fprintf(stderr, "watchdog: drained on signal\n");
+    return ckpt::kInterruptedExitCode;
   }
   return 0;
 }

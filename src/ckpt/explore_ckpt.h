@@ -117,7 +117,7 @@ struct ResumeStatus {
 //   mck::ExploreSnapshot<Model> snap;
 //   const auto resume = cp.TryLoad(&snap);          // when --resume
 //   auto* hooks = cp.hooks(resume.loaded ? &snap : nullptr);
-//   auto result = mck::ParallelExplore(m, props, opt, pool, hooks);
+//   auto result = mck::ParallelExplore(m, props, opt, exec, hooks);
 template <typename M>
   requires CheckpointableModel<M>
 class ExploreCheckpointer {

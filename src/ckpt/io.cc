@@ -1,5 +1,9 @@
 #include "ckpt/io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -22,7 +26,34 @@ struct Envelope {
 };
 static_assert(std::is_trivially_copyable_v<Envelope>);
 
+WriteShim g_write_shim = nullptr;
+
+long WriteSome(int fd, const void* data, std::size_t size) {
+  if (g_write_shim != nullptr) return g_write_shim(fd, data, size);
+  return static_cast<long>(::write(fd, data, size));
+}
+
+// Writes all of `bytes` through the (possibly shimmed) write call,
+// classifying failures. A zero-byte return is treated as a short write to
+// avoid spinning on a writer that accepts nothing.
+SaveStatus WriteAll(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const long n = WriteSome(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return (errno == ENOSPC || errno == EDQUOT) ? SaveStatus::kNoSpace
+                                                  : SaveStatus::kShortWrite;
+    }
+    if (n == 0) return SaveStatus::kShortWrite;
+    off += static_cast<std::size_t>(n);
+  }
+  return SaveStatus::kOk;
+}
+
 }  // namespace
+
+void SetWriteShimForTest(WriteShim shim) { g_write_shim = shim; }
 
 std::string ToString(LoadStatus s) {
   switch (s) {
@@ -46,10 +77,26 @@ std::string ToString(LoadStatus s) {
   return "unknown";
 }
 
-bool WriteCheckpointFile(const std::string& path, PayloadType type,
-                         std::uint32_t payload_version,
-                         std::uint64_t config_digest,
-                         std::string_view payload) {
+std::string ToString(SaveStatus s) {
+  switch (s) {
+    case SaveStatus::kOk:
+      return "ok";
+    case SaveStatus::kOpenFailed:
+      return "open-failed";
+    case SaveStatus::kShortWrite:
+      return "short-write";
+    case SaveStatus::kNoSpace:
+      return "no-space";
+    case SaveStatus::kRenameFailed:
+      return "rename-failed";
+  }
+  return "unknown";
+}
+
+SaveStatus SaveCheckpointFile(const std::string& path, PayloadType type,
+                              std::uint32_t payload_version,
+                              std::uint64_t config_digest,
+                              std::string_view payload) {
   namespace fs = std::filesystem;
   std::error_code ec;
   const fs::path target(path);
@@ -66,26 +113,39 @@ bool WriteCheckpointFile(const std::string& path, PayloadType type,
   env.payload_size = payload.size();
   env.payload_sum = Fnv1a64(payload);
 
-  const fs::path tmp(path + ".tmp");
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(reinterpret_cast<const char*>(&env), sizeof(env));
-    out.write(payload.data(),
-              static_cast<std::streamsize>(payload.size()));
-    out.flush();
-    if (!out) {
-      out.close();
-      fs::remove(tmp, ec);
-      return false;
-    }
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return SaveStatus::kOpenFailed;
+
+  SaveStatus status = WriteAll(
+      fd, std::string_view(reinterpret_cast<const char*>(&env), sizeof(env)));
+  if (status == SaveStatus::kOk) status = WriteAll(fd, payload);
+  // A failing fsync means the data may not be durable — most commonly a
+  // delayed-allocation ENOSPC surfacing only at flush time.
+  if (status == SaveStatus::kOk && ::fsync(fd) != 0) {
+    status = (errno == ENOSPC || errno == EDQUOT) ? SaveStatus::kNoSpace
+                                                  : SaveStatus::kShortWrite;
   }
+  ::close(fd);
+  if (status != SaveStatus::kOk) {
+    fs::remove(tmp, ec);
+    return status;
+  }
+
   fs::rename(tmp, target, ec);
   if (ec) {
     fs::remove(tmp, ec);
-    return false;
+    return SaveStatus::kRenameFailed;
   }
-  return true;
+  return SaveStatus::kOk;
+}
+
+bool WriteCheckpointFile(const std::string& path, PayloadType type,
+                         std::uint32_t payload_version,
+                         std::uint64_t config_digest,
+                         std::string_view payload) {
+  return SaveCheckpointFile(path, type, payload_version, config_digest,
+                            payload) == SaveStatus::kOk;
 }
 
 LoadStatus ReadCheckpointFile(const std::string& path, PayloadType type,

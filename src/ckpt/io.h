@@ -208,13 +208,43 @@ enum class LoadStatus {
 
 std::string ToString(LoadStatus s);
 
+// Why a checkpoint save failed. The cases callers care about operationally:
+// kNoSpace means the volume is full and retrying without freeing space is
+// pointless; kShortWrite means the kernel accepted fewer bytes than asked
+// (or the write failed outright) and the tmp file was discarded; in every
+// failure case the previous checkpoint, if any, is left untouched and still
+// loads kOk — the last-good-fallback contract.
+enum class SaveStatus {
+  kOk,
+  kOpenFailed,    // tmp file could not be created (permissions, bad path)
+  kShortWrite,    // write error or fewer bytes accepted than requested
+  kNoSpace,       // ENOSPC / EDQUOT: the volume is full
+  kRenameFailed,  // envelope+payload landed, but tmp -> target rename failed
+};
+
+std::string ToString(SaveStatus s);
+
 // Writes envelope + payload to `path` via tmp + rename, creating parent
-// directories. Returns false on I/O failure (the previous file, if any, is
-// left untouched).
+// directories. On any failure the tmp file is removed and the previous
+// file, if any, is left untouched.
+SaveStatus SaveCheckpointFile(const std::string& path, PayloadType type,
+                              std::uint32_t payload_version,
+                              std::uint64_t config_digest,
+                              std::string_view payload);
+
+// Compatibility wrapper: true iff SaveCheckpointFile returns kOk.
 bool WriteCheckpointFile(const std::string& path, PayloadType type,
                          std::uint32_t payload_version,
                          std::uint64_t config_digest,
                          std::string_view payload);
+
+// Test seam: replaces the ::write() call inside SaveCheckpointFile so tests
+// can inject short writes and disk-full errors without a full volume. The
+// shim sees (fd, data, size) and returns bytes written, or -1 with errno
+// set. Pass nullptr to restore the real ::write. Not thread-safe; tests
+// only.
+using WriteShim = long (*)(int fd, const void* data, std::size_t size);
+void SetWriteShimForTest(WriteShim shim);
 
 // Reads and validates `path`. On kOk fills `payload`. `config_digest` must
 // match the stored digest; pass kAnyConfigDigest to skip the check (the

@@ -2,13 +2,12 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "conf/compile.h"
+#include "dist/coordinator.h"
 #include "mck/explorer.h"
 #include "mck/random_walk.h"
 #include "obs/json.h"
-#include "par/pool.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -273,88 +272,71 @@ DiffReport DifferentialDriver::Run() const {
   }
 
   const std::size_t n = groups.size() * options_.seeds;
-  report.exec.cells_total = n;
 
-  const bool checkpointing = !options_.checkpoint_dir.empty();
+  // Grid view of the sweep: cell i is (group i / seeds, seed i % seeds),
+  // outcomes carried as the EncodeCell blob. Dispatch, supervision,
+  // checkpoint/resume and quarantine live in dist::RunGrid.
+  class Grid final : public dist::CellGrid {
+   public:
+    Grid(const std::vector<GroupSpec>& groups, const DiffOptions& options)
+        : groups_(groups), options_(options) {}
+    std::size_t size() const override {
+      return groups_.size() * options_.seeds;
+    }
+    std::string CellName(std::size_t i) const override {
+      const GroupSpec& g = groups_[i / options_.seeds];
+      return ToString(g.scenario) + " x " + g.carrier.name + " seed=" +
+             std::to_string(options_.seed_base + (i % options_.seeds));
+    }
+    dist::CellOutcome RunCell(std::size_t i, std::string_view) override {
+      const GroupSpec& g = groups_[i / options_.seeds];
+      const std::uint64_t seed = options_.seed_base + (i % options_.seeds);
+      dist::CellOutcome out;
+      out.payload = EncodeCell(conf::RunCell(g, seed, options_.walks));
+      return out;
+    }
+
+   private:
+    const std::vector<GroupSpec>& groups_;
+    const DiffOptions& options_;
+  };
+  Grid grid(groups, options_);
+
+  dist::DistOptions opt;
+  opt.backend = options_.backend;
+  opt.workers = options_.jobs;
+  opt.heartbeat_ms = options_.heartbeat_ms;
+  opt.quarantine_after = options_.quarantine_after;
+  opt.retry = options_.retry;
+  opt.kill_plan = options_.kill_plan;
+  opt.cancel = options_.cancel != nullptr ? &options_.cancel->flag() : nullptr;
+  opt.cell_type = ckpt::PayloadType::kConformanceCell;
+  opt.validate_payload = [](std::size_t, std::string_view blob) {
+    DiffCell cell;
+    return DecodeCell(blob, &cell);
+  };
   std::unique_ptr<ckpt::ManifestStore> store;
-  ckpt::Manifest manifest;
-  manifest.cells.resize(n);
-  if (checkpointing) {
+  if (!options_.checkpoint_dir.empty()) {
     store = std::make_unique<ckpt::ManifestStore>(options_.checkpoint_dir,
                                                   ConfigDigest());
-    if (options_.resume) {
-      ckpt::Manifest loaded;
-      if (store->LoadManifest(&loaded) == ckpt::LoadStatus::kOk &&
-          loaded.cells.size() == n) {
-        manifest = std::move(loaded);
-      }
-    }
+    opt.store = store.get();
+    opt.resume = options_.resume;
   }
 
-  std::vector<DiffCell> cells(n);
-  std::vector<std::uint8_t> filled(n, 0);
-  std::mutex mu;  // manifest saves + exec counters
-
-  par::WorkerPool pool(options_.jobs);
-  const std::atomic<bool>* stop =
-      options_.cancel != nullptr ? &options_.cancel->flag() : nullptr;
-  pool.ParallelEachUntil(
-      n,
-      [&](int /*worker*/, std::size_t i) {
-        const GroupSpec& g = groups[i / options_.seeds];
-        const std::uint64_t seed =
-            options_.seed_base + (i % options_.seeds);
-
-        if (checkpointing && manifest.cells[i].done != 0) {
-          std::string blob;
-          DiffCell cell;
-          if (store->LoadCell(i, ckpt::PayloadType::kConformanceCell,
-                              manifest.cells[i].outcome_digest,
-                              &blob) == ckpt::LoadStatus::kOk &&
-              DecodeCell(blob, &cell)) {
-            cells[i] = std::move(cell);
-            filled[i] = 1;
-            std::lock_guard<std::mutex> lock(mu);
-            ++report.exec.cells_resumed;
-            return;
-          }
-          std::lock_guard<std::mutex> lock(mu);
-          manifest.cells[i] = {};
-          ++report.exec.corrupt_cells_discarded;
-        }
-
-        DiffCell cell;
-        const ckpt::RetryOutcome attempt =
-            ckpt::RunWithRetries(options_.retry, [&] {
-              cell = RunCell(g, seed, options_.walks);
-              return true;
-            });
-        cells[i] = cell;
-        filled[i] = 1;
-
-        std::lock_guard<std::mutex> lock(mu);
-        report.exec.retries += attempt.retries;
-        report.exec.watchdog_hits += attempt.watchdog_hits;
-        ++report.exec.cells_run;
-        if (checkpointing) {
-          const std::string blob = EncodeCell(cell);
-          if (store->SaveCell(i, ckpt::PayloadType::kConformanceCell, blob)) {
-            ++report.exec.checkpoints_written;
-            manifest.cells[i].done = 1;
-            manifest.cells[i].outcome_digest = ckpt::Fnv1a64(blob);
-            store->SaveManifest(manifest);
-          }
-        }
-      },
-      stop);
+  dist::GridResult cells = dist::RunGrid(grid, opt);
+  report.exec = cells.exec;
+  report.quarantined = std::move(cells.quarantined);
 
   for (std::size_t i = 0; i < n; ++i) {
-    if (filled[i] == 0) {
+    if (!cells.Done(i)) {
       report.complete = false;
-      report.exec.interrupted = true;
+      if (cells.states[i] == dist::CellState::kPending) {
+        report.exec.interrupted = true;
+      }
       continue;
     }
-    const DiffCell& c = cells[i];
+    DiffCell c;
+    if (!DecodeCell(cells.payloads[i], &c)) continue;
     report.cells.push_back(c);
     if (c.verdict == Verdict::kConfirmed ||
         c.verdict == Verdict::kAgreedAbsent) {

@@ -18,6 +18,7 @@
 #include "ckpt/manifest.h"
 #include "conf/script.h"
 #include "conf/verdict.h"
+#include "dist/grid.h"
 
 namespace cnv::conf {
 
@@ -25,11 +26,16 @@ struct DiffOptions {
   std::uint64_t seeds = 64;      // seeds per (scenario, carrier) group
   std::uint64_t seed_base = 1;   // first testbed seed
   std::uint64_t walks = 32;      // random walks per cell (model side)
-  int jobs = 1;                  // worker threads (1 = inline)
+  int jobs = 1;                  // worker threads/processes (1 = inline)
   std::string checkpoint_dir;    // empty = no checkpointing
   bool resume = false;
   ckpt::RetryPolicy retry;
   ckpt::CancelToken* cancel = nullptr;
+  // Distributed execution (dist::RunGrid); see fault::CampaignConfig.
+  dist::Backend backend = dist::Backend::kThread;
+  std::int64_t heartbeat_ms = 2000;
+  int quarantine_after = 3;
+  dist::KillPlan kill_plan;
 };
 
 struct DiffCell {
@@ -56,6 +62,9 @@ struct DiffReport {
   // finds — a sampling artifact (§3.2.1), tracked but never a divergence.
   std::uint64_t walk_misses = 0;
   ckpt::ExecutionStats exec;  // stderr only, never byte-compared
+  // Quarantined cells (poisoned inputs that repeatedly killed their
+  // workers); empty on healthy sweeps.
+  std::vector<dist::QuarantineRecord> quarantined;
   bool complete = true;
 };
 

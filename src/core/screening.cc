@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "ckpt/io.h"
+#include "dist/coordinator.h"
 #include "mck/parallel_explorer.h"
 #include "mck/random_walk.h"
 #include "model/s1_model.h"
@@ -24,13 +25,13 @@ ScenarioCellResult ExploreCell(const std::string& name, const M& m,
                                const mck::PropertySet<typename M::State>& props,
                                FindingId classify_as, Rng& rng,
                                const ScreeningOptions& options,
-                               par::WorkerPool& pool) {
+                               dist::Executor& exec) {
   ScenarioCellResult cell;
   cell.cell = name;
 
   // The exhaustive pass runs on the shared worker pool; results are
   // byte-identical to serial mck::Explore at any worker count.
-  const auto result = mck::ParallelExplore(m, props, {}, &pool);
+  const auto result = mck::ParallelExplore(m, props, {}, &exec);
   cell.stats = result.stats;
   for (const auto& v : result.violations) {
     cell.violated_properties.push_back(v.property);
@@ -66,7 +67,8 @@ ScenarioCellResult ExploreCell(const std::string& name, const M& m,
 // blocks) is what lets the runner checkpoint, resume, retry and cancel at
 // cell granularity.
 struct CellSpec {
-  std::function<ScenarioCellResult(Rng&, par::WorkerPool&)> run;
+  std::string name;
+  std::function<ScenarioCellResult(Rng&, dist::Executor&)> run;
 };
 
 std::vector<CellSpec> BuildCatalog(const ScreeningOptions& options) {
@@ -78,11 +80,13 @@ std::vector<CellSpec> BuildCatalog(const ScreeningOptions& options) {
     model::S1Model::Config cfg;
     cfg.fix_keep_context = fix;
     cfg.fix_reactivate_bearer = fix;
-    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+    catalog.push_back(
+        {"S1 model / inter-system switches x all PDP deactivation causes",
+         [cfg, options](Rng& rng, dist::Executor& exec) {
       model::S1Model m(cfg);
       return ExploreCell(
           "S1 model / inter-system switches x all PDP deactivation causes", m,
-          model::S1Model::Properties(), FindingId::kS1, rng, options, pool);
+          model::S1Model::Properties(), FindingId::kS1, rng, options, exec);
     }});
   }
   {
@@ -90,11 +94,13 @@ std::vector<CellSpec> BuildCatalog(const ScreeningOptions& options) {
     cfg.allow_user_data_toggle = false;
     cfg.fix_keep_context = fix;
     cfg.fix_reactivate_bearer = fix;
-    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+    catalog.push_back(
+        {"S1 model / network-initiated deactivations only",
+         [cfg, options](Rng& rng, dist::Executor& exec) {
       model::S1Model m(cfg);
       return ExploreCell("S1 model / network-initiated deactivations only", m,
                          model::S1Model::Properties(), FindingId::kS1, rng,
-                         options, pool);
+                         options, exec);
     }});
   }
 
@@ -103,32 +109,38 @@ std::vector<CellSpec> BuildCatalog(const ScreeningOptions& options) {
     model::S2Model::Config cfg;
     cfg.allow_duplicate = false;
     cfg.reliable_shim = fix;
-    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+    catalog.push_back(
+        {"S2 model / lost signaling (Figure 5a)",
+         [cfg, options](Rng& rng, dist::Executor& exec) {
       model::S2Model m(cfg);
       return ExploreCell("S2 model / lost signaling (Figure 5a)", m,
                          model::S2Model::Properties(), FindingId::kS2, rng,
-                         options, pool);
+                         options, exec);
     }});
   }
   {
     model::S2Model::Config cfg;
     cfg.allow_loss = false;
     cfg.reliable_shim = fix;
-    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+    catalog.push_back(
+        {"S2 model / duplicate signaling (Figure 5b)",
+         [cfg, options](Rng& rng, dist::Executor& exec) {
       model::S2Model m(cfg);
       return ExploreCell("S2 model / duplicate signaling (Figure 5b)", m,
                          model::S2Model::Properties(), FindingId::kS2, rng,
-                         options, pool);
+                         options, exec);
     }});
   }
   {
     model::S2Model::Config cfg;
     cfg.reliable_shim = fix;
-    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+    catalog.push_back(
+        {"S2 model / loss + duplication combined",
+         [cfg, options](Rng& rng, dist::Executor& exec) {
       model::S2Model m(cfg);
       return ExploreCell("S2 model / loss + duplication combined", m,
                          model::S2Model::Properties(), FindingId::kS2, rng,
-                         options, pool);
+                         options, exec);
     }});
   }
 
@@ -139,11 +151,12 @@ std::vector<CellSpec> BuildCatalog(const ScreeningOptions& options) {
     model::S3Model::Config cfg;
     cfg.policy = policy;
     cfg.fix_csfb_tag = fix;
-    catalog.push_back({[cfg, policy, options](Rng& rng,
-                                              par::WorkerPool& pool) {
+    catalog.push_back(
+        {"S3 model / " + model::ToString(policy),
+         [cfg, policy, options](Rng& rng, dist::Executor& exec) {
       model::S3Model m(cfg);
       return ExploreCell("S3 model / " + model::ToString(policy), m,
-                         m.Properties(), FindingId::kS3, rng, options, pool);
+                         m.Properties(), FindingId::kS3, rng, options, exec);
     }});
   }
 
@@ -152,32 +165,38 @@ std::vector<CellSpec> BuildCatalog(const ScreeningOptions& options) {
     model::S4Model::Config cfg;
     cfg.model_ps = false;
     cfg.decoupled = fix;
-    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+    catalog.push_back(
+        {"S4 model / CS domain (CM over MM)",
+         [cfg, options](Rng& rng, dist::Executor& exec) {
       model::S4Model m(cfg);
       return ExploreCell("S4 model / CS domain (CM over MM)", m,
                          model::S4Model::Properties(), FindingId::kS4, rng,
-                         options, pool);
+                         options, exec);
     }});
   }
   {
     model::S4Model::Config cfg;
     cfg.model_cs = false;
     cfg.decoupled = fix;
-    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+    catalog.push_back(
+        {"S4 model / PS domain (SM over GMM)",
+         [cfg, options](Rng& rng, dist::Executor& exec) {
       model::S4Model m(cfg);
       return ExploreCell("S4 model / PS domain (SM over GMM)", m,
                          model::S4Model::Properties(), FindingId::kS4, rng,
-                         options, pool);
+                         options, exec);
     }});
   }
   {
     model::S4Model::Config cfg;
     cfg.decoupled = fix;
-    catalog.push_back({[cfg, options](Rng& rng, par::WorkerPool& pool) {
+    catalog.push_back(
+        {"S4 model / both domains",
+         [cfg, options](Rng& rng, dist::Executor& exec) {
       model::S4Model m(cfg);
       return ExploreCell("S4 model / both domains", m,
                          model::S4Model::Properties(), FindingId::kS4, rng,
-                         options, pool);
+                         options, exec);
     }});
   }
 
@@ -260,79 +279,96 @@ std::uint64_t ScreeningRunner::ConfigDigest() const {
   return d.Finish();
 }
 
-ScreeningReport ScreeningRunner::RunAll() const {
-  ScreeningReport report;
-  Rng rng(options_.seed);
-  // One pool for all exhaustive passes; jobs == 1 runs inline.
-  par::WorkerPool pool(options_.jobs);
-  const std::vector<CellSpec> catalog = BuildCatalog(options_);
-  report.exec.cells_total = catalog.size();
+// The catalog as a *chained* cell grid: the shared random-walk RNG stream
+// is the chain carry (cell i's carry-in is the post-cell-(i-1) RNG state),
+// which is exactly what the cell blobs have always recorded — so process
+// workers, retries and resumes all re-enter the stream stream-exactly. The
+// intra-cell executor is created lazily on first use *in each process*, so
+// a forked worker never inherits another process's threads.
+class ScreeningGrid final : public dist::CellGrid {
+ public:
+  ScreeningGrid(const std::vector<CellSpec>& catalog,
+                const ScreeningOptions& options)
+      : catalog_(catalog), options_(options) {}
 
-  const bool checkpointing = !options_.checkpoint_dir.empty();
-  std::unique_ptr<ckpt::ManifestStore> store;
-  ckpt::Manifest manifest;
-  manifest.cells.resize(catalog.size());
-  if (checkpointing) {
-    store = std::make_unique<ckpt::ManifestStore>(options_.checkpoint_dir,
-                                                  ConfigDigest());
-    if (options_.resume) {
-      ckpt::Manifest loaded;
-      if (store->LoadManifest(&loaded) == ckpt::LoadStatus::kOk &&
-          loaded.cells.size() == catalog.size()) {
-        manifest = std::move(loaded);
-      }
-    }
+  std::size_t size() const override { return catalog_.size(); }
+  std::string CellName(std::size_t i) const override {
+    return catalog_[i].name;
+  }
+  bool chained() const override { return true; }
+
+  std::string InitialCarry() const override {
+    return Rng(options_.seed).SaveState();
   }
 
-  for (std::size_t i = 0; i < catalog.size(); ++i) {
-    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
-      report.exec.interrupted = true;
-      report.complete = false;
-      break;
-    }
-
-    // Replay a completed cell from its blob; a damaged blob re-runs the
-    // cell (the RNG stream is naturally in the right position, because
-    // every earlier cell either replayed its stored post-cell state or ran
-    // for real).
-    if (checkpointing && manifest.cells[i].done != 0) {
-      std::string blob;
-      std::string rng_state;
-      ScenarioCellResult cell;
-      if (store->LoadCell(i, ckpt::PayloadType::kScreeningCell,
-                          manifest.cells[i].outcome_digest,
-                          &blob) == ckpt::LoadStatus::kOk &&
-          DecodeCell(blob, &cell, &rng_state) && rng.RestoreState(rng_state)) {
-        report.cells.push_back(std::move(cell));
-        ++report.exec.cells_resumed;
-        continue;
-      }
-      manifest.cells[i] = {};
-      ++report.exec.corrupt_cells_discarded;
-    }
-
-    // A retried cell restores its starting RNG state, so a watchdog retry
-    // consumes the shared stream exactly once.
-    const std::string rng_before = rng.SaveState();
+  bool CarryFromPayload(std::string_view payload,
+                        std::string* carry) const override {
     ScenarioCellResult cell;
-    const ckpt::RetryOutcome attempt =
-        ckpt::RunWithRetries(options_.retry, [&] {
-          rng.RestoreState(rng_before);
-          cell = catalog[i].run(rng, pool);
-          return true;
-        });
-    report.exec.retries += attempt.retries;
-    report.exec.watchdog_hits += attempt.watchdog_hits;
-    ++report.exec.cells_run;
-    report.cells.push_back(cell);
-    manifest.cells[i].done = 1;
-    if (checkpointing) {
-      const std::string blob = EncodeCell(cell, rng.SaveState());
-      if (store->SaveCell(i, ckpt::PayloadType::kScreeningCell, blob)) {
-        ++report.exec.checkpoints_written;
-        manifest.cells[i].outcome_digest = ckpt::Fnv1a64(blob);
-        store->SaveManifest(manifest);
-      }
+    std::string rng_state;
+    if (!DecodeCell(payload, &cell, &rng_state)) return false;
+    Rng scratch(0);
+    if (!scratch.RestoreState(rng_state)) return false;
+    *carry = std::move(rng_state);
+    return true;
+  }
+
+  dist::CellOutcome RunCell(std::size_t i, std::string_view carry_in) override {
+    dist::CellOutcome out;
+    Rng rng(options_.seed);
+    if (!rng.RestoreState(std::string(carry_in))) {
+      out.ok = false;
+      out.error = "undecodable RNG carry";
+      return out;
+    }
+    if (exec_ == nullptr) {
+      exec_ = std::make_unique<dist::Executor>(options_.jobs);
+    }
+    const ScenarioCellResult cell = catalog_[i].run(rng, *exec_);
+    out.carry = rng.SaveState();
+    out.payload = EncodeCell(cell, out.carry);
+    return out;
+  }
+
+ private:
+  const std::vector<CellSpec>& catalog_;
+  const ScreeningOptions& options_;
+  std::unique_ptr<dist::Executor> exec_;  // lazy: fork safety
+};
+
+ScreeningReport ScreeningRunner::RunAll() const {
+  ScreeningReport report;
+  const std::vector<CellSpec> catalog = BuildCatalog(options_);
+
+  ScreeningGrid grid(catalog, options_);
+  dist::DistOptions opt;
+  opt.backend = options_.backend;
+  opt.workers = options_.jobs;  // chained: fleet of 1; jobs drive the cell
+  opt.heartbeat_ms = options_.heartbeat_ms;
+  opt.quarantine_after = options_.quarantine_after;
+  opt.retry = options_.retry;
+  opt.kill_plan = options_.kill_plan;
+  opt.cancel = options_.cancel != nullptr ? &options_.cancel->flag() : nullptr;
+  opt.cell_type = ckpt::PayloadType::kScreeningCell;
+  std::unique_ptr<ckpt::ManifestStore> store;
+  if (!options_.checkpoint_dir.empty()) {
+    store = std::make_unique<ckpt::ManifestStore>(options_.checkpoint_dir,
+                                                  ConfigDigest());
+    opt.store = store.get();
+    opt.resume = options_.resume;
+  }
+
+  dist::GridResult cells = dist::RunGrid(grid, opt);
+  report.exec = cells.exec;
+  report.quarantined = std::move(cells.quarantined);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (!cells.Done(i)) {
+      report.complete = false;
+      break;  // chained: nothing after the first incomplete cell ran
+    }
+    ScenarioCellResult cell;
+    std::string rng_state;
+    if (DecodeCell(cells.payloads[i], &cell, &rng_state)) {
+      report.cells.push_back(std::move(cell));
     }
   }
 

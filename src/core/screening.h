@@ -13,6 +13,7 @@
 
 #include "ckpt/manifest.h"
 #include "core/findings.h"
+#include "dist/grid.h"
 #include "mck/explorer.h"
 #include "util/rng.h"
 
@@ -46,6 +47,15 @@ struct ScreeningOptions {
   // Graceful drain: checked between cells; the report is then marked
   // interrupted/incomplete.
   ckpt::CancelToken* cancel = nullptr;
+  // Distributed execution (dist::RunGrid). The catalog is a *chained* grid
+  // (the shared RNG stream is the chain carry), so cells always run in
+  // order; the process backend still buys failure-domain isolation — a
+  // crashing or hanging cell is retried in a fresh worker and quarantined
+  // after `quarantine_after` strikes instead of killing the run.
+  dist::Backend backend = dist::Backend::kThread;
+  std::int64_t heartbeat_ms = 2000;
+  int quarantine_after = 3;
+  dist::KillPlan kill_plan;
 };
 
 struct ScenarioCellResult {
@@ -67,6 +77,10 @@ struct ScreeningReport {
   // Process-level accounting; never part of Format() or any byte-compared
   // export (drivers print it to stderr).
   ckpt::ExecutionStats exec;
+  // Cells quarantined after repeatedly crashing/hanging their workers. A
+  // chained catalog stops at the first quarantined cell (its carry-out is
+  // lost), so at most one entry today.
+  std::vector<dist::QuarantineRecord> quarantined;
   // False when a drain stopped the catalog early; `cells` then holds only
   // the completed prefix.
   bool complete = true;

@@ -1,0 +1,158 @@
+#include "dist/frame.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ckpt/io.h"
+
+namespace cnv::dist {
+
+namespace {
+
+struct WireHeader {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint32_t type;
+  std::uint32_t worker;
+  std::uint64_t cell;
+  std::uint64_t payload_size;
+  std::uint64_t payload_sum;
+};
+static_assert(std::is_trivially_copyable_v<WireHeader>);
+
+bool ValidType(std::uint32_t t) {
+  return t >= static_cast<std::uint32_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint32_t>(FrameType::kBye);
+}
+
+}  // namespace
+
+std::string ToString(FrameType t) {
+  switch (t) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kLease:
+      return "lease";
+    case FrameType::kResult:
+      return "result";
+    case FrameType::kError:
+      return "error";
+    case FrameType::kHeartbeat:
+      return "heartbeat";
+    case FrameType::kDrain:
+      return "drain";
+    case FrameType::kBye:
+      return "bye";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  WireHeader h{};
+  h.magic = kFrameMagic;
+  h.version = kProtocolVersion;
+  h.type = static_cast<std::uint32_t>(frame.type);
+  h.worker = frame.worker;
+  h.cell = frame.cell;
+  h.payload_size = frame.payload.size();
+  h.payload_sum = ckpt::Fnv1a64(frame.payload);
+
+  std::string out;
+  out.reserve(sizeof(h) + frame.payload.size());
+  out.append(reinterpret_cast<const char*>(&h), sizeof(h));
+  out.append(frame.payload);
+  return out;
+}
+
+void FrameParser::Feed(std::string_view bytes) {
+  if (poisoned_) return;
+  // Compact the consumed prefix before it grows unbounded.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes);
+}
+
+FrameParser::Status FrameParser::Next(Frame* out) {
+  if (poisoned_) return Status::kBad;
+  if (buf_.size() - pos_ < sizeof(WireHeader)) return Status::kNeedMore;
+
+  WireHeader h{};
+  std::memcpy(&h, buf_.data() + pos_, sizeof(h));
+  if (h.magic != kFrameMagic) {
+    poisoned_ = true;
+    error_ = "bad magic";
+    return Status::kBad;
+  }
+  if (h.version != kProtocolVersion) {
+    poisoned_ = true;
+    error_ = "protocol version mismatch";
+    return Status::kBad;
+  }
+  if (!ValidType(h.type)) {
+    poisoned_ = true;
+    error_ = "unknown frame type";
+    return Status::kBad;
+  }
+  if (h.payload_size > kMaxFramePayload) {
+    poisoned_ = true;
+    error_ = "oversized payload";
+    return Status::kBad;
+  }
+  if (buf_.size() - pos_ < sizeof(h) + h.payload_size) {
+    return Status::kNeedMore;
+  }
+
+  const std::string_view payload(buf_.data() + pos_ + sizeof(h),
+                                 static_cast<std::size_t>(h.payload_size));
+  if (ckpt::Fnv1a64(payload) != h.payload_sum) {
+    poisoned_ = true;
+    error_ = "payload checksum mismatch";
+    return Status::kBad;
+  }
+
+  out->type = static_cast<FrameType>(h.type);
+  out->worker = h.worker;
+  out->cell = h.cell;
+  out->payload.assign(payload);
+  pos_ += sizeof(h) + static_cast<std::size_t>(h.payload_size);
+  return Status::kFrame;
+}
+
+bool WriteFrame(int fd, const Frame& frame) {
+  const std::string bytes = EncodeFrame(frame);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string EncodeResultPayload(std::string_view outcome,
+                                std::string_view carry) {
+  ckpt::BinaryWriter w;
+  w.Str(outcome);
+  w.Str(carry);
+  return w.Take();
+}
+
+bool DecodeResultPayload(std::string_view payload, std::string* outcome,
+                         std::string* carry) {
+  ckpt::BinaryReader r(payload);
+  std::string o = r.Str();
+  std::string c = r.Str();
+  if (!r.AtEnd()) return false;
+  *outcome = std::move(o);
+  *carry = std::move(c);
+  return true;
+}
+
+}  // namespace cnv::dist

@@ -1,0 +1,97 @@
+// Wire protocol between the distributed-grid coordinator and its worker
+// processes: length-prefixed, versioned, checksummed frames over a
+// byte-stream transport (a socketpair today; the framing is transport
+// agnostic, following the ngic-rtc push/pull idiom of one tiny header per
+// message).
+//
+// Frame layout (host-endian; workers are forked from the coordinator, so
+// both ends always share one ABI):
+//
+//   magic        u32   "DVNC" (kFrameMagic)
+//   version      u32   protocol version (kProtocolVersion)
+//   type         u32   FrameType
+//   worker       u32   sender slot (coordinator sends 0xffffffff)
+//   cell         u64   grid cell index the frame refers to (or kNoCell)
+//   payload_size u64
+//   payload_sum  u64   FNV-1a over the payload bytes
+//   payload      payload_size bytes
+//
+// A frame that fails any validation (magic, version, checksum, oversized
+// declared payload) poisons the connection: the coordinator treats the
+// worker as crashed, which is exactly the failure-domain contract — a
+// corrupt byte stream is indistinguishable from a dying worker and is
+// handled by the same lease-reassignment path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cnv::dist {
+
+inline constexpr std::uint32_t kFrameMagic = 0x444E5643u;  // "CNVD" in LE
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint64_t kNoCell = ~0ull;
+inline constexpr std::uint32_t kCoordinatorSlot = 0xffffffffu;
+// Upper bound on a declared payload; a corrupt size field must not turn
+// into a multi-gigabyte allocation.
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
+
+enum class FrameType : std::uint32_t {
+  kHello = 1,      // worker -> coordinator, once after spawn (payload: pid)
+  kLease = 2,      // coordinator -> worker: run `cell` (payload: carry-in)
+  kResult = 3,     // worker -> coordinator (payload: outcome blob + carry)
+  kError = 4,      // worker -> coordinator: cell failed cleanly (payload: msg)
+  kHeartbeat = 5,  // worker -> coordinator liveness tick
+  kDrain = 6,      // coordinator -> worker: finish + exit gracefully
+  kBye = 7,        // worker -> coordinator: clean shutdown acknowledgement
+};
+
+std::string ToString(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::uint32_t worker = kCoordinatorSlot;
+  std::uint64_t cell = kNoCell;
+  std::string payload;
+};
+
+// Serializes header + payload.
+std::string EncodeFrame(const Frame& frame);
+
+// Incremental decoder over an arbitrary chunking of the byte stream. Feed
+// bytes as they arrive; Next() pops complete frames in order.
+class FrameParser {
+ public:
+  enum class Status {
+    kFrame,     // *out holds the next frame
+    kNeedMore,  // no complete frame buffered yet
+    kBad,       // stream corrupt (bad magic/version/checksum/size)
+  };
+
+  void Feed(std::string_view bytes);
+  Status Next(Frame* out);
+
+  // Set once a kBad was returned; the stream cannot be resynchronized.
+  bool poisoned() const { return poisoned_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+// Blocking write of one whole frame to `fd`, retrying on EINTR and partial
+// writes. Returns false when the peer is gone (EPIPE/ECONNRESET/...).
+bool WriteFrame(int fd, const Frame& frame);
+
+// Result/lease payload helpers: a result carries the cell outcome blob plus
+// the carry-out token for chained grids.
+std::string EncodeResultPayload(std::string_view outcome,
+                                std::string_view carry);
+bool DecodeResultPayload(std::string_view payload, std::string* outcome,
+                         std::string* carry);
+
+}  // namespace cnv::dist

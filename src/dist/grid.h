@@ -1,0 +1,154 @@
+// The shared task-graph vocabulary of the distributed execution core: a
+// *cell grid* is a set of independent (or chain-dependent) tasks with
+// deterministic identity. The three sweep runners — fault::CampaignRunner,
+// conf::DifferentialDriver and core::ScreeningRunner — implement CellGrid
+// and hand dispatch, supervision, checkpointing and retry to one
+// dist::RunGrid coordinator instead of each carrying their own loop.
+//
+// The determinism contract that makes distribution safe: RunCell(i, carry)
+// is a pure function of (i, carry) — same index and carry-in, same outcome
+// payload and carry-out bytes, in any process, at any time. The coordinator
+// merges outcomes *by cell index*, so the merged result is byte-identical
+// across the in-process backends and the multi-process backend at any
+// worker count and under any worker-kill schedule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ckpt/io.h"
+#include "ckpt/manifest.h"
+
+namespace cnv::dist {
+
+// Outcome of one cell attempt. `payload` is the encoded cell result (the
+// grid's own codec; the coordinator never interprets it); `carry` is the
+// chain token handed to the next cell of a chained grid (e.g. the screening
+// runner's shared RNG stream state).
+struct CellOutcome {
+  bool ok = true;
+  std::string payload;
+  std::string carry;
+  std::string error;  // set when !ok
+};
+
+class CellGrid {
+ public:
+  virtual ~CellGrid() = default;
+
+  virtual std::size_t size() const = 0;
+
+  // Stable human-readable identity, used in quarantine reports and logs.
+  virtual std::string CellName(std::size_t index) const {
+    return "cell " + std::to_string(index);
+  }
+
+  // True when cell i+1's input depends on cell i's carry-out. Chained grids
+  // run strictly in index order (the process backend still supervises the
+  // single in-flight lease); unchained grids fan out freely.
+  virtual bool chained() const { return false; }
+
+  // Carry-in for cell 0 of a chained grid.
+  virtual std::string InitialCarry() const { return {}; }
+
+  // Recovers the carry-out from a completed cell's payload, so a resumed
+  // chained grid re-enters the chain exactly where the checkpoint left it.
+  // Returns false when the payload does not decode (the cell then re-runs).
+  virtual bool CarryFromPayload(std::string_view payload,
+                                std::string* carry) const {
+    (void)payload;
+    carry->clear();
+    return true;
+  }
+
+  // Runs the cell. Must be deterministic in (index, carry_in) and safe to
+  // call from a forked worker process or a pool thread.
+  virtual CellOutcome RunCell(std::size_t index, std::string_view carry_in) = 0;
+};
+
+enum class Backend {
+  kThread,   // in-process pool (workers == 1 degenerates to serial/inline)
+  kProcess,  // supervised worker processes over the frame protocol
+};
+
+std::string ToString(Backend b);
+bool ParseBackend(std::string_view name, Backend* out);
+
+// Test seam: SIGKILL the worker occupying `slot` once the coordinator has
+// merged `after_results` cell results. Deterministic per schedule; the
+// merged grid output must be byte-identical under any schedule.
+struct KillEvent {
+  std::uint64_t after_results = 0;
+  int slot = 0;
+};
+
+struct KillPlan {
+  std::vector<KillEvent> events;
+  bool empty() const { return events.empty(); }
+};
+
+struct DistOptions {
+  Backend backend = Backend::kThread;
+  // Worker count: 0 = hardware concurrency, 1 = inline/serial.
+  int workers = 1;
+  // Process-backend liveness: a worker whose last heartbeat is older than
+  // this is declared dead (SIGKILLed, lease reassigned).
+  std::int64_t heartbeat_ms = 2000;
+  // A cell whose leases have crashed/hung/failed this many times is
+  // quarantined into the report instead of livelocking the fleet.
+  int quarantine_after = 3;
+  // Per-cell watchdog + bounded retries (thread backend runs the post-hoc
+  // watchdog; the process backend enforces cell_timeout_ms pre-emptively by
+  // killing the overrunning worker).
+  ckpt::RetryPolicy retry;
+  // Graceful drain: no new leases once set; in-flight cells finish and are
+  // checkpointed, the result is marked incomplete.
+  const std::atomic<bool>* cancel = nullptr;
+  // Checkpointing: when `store` is set, completed cells are persisted as
+  // `cell_type` blobs with a manifest, and (with `resume`) completed cells
+  // replay from their blobs exactly like an uninterrupted run.
+  const ckpt::ManifestStore* store = nullptr;
+  bool resume = false;
+  ckpt::PayloadType cell_type = ckpt::PayloadType::kCampaignCell;
+  // Resume-time semantic validation of a checksum-valid cell blob (e.g.
+  // "does this decode as a RunOutcome?"). Returns false to discard the blob
+  // and re-run the cell. Null accepts any blob the envelope check passed.
+  std::function<bool(std::size_t index, std::string_view payload)>
+      validate_payload;
+  // Failure injection for the kill-schedule fuzzer (process backend only).
+  KillPlan kill_plan;
+};
+
+enum class CellState : std::uint8_t {
+  kPending = 0,     // never completed (drain interrupted the grid)
+  kDone = 1,        // payload merged
+  kQuarantined = 2  // poisoned: killed/failed quarantine_after workers
+};
+
+struct QuarantineRecord {
+  std::size_t index = 0;
+  std::string name;
+  std::uint32_t strikes = 0;  // worker deaths + clean failures attributed
+  std::string last_error;     // last clean-failure message, if any
+};
+
+struct GridResult {
+  // One entry per cell, merged by index; empty for pending/quarantined.
+  std::vector<std::string> payloads;
+  std::vector<CellState> states;
+  std::vector<QuarantineRecord> quarantined;  // index order
+  ckpt::ExecutionStats exec;
+  // Process-backend supervision accounting (stderr only, like exec).
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t worker_respawns = 0;
+  std::uint64_t heartbeat_timeouts = 0;
+  bool complete = true;  // every cell done or quarantined
+
+  bool Done(std::size_t i) const { return states[i] == CellState::kDone; }
+};
+
+}  // namespace cnv::dist

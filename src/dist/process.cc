@@ -1,0 +1,608 @@
+#include "dist/process.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "dist/frame.h"
+#include "par/pool.h"
+
+namespace cnv::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// --- worker side ------------------------------------------------------------
+
+// Direct-SIGTERM drain flag of the *worker* process (the coordinator's
+// CancelToken lives in a different process entirely).
+volatile std::sig_atomic_t g_worker_drain = 0;
+
+extern "C" void WorkerSigterm(int) { g_worker_drain = 1; }
+
+// Serializes frame writes between the cell-running thread and the
+// heartbeat thread of one worker.
+struct WorkerLink {
+  int fd = -1;
+  std::mutex mu;
+
+  bool Send(const Frame& f) {
+    std::lock_guard<std::mutex> lock(mu);
+    return WriteFrame(fd, f);
+  }
+};
+
+// The forked child's main loop; never returns. Runs leases, heartbeats in a
+// side thread, drains on SIGTERM or a drain frame.
+[[noreturn]] void WorkerMain(int fd, std::uint32_t slot, CellGrid& grid,
+                             std::int64_t heartbeat_ms) {
+  // SIGTERM must interrupt the blocking read (no SA_RESTART) so a drain
+  // request is noticed between frames.
+  struct sigaction sa {};
+  sa.sa_handler = WorkerSigterm;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  WorkerLink link;
+  link.fd = fd;
+
+  {
+    ckpt::BinaryWriter hello;
+    hello.U64(static_cast<std::uint64_t>(getpid()));
+    link.Send({FrameType::kHello, slot, kNoCell, hello.Take()});
+  }
+
+  // Heartbeat thread: pings at a quarter of the liveness deadline, always —
+  // only a genuinely stopped process (hang, SIGSTOP, livelock) goes silent.
+  std::atomic<bool> stop_heartbeat{false};
+  const auto tick = std::chrono::milliseconds(
+      std::max<std::int64_t>(1, heartbeat_ms / 4));
+  std::thread heartbeat([&] {
+    while (!stop_heartbeat.load(std::memory_order_relaxed)) {
+      if (!link.Send({FrameType::kHeartbeat, slot, kNoCell, {}})) return;
+      std::this_thread::sleep_for(tick);
+    }
+  });
+  heartbeat.detach();
+
+  FrameParser parser;
+  char buf[64 * 1024];
+  int exit_code = 0;
+  for (;;) {
+    if (g_worker_drain != 0) {
+      exit_code = kWorkerDrainExitCode;
+      break;
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;  // drain flag checked at loop top
+      break;                         // coordinator gone
+    }
+    if (n == 0) break;  // coordinator closed (crashed or finished)
+    parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+
+    Frame frame;
+    bool done = false;
+    while (parser.Next(&frame) == FrameParser::Status::kFrame) {
+      if (frame.type == FrameType::kDrain) {
+        done = true;
+        break;
+      }
+      if (frame.type != FrameType::kLease) continue;
+      CellOutcome out;
+      try {
+        out = grid.RunCell(static_cast<std::size_t>(frame.cell),
+                           frame.payload);
+      } catch (const std::exception& e) {
+        out.ok = false;
+        out.error = e.what();
+      } catch (...) {
+        out.ok = false;
+        out.error = "unknown exception";
+      }
+      if (out.ok) {
+        link.Send({FrameType::kResult, slot, frame.cell,
+                   EncodeResultPayload(out.payload, out.carry)});
+      } else {
+        link.Send({FrameType::kError, slot, frame.cell, out.error});
+      }
+      if (g_worker_drain != 0) {
+        exit_code = kWorkerDrainExitCode;
+        done = true;
+        break;
+      }
+    }
+    if (parser.poisoned() || done) break;
+  }
+
+  link.Send({FrameType::kBye, slot, kNoCell, {}});
+  stop_heartbeat.store(true, std::memory_order_relaxed);
+  // _exit: no destructors, no atexit — the worker shares nothing with the
+  // coordinator beyond its socket.
+  _exit(exit_code);
+}
+
+// --- coordinator side -------------------------------------------------------
+
+struct WorkerSlot {
+  pid_t pid = -1;
+  int fd = -1;
+  bool alive = false;
+  bool draining = false;                    // drain frame sent
+  std::uint64_t lease = kNoCell;            // cell in flight, or none
+  Clock::time_point last_seen{};
+  Clock::time_point lease_start{};
+  FrameParser parser;
+};
+
+class Fleet {
+ public:
+  Fleet(CellGrid& grid, const DistOptions& options,
+        const std::vector<std::size_t>& pending,
+        const FleetCallbacks& callbacks)
+      : grid_(grid),
+        options_(options),
+        callbacks_(callbacks),
+        queue_(pending.begin(), pending.end()) {
+    unresolved_ = pending.size();
+    strikes_.assign(grid.size(), 0);
+    resolved_.assign(grid.size(), false);
+    const int requested = par::ResolveJobs(options.workers);
+    fleet_size_ = grid.chained()
+                      ? 1
+                      : static_cast<int>(std::min<std::size_t>(
+                            static_cast<std::size_t>(requested),
+                            std::max<std::size_t>(pending.size(), 1)));
+    slots_.resize(static_cast<std::size_t>(fleet_size_));
+    kill_events_ = options.kill_plan.events;
+    std::stable_sort(kill_events_.begin(), kill_events_.end(),
+                     [](const KillEvent& a, const KillEvent& b) {
+                       return a.after_results < b.after_results;
+                     });
+  }
+
+  FleetStats Run() {
+    // A dead worker's socket raises EPIPE on write; that must be a return
+    // value, not a process-killing signal.
+    struct sigaction ign {}, old_pipe {};
+    ign.sa_handler = SIG_IGN;
+    sigemptyset(&ign.sa_mask);
+    sigaction(SIGPIPE, &ign, &old_pipe);
+
+    for (int s = 0; s < fleet_size_; ++s) Spawn(s);
+
+    while (unresolved_ > 0 && !halt_) {
+      if (Cancelled() && LeasesInFlight() == 0) {
+        stats_.interrupted = true;
+        break;
+      }
+      if (AliveCount() == 0) {
+        // Every worker is gone with work left (fork failures); one respawn
+        // sweep, then give up rather than spin.
+        for (int s = 0; s < fleet_size_ && AliveCount() == 0; ++s) Spawn(s);
+        if (AliveCount() == 0) {
+          stats_.interrupted = true;
+          break;
+        }
+      }
+      GrantLeases();
+      FireKillPlan();
+      PollOnce();
+      CheckDeadlines();
+      ReapChildren();
+    }
+    if (Cancelled() && unresolved_ > 0) stats_.interrupted = true;
+
+    Shutdown();
+    sigaction(SIGPIPE, &old_pipe, nullptr);
+    return stats_;
+  }
+
+ private:
+  bool Cancelled() const {
+    return options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_relaxed);
+  }
+
+  int LeasesInFlight() const {
+    int n = 0;
+    for (const auto& s : slots_) {
+      if (s.alive && s.lease != kNoCell) ++n;
+    }
+    return n;
+  }
+
+  int AliveCount() const {
+    int n = 0;
+    for (const auto& s : slots_) {
+      if (s.alive) ++n;
+    }
+    return n;
+  }
+
+  void Spawn(int slot) {
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return;
+    const pid_t pid = fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      return;
+    }
+    if (pid == 0) {
+      // Child: drop every coordinator-side fd, keep only our channel.
+      ::close(sv[0]);
+      for (const auto& s : slots_) {
+        if (s.fd >= 0) ::close(s.fd);
+      }
+      WorkerMain(sv[1], static_cast<std::uint32_t>(slot), grid_,
+                 options_.heartbeat_ms);
+    }
+    ::close(sv[1]);
+    WorkerSlot& w = slots_[static_cast<std::size_t>(slot)];
+    w = WorkerSlot{};
+    w.pid = pid;
+    w.fd = sv[0];
+    w.alive = true;
+    w.last_seen = Clock::now();
+  }
+
+  void GrantLeases() {
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      WorkerSlot& w = slots_[s];
+      if (!w.alive || w.lease != kNoCell || w.draining) continue;
+      if (Cancelled() || queue_.empty()) {
+        // Nothing more for this worker: drain it once the grid is done or
+        // cancelled (idle workers linger until Shutdown otherwise).
+        if (Cancelled()) {
+          w.draining = true;
+          WriteFrame(w.fd, {FrameType::kDrain, kCoordinatorSlot, kNoCell, {}});
+        }
+        continue;
+      }
+      // Chained grids: one lease in flight, strictly in index order.
+      if (grid_.chained() && LeasesInFlight() > 0) return;
+      const std::size_t cell = queue_.front();
+      queue_.pop_front();
+      const std::string carry =
+          callbacks_.carry_for ? callbacks_.carry_for(cell) : std::string();
+      if (!WriteFrame(w.fd, {FrameType::kLease, kCoordinatorSlot,
+                             static_cast<std::uint64_t>(cell), carry})) {
+        queue_.push_front(cell);
+        HandleDeath(static_cast<int>(s));
+        continue;
+      }
+      w.lease = cell;
+      w.lease_start = Clock::now();
+    }
+  }
+
+  void FireKillPlan() {
+    while (next_kill_ < kill_events_.size() &&
+           kill_events_[next_kill_].after_results <= merged_results_) {
+      const int slot = kill_events_[next_kill_].slot;
+      ++next_kill_;
+      if (slot < 0 || slot >= fleet_size_) continue;
+      WorkerSlot& w = slots_[static_cast<std::size_t>(slot)];
+      if (!w.alive) continue;
+      kill(w.pid, SIGKILL);
+      // Death is then observed through the normal EOF/reap path.
+    }
+  }
+
+  void PollOnce() {
+    std::vector<pollfd> fds;
+    std::vector<int> fd_slot;
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      if (!slots_[s].alive) continue;
+      fds.push_back({slots_[s].fd, POLLIN, 0});
+      fd_slot.push_back(static_cast<int>(s));
+    }
+    if (fds.empty()) return;
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+    if (rc <= 0) return;
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      ReadWorker(fd_slot[k]);
+    }
+  }
+
+  void ReadWorker(int slot) {
+    WorkerSlot& w = slots_[static_cast<std::size_t>(slot)];
+    if (!w.alive) return;
+    char buf[64 * 1024];
+    const ssize_t n = ::read(w.fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) return;
+      HandleDeath(slot);
+      return;
+    }
+    if (n == 0) {
+      HandleDeath(slot);
+      return;
+    }
+    w.parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    Frame frame;
+    for (;;) {
+      const FrameParser::Status st = w.parser.Next(&frame);
+      if (st == FrameParser::Status::kNeedMore) break;
+      if (st == FrameParser::Status::kBad) {
+        // A corrupt stream is a crashed worker.
+        HandleDeath(slot);
+        return;
+      }
+      w.last_seen = Clock::now();
+      switch (frame.type) {
+        case FrameType::kHello:
+        case FrameType::kHeartbeat:
+          break;
+        case FrameType::kResult:
+          HandleResult(slot, frame);
+          break;
+        case FrameType::kError:
+          HandleCleanFailure(slot, frame);
+          break;
+        case FrameType::kBye:
+          // Clean exit; not a death unless a lease is still open (it never
+          // is: Bye follows the last result).
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  void HandleResult(int slot, const Frame& frame) {
+    WorkerSlot& w = slots_[static_cast<std::size_t>(slot)];
+    const std::size_t cell = static_cast<std::size_t>(frame.cell);
+    if (w.lease == frame.cell) w.lease = kNoCell;
+    if (cell >= resolved_.size() || resolved_[cell]) return;
+    std::string outcome;
+    std::string carry;
+    if (!DecodeResultPayload(frame.payload, &outcome, &carry)) {
+      Strike(cell, "result payload failed to decode");
+      return;
+    }
+    resolved_[cell] = true;
+    --unresolved_;
+    ++merged_results_;
+    if (callbacks_.on_result) {
+      callbacks_.on_result(cell, std::move(outcome), std::move(carry));
+    }
+  }
+
+  void HandleCleanFailure(int slot, const Frame& frame) {
+    WorkerSlot& w = slots_[static_cast<std::size_t>(slot)];
+    if (w.lease == frame.cell) w.lease = kNoCell;
+    ++stats_.clean_failures;
+    Strike(static_cast<std::size_t>(frame.cell),
+           std::string(frame.payload));
+  }
+
+  // One strike against `cell` (worker death, clean failure, watchdog kill);
+  // requeues or quarantines.
+  void Strike(std::size_t cell, std::string error) {
+    if (cell >= resolved_.size() || resolved_[cell]) return;
+    ++strikes_[cell];
+    if (options_.quarantine_after > 0 &&
+        strikes_[cell] >=
+            static_cast<std::uint32_t>(options_.quarantine_after)) {
+      resolved_[cell] = true;
+      --unresolved_;
+      QuarantineRecord q;
+      q.index = cell;
+      q.name = grid_.CellName(cell);
+      q.strikes = strikes_[cell];
+      q.last_error = std::move(error);
+      if (callbacks_.on_quarantine) callbacks_.on_quarantine(q);
+      // A chained grid cannot continue past a quarantined cell — later
+      // cells have no carry-in. Leave them pending and stop.
+      if (grid_.chained()) {
+        queue_.clear();
+        halt_ = true;
+      }
+      return;
+    }
+    // Reassign. Chained grids must retry the same cell next (index order);
+    // unchained cells go to the back so one flaky cell cannot starve the
+    // queue.
+    if (grid_.chained()) {
+      queue_.push_front(cell);
+    } else {
+      queue_.push_back(cell);
+    }
+  }
+
+  void HandleDeath(int slot) {
+    WorkerSlot& w = slots_[static_cast<std::size_t>(slot)];
+    if (!w.alive) return;
+    w.alive = false;
+    ::close(w.fd);
+    w.fd = -1;
+    kill(w.pid, SIGKILL);  // idempotent; covers hung-not-dead workers
+    int status = 0;
+    waitpid(w.pid, &status, 0);
+    const bool drained_clean =
+        WIFEXITED(status) && (WEXITSTATUS(status) == 0 ||
+                              WEXITSTATUS(status) == kWorkerDrainExitCode);
+    const std::uint64_t lease = w.lease;
+    w.lease = kNoCell;
+    if (lease != kNoCell &&
+        !resolved_[static_cast<std::size_t>(lease)]) {
+      ++stats_.worker_deaths;
+      Strike(static_cast<std::size_t>(lease), "worker died mid-cell");
+    } else if (!drained_clean) {
+      ++stats_.worker_deaths;
+    }
+    // Keep the fleet at strength while work remains.
+    if (!Cancelled() && unresolved_ > 0 &&
+        (!queue_.empty() || LeasesInFlight() < static_cast<int>(unresolved_))) {
+      Spawn(slot);
+      ++stats_.worker_respawns;
+    }
+  }
+
+  void CheckDeadlines() {
+    const auto now = Clock::now();
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      WorkerSlot& w = slots_[s];
+      if (!w.alive) continue;
+      const auto silent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              now - w.last_seen)
+                              .count();
+      if (options_.heartbeat_ms > 0 && silent > options_.heartbeat_ms) {
+        ++stats_.heartbeat_timeouts;
+        HandleDeath(static_cast<int>(s));
+        continue;
+      }
+      if (options_.retry.cell_timeout_ms > 0 && w.lease != kNoCell) {
+        const auto busy =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - w.lease_start)
+                .count();
+        if (busy > options_.retry.cell_timeout_ms) {
+          ++stats_.watchdog_kills;
+          HandleDeath(static_cast<int>(s));
+        }
+      }
+    }
+  }
+
+  void ReapChildren() {
+    // Catch crashes whose EOF we have not read yet (rare ordering); the
+    // socket path handles the common case.
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      WorkerSlot& w = slots_[s];
+      if (!w.alive) continue;
+      int status = 0;
+      const pid_t r = waitpid(w.pid, &status, WNOHANG);
+      if (r != w.pid) continue;
+      // Child exited; drain any frames still buffered in the socket before
+      // declaring the lease dead.
+      const bool crashed =
+          !(WIFEXITED(status) &&
+            (WEXITSTATUS(status) == 0 ||
+             WEXITSTATUS(status) == kWorkerDrainExitCode));
+      ReadWorkerUntilEof(static_cast<int>(s), crashed);
+    }
+  }
+
+  void ReadWorkerUntilEof(int slot, bool crashed) {
+    WorkerSlot& w = slots_[static_cast<std::size_t>(slot)];
+    char buf[64 * 1024];
+    for (;;) {
+      if (!w.alive) return;
+      const ssize_t n = ::read(w.fd, buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      // Feed through the normal parser path.
+      w.parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      Frame frame;
+      while (w.parser.Next(&frame) == FrameParser::Status::kFrame) {
+        w.last_seen = Clock::now();
+        if (frame.type == FrameType::kResult) HandleResult(slot, frame);
+        if (frame.type == FrameType::kError) HandleCleanFailure(slot, frame);
+      }
+      if (w.parser.poisoned()) break;
+    }
+    // `waitpid` already reaped the child in ReapChildren; HandleDeath's
+    // blocking waitpid would hang, so mark it gone first.
+    if (w.alive) {
+      w.alive = false;
+      ::close(w.fd);
+      w.fd = -1;
+      const std::uint64_t lease = w.lease;
+      w.lease = kNoCell;
+      if (lease != kNoCell && !resolved_[static_cast<std::size_t>(lease)]) {
+        ++stats_.worker_deaths;
+        Strike(static_cast<std::size_t>(lease), "worker died mid-cell");
+      } else if (crashed) {
+        // Idle worker crashed (e.g. killed between merging its result and
+        // the next lease): no lease to strike, but still a death.
+        ++stats_.worker_deaths;
+      }
+      if (!Cancelled() && unresolved_ > 0) {
+        Spawn(slot);
+        ++stats_.worker_respawns;
+      }
+    }
+  }
+
+  void Shutdown() {
+    for (auto& w : slots_) {
+      if (!w.alive) continue;
+      WriteFrame(w.fd, {FrameType::kDrain, kCoordinatorSlot, kNoCell, {}});
+    }
+    const auto deadline = Clock::now() + std::chrono::milliseconds(500);
+    for (auto& w : slots_) {
+      if (!w.alive) continue;
+      int status = 0;
+      bool we_killed = false;
+      for (;;) {
+        const pid_t r = waitpid(w.pid, &status, WNOHANG);
+        if (r == w.pid || r < 0) break;
+        if (Clock::now() > deadline) {
+          kill(w.pid, SIGKILL);
+          we_killed = true;
+          waitpid(w.pid, &status, 0);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      // A worker that was already dead of a signal we did not send (e.g. a
+      // kill-plan SIGKILL racing the last merged result) still counts as a
+      // death; its result made it into the merge, only the accounting
+      // would otherwise be lost.
+      const bool drained_clean =
+          WIFEXITED(status) && (WEXITSTATUS(status) == 0 ||
+                                WEXITSTATUS(status) == kWorkerDrainExitCode);
+      if (!we_killed && !drained_clean) ++stats_.worker_deaths;
+      ::close(w.fd);
+      w.fd = -1;
+      w.alive = false;
+    }
+  }
+
+  CellGrid& grid_;
+  const DistOptions& options_;
+  const FleetCallbacks& callbacks_;
+  std::deque<std::size_t> queue_;
+  std::vector<WorkerSlot> slots_;
+  std::vector<std::uint32_t> strikes_;
+  std::vector<char> resolved_;
+  std::size_t unresolved_ = 0;
+  std::uint64_t merged_results_ = 0;
+  std::vector<KillEvent> kill_events_;
+  std::size_t next_kill_ = 0;
+  int fleet_size_ = 1;
+  bool halt_ = false;  // chained grid hit a quarantine; stop leasing
+  FleetStats stats_;
+};
+
+}  // namespace
+
+FleetStats RunProcessFleet(CellGrid& grid, const DistOptions& options,
+                           const std::vector<std::size_t>& pending,
+                           const FleetCallbacks& callbacks) {
+  if (pending.empty()) return {};
+  Fleet fleet(grid, options, pending, callbacks);
+  return fleet.Run();
+}
+
+}  // namespace cnv::dist

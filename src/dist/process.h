@@ -1,0 +1,67 @@
+// Multi-process backend of the distributed execution core: a supervised
+// fleet of forked worker processes, each speaking the length-prefixed frame
+// protocol (dist/frame.h) over a socketpair. Failure-domain isolation is
+// the headline contract — a worker that crashes (SIGKILL, OOM, abort,
+// nonzero exit), hangs (heartbeat silence) or overruns the cell watchdog
+// takes down nothing but itself: the coordinator detects it, reassigns the
+// lease deterministically, respawns a replacement, and keeps going.
+//
+// Robustness machinery:
+//   heartbeats   every worker pings at heartbeat_ms / 4; a worker silent
+//                for heartbeat_ms is declared dead and SIGKILLed
+//   leases       a cell is leased to exactly one worker; a dead worker's
+//                lease is reassigned (requeued) immediately
+//   strikes      each death/failure/timeout attributed to a cell counts a
+//                strike; at quarantine_after strikes the cell is
+//                *quarantined* into the report instead of livelocking the
+//                fleet on a poisoned input
+//   drain        a cancel token stops new leases; in-flight cells finish
+//                and are merged, idle workers get a drain frame and exit
+//
+// Determinism: results merge by cell index, so the final grid output is
+// byte-identical to the in-process backends at any worker count and under
+// any kill schedule (kill plans are the fuzzer's injection seam).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/grid.h"
+
+namespace cnv::dist {
+
+// Exit status of a worker that drained after a direct SIGTERM; mirrors
+// ckpt::kInterruptedExitCode.
+inline constexpr int kWorkerDrainExitCode = 75;
+
+struct FleetCallbacks {
+  // A cell completed; merge + checkpoint. Called on the coordinator thread.
+  std::function<void(std::size_t cell, std::string outcome, std::string carry)>
+      on_result;
+  // A cell accumulated quarantine_after strikes and was quarantined.
+  std::function<void(const QuarantineRecord&)> on_quarantine;
+  // Carry-in for a cell about to be leased (chained grids thread their
+  // chain token through this; unchained grids return "").
+  std::function<std::string(std::size_t cell)> carry_for;
+};
+
+struct FleetStats {
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t worker_respawns = 0;
+  std::uint64_t heartbeat_timeouts = 0;
+  std::uint64_t watchdog_kills = 0;
+  std::uint64_t clean_failures = 0;  // kError results
+  bool interrupted = false;
+};
+
+// Runs `pending` (cell indices, ascending) on a fleet of worker processes.
+// Chained grids keep exactly one lease in flight; unchained grids keep one
+// lease per worker. Returns supervision stats; per-cell outcomes are
+// delivered through the callbacks.
+FleetStats RunProcessFleet(CellGrid& grid, const DistOptions& options,
+                           const std::vector<std::size_t>& pending,
+                           const FleetCallbacks& callbacks);
+
+}  // namespace cnv::dist

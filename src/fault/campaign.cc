@@ -1,12 +1,11 @@
 #include "fault/campaign.h"
 
 #include <memory>
-#include <mutex>
 
+#include "dist/coordinator.h"
 #include "fault/checkpoint.h"
 #include "obs/harvest.h"
 #include "obs/span.h"
-#include "par/pool.h"
 #include "trace/qxdm.h"
 #include "util/strings.h"
 
@@ -215,84 +214,69 @@ CampaignResult CampaignRunner::Run() const {
   }
 
   result.runs.resize(triples.size());
-  result.exec.cells_total = triples.size();
 
-  // Checkpoint bookkeeping: on resume, completed cells replay from their
-  // blobs; a blob that fails validation (damaged, stale, digest mismatch)
-  // is discarded and its cell re-runs.
-  const bool checkpointing = !config_.checkpoint_dir.empty();
+  // The grid view of the sweep: one cell per triple, outcomes carried as
+  // the lossless EncodeRunOutcome blob. Dispatch, supervision, retries,
+  // checkpoint/resume and quarantine all live in dist::RunGrid.
+  class Grid final : public dist::CellGrid {
+   public:
+    Grid(const CampaignRunner& runner, const std::vector<Triple>& triples)
+        : runner_(runner), triples_(triples) {}
+    std::size_t size() const override { return triples_.size(); }
+    std::string CellName(std::size_t i) const override {
+      const Triple& t = triples_[i];
+      std::string name = "seed=" + std::to_string(t.seed) +
+                         " plan=" + t.plan->name +
+                         " profile=" + t.profile->name;
+      const std::string adm = AdmissionLabel(*t.overload);
+      if (!adm.empty()) name += " admission=" + adm;
+      return name;
+    }
+    dist::CellOutcome RunCell(std::size_t i, std::string_view) override {
+      const Triple& t = triples_[i];
+      dist::CellOutcome out;
+      out.payload = EncodeRunOutcome(
+          runner_.RunOne(t.seed, *t.plan, *t.profile, *t.overload));
+      return out;
+    }
+
+   private:
+    const CampaignRunner& runner_;
+    const std::vector<Triple>& triples_;
+  };
+  Grid grid(*this, triples);
+
+  dist::DistOptions opt;
+  opt.backend = config_.backend;
+  opt.workers = config_.parallelism;
+  opt.heartbeat_ms = config_.heartbeat_ms;
+  opt.quarantine_after = config_.quarantine_after;
+  opt.retry = config_.retry;
+  opt.kill_plan = config_.kill_plan;
+  opt.cancel = config_.cancel != nullptr ? &config_.cancel->flag() : nullptr;
+  opt.cell_type = ckpt::PayloadType::kCampaignCell;
+  opt.validate_payload = [](std::size_t, std::string_view blob) {
+    RunOutcome out;
+    return DecodeRunOutcome(blob, &out);
+  };
   std::unique_ptr<ckpt::ManifestStore> store;
-  ckpt::Manifest manifest;
-  manifest.cells.resize(triples.size());
-  if (checkpointing) {
+  if (!config_.checkpoint_dir.empty()) {
     store = std::make_unique<ckpt::ManifestStore>(config_.checkpoint_dir,
                                                   ConfigDigest());
-    if (config_.resume) {
-      ckpt::Manifest loaded;
-      if (store->LoadManifest(&loaded) == ckpt::LoadStatus::kOk &&
-          loaded.cells.size() == triples.size()) {
-        manifest = std::move(loaded);
-      }
-      for (std::size_t i = 0; i < triples.size(); ++i) {
-        if (manifest.cells[i].done == 0) continue;
-        std::string blob;
-        RunOutcome out;
-        if (store->LoadCell(i, ckpt::PayloadType::kCampaignCell,
-                            manifest.cells[i].outcome_digest,
-                            &blob) == ckpt::LoadStatus::kOk &&
-            DecodeRunOutcome(blob, &out)) {
-          result.runs[i] = std::move(out);
-          ++result.exec.cells_resumed;
-        } else {
-          manifest.cells[i] = {};
-          ++result.exec.corrupt_cells_discarded;
-        }
-      }
-    }
-    store->SaveManifest(manifest);
+    opt.store = store.get();
+    opt.resume = config_.resume;
   }
 
-  std::vector<std::size_t> pending;
+  dist::GridResult cells = dist::RunGrid(grid, opt);
   for (std::size_t i = 0; i < triples.size(); ++i) {
-    if (manifest.cells[i].done == 0) pending.push_back(i);
+    if (cells.Done(i)) DecodeRunOutcome(cells.payloads[i], &result.runs[i]);
   }
-
-  std::mutex mu;  // guards manifest writes and exec counters
-  par::WorkerPool pool(config_.parallelism);
-  const std::atomic<bool>* stop =
-      config_.cancel != nullptr ? &config_.cancel->flag() : nullptr;
-  pool.ParallelEachUntil(
-      pending.size(),
-      [&](int, std::size_t k) {
-        const std::size_t i = pending[k];
-        const Triple& t = triples[i];
-        RunOutcome out;
-        const ckpt::RetryOutcome attempt =
-            ckpt::RunWithRetries(config_.retry, [&] {
-              out = RunOne(t.seed, *t.plan, *t.profile, *t.overload);
-              return true;
-            });
-        result.runs[i] = std::move(out);
-        std::string blob;
-        if (checkpointing) blob = EncodeRunOutcome(result.runs[i]);
-        std::lock_guard<std::mutex> lock(mu);
-        result.exec.retries += attempt.retries;
-        result.exec.watchdog_hits += attempt.watchdog_hits;
-        ++result.exec.cells_run;
-        manifest.cells[i].done = 1;
-        if (checkpointing &&
-            store->SaveCell(i, ckpt::PayloadType::kCampaignCell, blob)) {
-          ++result.exec.checkpoints_written;
-          manifest.cells[i].outcome_digest = ckpt::Fnv1a64(blob);
-          store->SaveManifest(manifest);
-        }
-      },
-      stop);
-
-  if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
-    result.exec.interrupted = true;
-  }
-  result.complete = manifest.CountDone() == triples.size();
+  result.exec = cells.exec;
+  result.quarantined = std::move(cells.quarantined);
+  result.worker_deaths = cells.worker_deaths;
+  result.worker_respawns = cells.worker_respawns;
+  result.heartbeat_timeouts = cells.heartbeat_timeouts;
+  result.complete = cells.complete && result.quarantined.empty();
 
   for (const RunOutcome& run : result.runs) {
     if (run.report.all_within_slo()) ++result.runs_within_slo;
@@ -345,6 +329,17 @@ std::string CampaignResult::Summary() const {
           d.drained ? Format("%.1fs", ToSeconds(d.time_to_drain)).c_str()
                     : "never",
           d.within_slo() ? "degraded-within-SLO" : "VIOLATION");
+    }
+  }
+  // Quarantine block only when cells were actually quarantined, so legacy
+  // summaries stay byte-identical.
+  if (!quarantined.empty()) {
+    out += Format("%zu quarantined cell(s):\n", quarantined.size());
+    for (const auto& q : quarantined) {
+      out += Format("  QUARANTINED %s after %u strike(s)%s%s\n",
+                    q.name.c_str(), q.strikes,
+                    q.last_error.empty() ? "" : ": ",
+                    q.last_error.c_str());
     }
   }
   return out;

@@ -46,9 +46,9 @@
 #include <utility>
 #include <vector>
 
+#include "dist/executor.h"
 #include "mck/explorer.h"
 #include "mck/intern_table.h"
-#include "par/pool.h"
 
 namespace cnv::mck {
 
@@ -60,6 +60,12 @@ struct ParallelExploreOptions {
   // log2 of the visited-table shard count. Shards are selected by the top
   // hash bits so per-shard tables keep full low-bit entropy.
   int shard_bits = 6;
+  // Graceful drain, checked at wave boundaries: once *cancel becomes true
+  // the current wave finishes (its merge stays deterministic) and the
+  // result returns with stats.truncated unset and `cancelled` set. The
+  // atomic shape (rather than ckpt::CancelToken) keeps mck free of a ckpt
+  // dependency; runners pass &token->flag().
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct ParallelExploreStats {
@@ -102,6 +108,9 @@ struct ParallelExploreResult {
   std::vector<Violation<M>> violations;
   ExploreStats stats;
   ParallelExploreStats par;
+  // True when options.cancel drained the search at a wave boundary; the
+  // figures then cover the completed waves only.
+  bool cancelled = false;
 
   const Violation<M>* FindViolation(const std::string& property) const {
     for (const auto& v : violations) {
@@ -114,28 +123,28 @@ struct ParallelExploreResult {
   }
 };
 
-// Exhaustive BFS from the model's initial state on `pool` (or a pool created
-// from options.jobs when none is passed). Deterministic: same output at any
-// job count, byte-identical to serial Explore with kBreadthFirst.
+// Exhaustive BFS from the model's initial state on `exec` (or an executor
+// created from options.jobs when none is passed). Deterministic: same output
+// at any job count, byte-identical to serial Explore with kBreadthFirst.
 template <CheckableModel M>
 ParallelExploreResult<M> ParallelExplore(
     const M& model, const PropertySet<typename M::State>& properties,
     const ParallelExploreOptions& options = {},
-    par::WorkerPool* external_pool = nullptr,
+    dist::Executor* external_exec = nullptr,
     const SnapshotHooks<M>* hooks = nullptr) {
   using State = typename M::State;
   using Action = typename M::Action;
 
   const auto wall_start = std::chrono::steady_clock::now();
 
-  std::unique_ptr<par::WorkerPool> owned_pool;
-  par::WorkerPool* pool = external_pool;
-  if (pool == nullptr) {
-    owned_pool = std::make_unique<par::WorkerPool>(options.jobs);
-    pool = owned_pool.get();
+  std::unique_ptr<dist::Executor> owned_exec;
+  dist::Executor* exec = external_exec;
+  if (exec == nullptr) {
+    owned_exec = std::make_unique<dist::Executor>(options.jobs);
+    exec = owned_exec.get();
   }
-  const int jobs = pool->jobs();
-  const std::vector<double> busy_before = pool->BusySeconds();
+  const int jobs = exec->jobs();
+  const std::vector<double> busy_before = exec->BusySeconds();
 
   const int shard_bits = std::clamp(options.shard_bits, 0, 16);
   const std::uint32_t n_shards = 1u << shard_bits;
@@ -367,6 +376,11 @@ ParallelExploreResult<M> ParallelExplore(
   std::vector<std::uint64_t> next_frontier;
   std::vector<std::pair<Key, std::uint64_t>> discovered;
 
+  const auto drain_requested = [&options] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
+
   if (jobs == 1) {
     // Serial fast path: the wave algorithm of mck::Explore run directly over
     // the sharded storage — no staging, no merge, single probe per
@@ -374,6 +388,10 @@ ParallelExploreResult<M> ParallelExplore(
     // (both reproduce serial wave order), including hash_occupancy, since
     // the shard tables end up with the same content.
     while (!frontier.empty() && !all_violated()) {
+      if (drain_requested()) {
+        result.cancelled = true;
+        break;
+      }
       result.stats.frontier_peak =
           std::max(result.stats.frontier_peak,
                    static_cast<std::uint64_t>(frontier.size()));
@@ -445,6 +463,10 @@ ParallelExploreResult<M> ParallelExplore(
     }
   } else {
   while (!frontier.empty() && !all_violated()) {
+    if (drain_requested()) {
+      result.cancelled = true;
+      break;
+    }
     result.stats.frontier_peak =
         std::max(result.stats.frontier_peak,
                  static_cast<std::uint64_t>(frontier.size()));
@@ -461,7 +483,7 @@ ParallelExploreResult<M> ParallelExplore(
       worker_transitions[static_cast<std::size_t>(w)] = 0;
       worker_deadlocks[static_cast<std::size_t>(w)].clear();
     }
-    pool->ParallelFor(
+    exec->ParallelFor(
         frontier.size(), [&](int w, std::size_t begin, std::size_t end) {
           const std::size_t wi = static_cast<std::size_t>(w);
           std::vector<Candidate>* local = &routed[wi * n_shards];
@@ -518,7 +540,7 @@ ParallelExploreResult<M> ParallelExplore(
     for (std::uint32_t p = 0; p < properties.size(); ++p) {
       already_violated[p] = fvpp && violated.contains(properties[p].name);
     }
-    pool->ParallelFor(n_shards, [&](int, std::size_t begin, std::size_t end) {
+    exec->ParallelFor(n_shards, [&](int, std::size_t begin, std::size_t end) {
       for (std::size_t si = begin; si < end; ++si) {
         Shard& shard = shards[si];
         // Visit candidates in global key order: runs sorted by worker id
@@ -686,7 +708,7 @@ ParallelExploreResult<M> ParallelExplore(
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  const std::vector<double> busy_after = pool->BusySeconds();
+  const std::vector<double> busy_after = exec->BusySeconds();
   for (std::size_t w = 0; w < busy_after.size(); ++w) {
     result.par.worker_busy_seconds +=
         busy_after[w] - (w < busy_before.size() ? busy_before[w] : 0.0);

@@ -1,8 +1,14 @@
 // Checkpoint envelope + codec tests: FNV digests, the bounds-checked binary
-// reader, and the full damage taxonomy of ReadCheckpointFile — missing,
-// truncated, bad magic, wrong version/type, config mismatch, flipped byte.
+// reader, the full damage taxonomy of ReadCheckpointFile — missing,
+// truncated, bad magic, wrong version/type, config mismatch, flipped byte —
+// and the save-failure taxonomy of SaveCheckpointFile under an injected
+// writer (disk-full, short write), proving the last-good-fallback contract.
 #include "ckpt/io.h"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -212,6 +218,124 @@ TEST(CheckpointFileTest, WriteLeavesNoTmpFileBehind) {
                                   "x"));
   for (const auto& e : fs::directory_iterator(fs::path(path).parent_path())) {
     EXPECT_EQ(e.path().extension(), ".ckpt") << e.path();
+  }
+}
+
+// --- save fault injection ---------------------------------------------------
+//
+// The write shim stands in for ::write inside SaveCheckpointFile, so tests
+// can exhaust a byte budget mid-save the way a full disk would — without
+// needing an actual full volume. The shim is a plain function pointer, so
+// its state lives in these file-scope variables.
+std::size_t g_write_budget = 0;  // bytes the shim will accept before failing
+int g_fail_errno = 0;            // errno once exhausted; 0 => short write of 0
+
+long BudgetedWrite(int fd, const void* data, std::size_t size) {
+  if (g_write_budget == 0) {
+    if (g_fail_errno != 0) {
+      errno = g_fail_errno;
+      return -1;
+    }
+    return 0;  // kernel accepted nothing: a short write
+  }
+  const std::size_t n = std::min(size, g_write_budget);
+  g_write_budget -= n;
+  return static_cast<long>(::write(fd, data, n));
+}
+
+// RAII so a failing EXPECT cannot leave the shim installed for later tests.
+struct ShimGuard {
+  ShimGuard(std::size_t budget, int fail_errno) {
+    g_write_budget = budget;
+    g_fail_errno = fail_errno;
+    SetWriteShimForTest(&BudgetedWrite);
+  }
+  ~ShimGuard() { SetWriteShimForTest(nullptr); }
+};
+
+TEST(SaveFaultTest, DiskFullMidPayloadReportsNoSpaceAndKeepsLastGood) {
+  const std::string path = TempPath("diskfull.ckpt");
+  const std::string good = "generation 1 survives";
+  ASSERT_EQ(SaveCheckpointFile(path, PayloadType::kCampaignCell, 1, 5, good),
+            SaveStatus::kOk);
+
+  {
+    // Envelope fits, then the volume "fills" a few bytes into the payload.
+    ShimGuard shim(/*budget=*/48 + 3, /*fail_errno=*/ENOSPC);
+    EXPECT_EQ(SaveCheckpointFile(path, PayloadType::kCampaignCell, 1, 5,
+                                 "generation 2 must not land"),
+              SaveStatus::kNoSpace);
+  }
+
+  // Last-good fallback: the failed save left no tmp debris and the previous
+  // checkpoint still reads back byte-for-byte.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  std::string got;
+  EXPECT_EQ(ReadCheckpointFile(path, PayloadType::kCampaignCell, 1, 5, &got),
+            LoadStatus::kOk);
+  EXPECT_EQ(got, good);
+}
+
+TEST(SaveFaultTest, ShortWriteIsDistinctFromDiskFull) {
+  const std::string path = TempPath("shortwrite.ckpt");
+  const std::string good = "old payload";
+  ASSERT_TRUE(WriteCheckpointFile(path, PayloadType::kScreeningCell, 1, 6,
+                                  good));
+
+  {
+    // The writer accepts nothing at all: short write, not disk-full.
+    ShimGuard shim(/*budget=*/0, /*fail_errno=*/0);
+    EXPECT_EQ(SaveCheckpointFile(path, PayloadType::kScreeningCell, 1, 6,
+                                 "new payload"),
+              SaveStatus::kShortWrite);
+  }
+  {
+    // A hard I/O error that is not ENOSPC also maps to short-write.
+    ShimGuard shim(/*budget=*/8, /*fail_errno=*/EIO);
+    EXPECT_EQ(SaveCheckpointFile(path, PayloadType::kScreeningCell, 1, 6,
+                                 "new payload"),
+              SaveStatus::kShortWrite);
+  }
+
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  std::string got;
+  EXPECT_EQ(ReadCheckpointFile(path, PayloadType::kScreeningCell, 1, 6, &got),
+            LoadStatus::kOk);
+  EXPECT_EQ(got, good);
+}
+
+TEST(SaveFaultTest, BoolWrapperStillReportsFailure) {
+  const std::string path = TempPath("wrapper.ckpt");
+  ShimGuard shim(/*budget=*/0, /*fail_errno=*/ENOSPC);
+  EXPECT_FALSE(WriteCheckpointFile(path, PayloadType::kCampaignCell, 1, 1,
+                                   "payload"));
+}
+
+TEST(SaveFaultTest, UnwritableParentReportsOpenFailed) {
+  // The parent "directory" is a regular file, so neither create_directories
+  // nor open can succeed.
+  const std::string blocker = TempPath("blocker.ckpt");
+  ASSERT_TRUE(WriteCheckpointFile(blocker, PayloadType::kCampaignCell, 1, 1,
+                                  "x"));
+  EXPECT_EQ(SaveCheckpointFile(blocker + "/nested.ckpt",
+                               PayloadType::kCampaignCell, 1, 1, "y"),
+            SaveStatus::kOpenFailed);
+}
+
+TEST(SaveFaultTest, TargetOccupiedByDirectoryReportsRenameFailed) {
+  const std::string path = TempPath("occupied.ckpt");
+  fs::create_directories(fs::path(path) / "occupant");
+  EXPECT_EQ(SaveCheckpointFile(path, PayloadType::kCampaignCell, 1, 1, "z"),
+            SaveStatus::kRenameFailed);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove_all(path);  // keep the shared temp dir .ckpt-only
+}
+
+TEST(SaveStatusTest, EveryStatusHasAName) {
+  for (const auto s :
+       {SaveStatus::kOk, SaveStatus::kOpenFailed, SaveStatus::kShortWrite,
+        SaveStatus::kNoSpace, SaveStatus::kRenameFailed}) {
+    EXPECT_FALSE(ToString(s).empty());
   }
 }
 

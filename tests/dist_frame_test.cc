@@ -1,0 +1,215 @@
+// Wire-protocol tests: frame round-trips over arbitrary stream chunkings,
+// the full poisoning taxonomy (bad magic, unknown version, unknown type,
+// oversized declared payload, checksum mismatch), fd-level WriteFrame, and
+// the result-payload codec.
+#include "dist/frame.h"
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cnv::dist {
+namespace {
+
+Frame MakeFrame(FrameType type, std::uint32_t worker, std::uint64_t cell,
+                std::string payload) {
+  Frame f;
+  f.type = type;
+  f.worker = worker;
+  f.cell = cell;
+  f.payload = std::move(payload);
+  return f;
+}
+
+TEST(FrameTest, RoundTripsOneFrame) {
+  const Frame in = MakeFrame(FrameType::kResult, 3, 17, "outcome-bytes");
+  FrameParser parser;
+  parser.Feed(EncodeFrame(in));
+  Frame out;
+  ASSERT_EQ(parser.Next(&out), FrameParser::Status::kFrame);
+  EXPECT_EQ(out.type, FrameType::kResult);
+  EXPECT_EQ(out.worker, 3u);
+  EXPECT_EQ(out.cell, 17u);
+  EXPECT_EQ(out.payload, "outcome-bytes");
+  EXPECT_EQ(parser.Next(&out), FrameParser::Status::kNeedMore);
+  EXPECT_FALSE(parser.poisoned());
+}
+
+TEST(FrameTest, RoundTripsEmptyPayload) {
+  FrameParser parser;
+  parser.Feed(EncodeFrame(MakeFrame(FrameType::kHeartbeat, 1, kNoCell, "")));
+  Frame out;
+  ASSERT_EQ(parser.Next(&out), FrameParser::Status::kFrame);
+  EXPECT_EQ(out.type, FrameType::kHeartbeat);
+  EXPECT_EQ(out.cell, kNoCell);
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(FrameTest, DecodesByteAtATime) {
+  // The parser must tolerate any chunking of the stream, down to one byte
+  // at a time, and pop frames in order.
+  std::string stream;
+  for (int i = 0; i < 5; ++i) {
+    stream += EncodeFrame(MakeFrame(FrameType::kLease, kCoordinatorSlot,
+                                    static_cast<std::uint64_t>(i),
+                                    std::string(i, 'x')));
+  }
+  FrameParser parser;
+  std::vector<Frame> got;
+  for (char c : stream) {
+    parser.Feed(std::string_view(&c, 1));
+    Frame f;
+    while (parser.Next(&f) == FrameParser::Status::kFrame) got.push_back(f);
+  }
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[i].cell, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(got[i].payload, std::string(i, 'x'));
+  }
+}
+
+TEST(FrameTest, BadMagicPoisons) {
+  std::string bytes = EncodeFrame(MakeFrame(FrameType::kHello, 0, kNoCell, ""));
+  bytes[0] ^= 0x40;
+  FrameParser parser;
+  parser.Feed(bytes);
+  Frame out;
+  EXPECT_EQ(parser.Next(&out), FrameParser::Status::kBad);
+  EXPECT_TRUE(parser.poisoned());
+  EXPECT_FALSE(parser.error().empty());
+  // A poisoned parser stays poisoned even when fed valid bytes.
+  parser.Feed(EncodeFrame(MakeFrame(FrameType::kHello, 0, kNoCell, "")));
+  EXPECT_EQ(parser.Next(&out), FrameParser::Status::kBad);
+}
+
+TEST(FrameTest, UnknownVersionPoisons) {
+  std::string bytes = EncodeFrame(MakeFrame(FrameType::kHello, 0, kNoCell, ""));
+  bytes[4] ^= 0x01;  // version field follows the magic
+  FrameParser parser;
+  parser.Feed(bytes);
+  Frame out;
+  EXPECT_EQ(parser.Next(&out), FrameParser::Status::kBad);
+  EXPECT_TRUE(parser.poisoned());
+}
+
+TEST(FrameTest, UnknownTypePoisons) {
+  std::string bytes = EncodeFrame(MakeFrame(FrameType::kHello, 0, kNoCell, ""));
+  bytes[8] = 0x7f;  // type field: no FrameType has value 0x7f
+  FrameParser parser;
+  parser.Feed(bytes);
+  Frame out;
+  EXPECT_EQ(parser.Next(&out), FrameParser::Status::kBad);
+}
+
+TEST(FrameTest, OversizedDeclaredPayloadPoisonsWithoutAllocating) {
+  // A corrupt size field must poison immediately, not wait for (or try to
+  // buffer) a terabyte of payload.
+  std::string bytes =
+      EncodeFrame(MakeFrame(FrameType::kResult, 0, 0, "abc"));
+  // payload_size is the u64 at offset 24 (magic, version, type, worker = 16
+  // bytes; cell = 8 bytes).
+  bytes[24 + 5] = 0x7f;  // declared size now > kMaxFramePayload
+  FrameParser parser;
+  parser.Feed(bytes);
+  Frame out;
+  EXPECT_EQ(parser.Next(&out), FrameParser::Status::kBad);
+  EXPECT_TRUE(parser.poisoned());
+}
+
+TEST(FrameTest, ChecksumMismatchPoisons) {
+  std::string bytes =
+      EncodeFrame(MakeFrame(FrameType::kResult, 2, 5, "payload"));
+  bytes[bytes.size() - 1] ^= 0x01;  // flip a payload byte
+  FrameParser parser;
+  parser.Feed(bytes);
+  Frame out;
+  EXPECT_EQ(parser.Next(&out), FrameParser::Status::kBad);
+  EXPECT_TRUE(parser.poisoned());
+}
+
+TEST(FrameTest, TruncatedStreamIsNeedMoreNotBad) {
+  const std::string bytes =
+      EncodeFrame(MakeFrame(FrameType::kResult, 2, 5, "payload"));
+  FrameParser parser;
+  parser.Feed(std::string_view(bytes).substr(0, bytes.size() - 1));
+  Frame out;
+  EXPECT_EQ(parser.Next(&out), FrameParser::Status::kNeedMore);
+  EXPECT_FALSE(parser.poisoned());
+  parser.Feed(std::string_view(bytes).substr(bytes.size() - 1));
+  EXPECT_EQ(parser.Next(&out), FrameParser::Status::kFrame);
+  EXPECT_EQ(out.payload, "payload");
+}
+
+TEST(FrameTest, WriteFrameRoundTripsThroughAPipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const Frame in = MakeFrame(FrameType::kError, 1, 9, "worker exploded");
+  ASSERT_TRUE(WriteFrame(fds[1], in));
+  close(fds[1]);
+  FrameParser parser;
+  char buf[256];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof buf)) > 0) {
+    parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+  close(fds[0]);
+  Frame out;
+  ASSERT_EQ(parser.Next(&out), FrameParser::Status::kFrame);
+  EXPECT_EQ(out.type, FrameType::kError);
+  EXPECT_EQ(out.payload, "worker exploded");
+}
+
+TEST(FrameTest, WriteFrameToClosedPipeFailsInsteadOfRaisingSigpipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  close(fds[0]);
+  // The fleet ignores SIGPIPE while running; the test harness does too so a
+  // dead-peer write surfaces as `false`, not a killed process.
+  signal(SIGPIPE, SIG_IGN);
+  EXPECT_FALSE(WriteFrame(fds[1], MakeFrame(FrameType::kDrain, 0, 0, "")));
+  close(fds[1]);
+}
+
+TEST(ResultPayloadTest, RoundTrips) {
+  const std::string payload = EncodeResultPayload("outcome\0bytes", "carry");
+  std::string outcome;
+  std::string carry;
+  ASSERT_TRUE(DecodeResultPayload(payload, &outcome, &carry));
+  EXPECT_EQ(outcome, "outcome");  // literal embedded NUL truncates the char*
+  EXPECT_EQ(carry, "carry");
+
+  const std::string binary = std::string("a\0b", 3);
+  std::string outcome2;
+  std::string carry2;
+  ASSERT_TRUE(
+      DecodeResultPayload(EncodeResultPayload(binary, ""), &outcome2, &carry2));
+  EXPECT_EQ(outcome2, binary);
+  EXPECT_TRUE(carry2.empty());
+}
+
+TEST(ResultPayloadTest, RejectsTruncatedAndTrailingBytes) {
+  const std::string payload = EncodeResultPayload("outcome", "carry");
+  std::string outcome;
+  std::string carry;
+  EXPECT_FALSE(DecodeResultPayload(
+      std::string_view(payload).substr(0, payload.size() - 1), &outcome,
+      &carry));
+  EXPECT_FALSE(DecodeResultPayload(payload + "x", &outcome, &carry));
+  EXPECT_FALSE(DecodeResultPayload("", &outcome, &carry));
+}
+
+TEST(FrameTest, ToStringCoversAllTypes) {
+  EXPECT_EQ(ToString(FrameType::kHello), "hello");
+  EXPECT_EQ(ToString(FrameType::kLease), "lease");
+  EXPECT_EQ(ToString(FrameType::kResult), "result");
+  EXPECT_EQ(ToString(FrameType::kError), "error");
+  EXPECT_EQ(ToString(FrameType::kHeartbeat), "heartbeat");
+  EXPECT_EQ(ToString(FrameType::kDrain), "drain");
+  EXPECT_EQ(ToString(FrameType::kBye), "bye");
+}
+
+}  // namespace
+}  // namespace cnv::dist

@@ -1,0 +1,159 @@
+// Kill-schedule fuzzer: the tentpole invariant of the distributed core is
+// that the merged grid output is byte-identical across backends, worker
+// counts, and ANY injected worker-kill schedule. Each fuzz round draws a
+// random kill plan (which slot dies after how many merged results, possibly
+// repeatedly) and a random worker count, runs the process backend, and
+// byte-compares against the serial baseline. A second leg kills the
+// "coordinator" mid-run by checkpointing a prefix, then resumes with a
+// different schedule and compares again.
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/grid.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace cnv::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "dist_killfuzz_test" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// Payloads mix the index into a few rounds of FNV so a merge bug (wrong
+// index, truncated payload, doubled cell) cannot collide into a pass.
+class HashGrid : public CellGrid {
+ public:
+  explicit HashGrid(std::size_t n) : n_(n) {}
+  std::size_t size() const override { return n_; }
+  CellOutcome RunCell(std::size_t i, std::string_view) override {
+    std::uint64_t h = 0xcbf29ce484222325ull ^ (i * 0x9e3779b97f4a7c15ull);
+    std::string payload = "cell " + std::to_string(i) + ":";
+    for (int round = 0; round < 4; ++round) {
+      h = (h ^ (h >> 29)) * 0x100000001b3ull;
+      payload += " " + std::to_string(h);
+    }
+    CellOutcome out;
+    out.payload = std::move(payload);
+    return out;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+KillPlan RandomPlan(Rng& rng, std::uint64_t cells, int workers) {
+  KillPlan plan;
+  const int kills = static_cast<int>(rng.UniformInt(1, 5));
+  for (int k = 0; k < kills; ++k) {
+    KillEvent ev;
+    // Leave a few cells of slack after the last threshold, so every event
+    // reliably fires before the grid completes.
+    ev.after_results = static_cast<std::uint64_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(cells) - 5));
+    ev.slot = static_cast<int>(rng.UniformInt(0, workers - 1));
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+TEST(KillFuzzTest, AnyKillScheduleIsByteIdenticalToSerial) {
+  constexpr std::size_t kCells = 20;
+  HashGrid grid(kCells);
+  const DistOptions serial_opt;
+  const GridResult serial = RunGrid(grid, serial_opt);
+  ASSERT_TRUE(serial.complete);
+
+  Rng rng(20260808);
+  for (int round = 0; round < 8; ++round) {
+    DistOptions opt;
+    opt.backend = Backend::kProcess;
+    opt.workers = static_cast<int>(rng.UniformInt(1, 4));
+    // Kills must never quarantine here: the schedule may hammer one cell.
+    opt.quarantine_after = 1000;
+    opt.kill_plan = RandomPlan(rng, kCells, opt.workers);
+    const GridResult result = RunGrid(grid, opt);
+    ASSERT_TRUE(result.complete)
+        << "round " << round << " workers=" << opt.workers;
+    EXPECT_EQ(result.payloads, serial.payloads)
+        << "round " << round << " workers=" << opt.workers
+        << " kills=" << opt.kill_plan.events.size();
+    EXPECT_GE(result.worker_deaths, 1u);
+  }
+}
+
+TEST(KillFuzzTest, CoordinatorKillPlusResumeIsByteIdenticalToSerial) {
+  constexpr std::size_t kCells = 16;
+  HashGrid grid(kCells);
+  const DistOptions serial_opt;
+  const GridResult serial = RunGrid(grid, serial_opt);
+
+  Rng rng(4242);
+  for (int round = 0; round < 4; ++round) {
+    const std::string dir = TempDir("resume_round_" + std::to_string(round));
+    ckpt::ManifestStore store(dir, 99);
+
+    // Leg 1: run under a kill schedule, then "kill the coordinator" by
+    // cancelling after a random number of merged results. The cancel lands
+    // mid-run, so an arbitrary subset of cells is checkpointed.
+    std::atomic<bool> cancel{false};
+    std::atomic<std::uint64_t> merged{0};
+    // Keep enough undone cells that in-flight stragglers (at most one per
+    // worker) cannot finish the whole grid after the cancel lands.
+    const std::uint64_t stop_after =
+        static_cast<std::uint64_t>(rng.UniformInt(1, kCells - 6));
+    class CountingGrid : public HashGrid {
+     public:
+      CountingGrid(std::size_t n, std::atomic<std::uint64_t>* merged,
+                   std::atomic<bool>* cancel, std::uint64_t stop_after)
+          : HashGrid(n),
+            merged_(merged),
+            cancel_(cancel),
+            stop_after_(stop_after) {}
+      CellOutcome RunCell(std::size_t i, std::string_view carry) override {
+        CellOutcome out = HashGrid::RunCell(i, carry);
+        if (merged_->fetch_add(1) + 1 >= stop_after_) cancel_->store(true);
+        return out;
+      }
+
+     private:
+      std::atomic<std::uint64_t>* merged_;
+      std::atomic<bool>* cancel_;
+      std::uint64_t stop_after_;
+    };
+    // Thread backend for the interrupted leg: the cancel flag lives in the
+    // test process, so it must be visible to the code running the cells.
+    CountingGrid interrupted_grid(kCells, &merged, &cancel, stop_after);
+    DistOptions first_opt;
+    first_opt.workers = static_cast<int>(rng.UniformInt(1, 4));
+    first_opt.cancel = &cancel;
+    first_opt.store = &store;
+    const GridResult first = RunGrid(interrupted_grid, first_opt);
+    EXPECT_FALSE(first.complete);
+
+    // Leg 2: resume on the process backend under a fresh kill schedule.
+    DistOptions second_opt;
+    second_opt.backend = Backend::kProcess;
+    second_opt.workers = static_cast<int>(rng.UniformInt(1, 4));
+    second_opt.quarantine_after = 1000;
+    second_opt.kill_plan = RandomPlan(rng, kCells, second_opt.workers);
+    second_opt.store = &store;
+    second_opt.resume = true;
+    const GridResult resumed = RunGrid(grid, second_opt);
+    ASSERT_TRUE(resumed.complete) << "round " << round;
+    EXPECT_EQ(resumed.payloads, serial.payloads) << "round " << round;
+    EXPECT_GT(resumed.exec.cells_resumed, 0u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace cnv::dist

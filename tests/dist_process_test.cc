@@ -1,0 +1,259 @@
+// Process-backend tests: byte-identity with the in-process backends, crash
+// detection + lease reassignment + respawn (kill plans and workers that
+// _exit mid-cell), poisoned-cell quarantine, heartbeat-timeout detection of
+// a stopped worker, and drain via a pre-set cancel token.
+#include <csignal>
+#include <cstdlib>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/grid.h"
+#include "dist/process.h"
+#include "gtest/gtest.h"
+
+namespace cnv::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "dist_process_test" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+bool Exists(const std::string& path) { return fs::exists(path); }
+
+void Touch(const std::string& path) {
+  std::ofstream(path, std::ios::binary).put('x');
+}
+
+class SquareGrid : public CellGrid {
+ public:
+  explicit SquareGrid(std::size_t n) : n_(n) {}
+  std::size_t size() const override { return n_; }
+  CellOutcome RunCell(std::size_t i, std::string_view) override {
+    CellOutcome out;
+    out.payload = "cell " + std::to_string(i) + " -> " + std::to_string(i * i);
+    return out;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+TEST(ProcessBackendTest, MatchesThreadBackendByteForByte) {
+  SquareGrid grid(24);
+  DistOptions thread_opt;
+  thread_opt.workers = 4;
+  const GridResult threaded = RunGrid(grid, thread_opt);
+  ASSERT_TRUE(threaded.complete);
+
+  DistOptions proc_opt;
+  proc_opt.backend = Backend::kProcess;
+  proc_opt.workers = 4;
+  const GridResult forked = RunGrid(grid, proc_opt);
+  ASSERT_TRUE(forked.complete);
+  EXPECT_EQ(forked.payloads, threaded.payloads);
+  EXPECT_EQ(forked.exec.cells_run, 24u);
+  EXPECT_EQ(forked.worker_deaths, 0u);
+}
+
+TEST(ProcessBackendTest, SingleWorkerAlsoMatches) {
+  SquareGrid grid(8);
+  DistOptions serial_opt;
+  const GridResult serial = RunGrid(grid, serial_opt);
+
+  DistOptions proc_opt;
+  proc_opt.backend = Backend::kProcess;
+  proc_opt.workers = 1;
+  const GridResult forked = RunGrid(grid, proc_opt);
+  ASSERT_TRUE(forked.complete);
+  EXPECT_EQ(forked.payloads, serial.payloads);
+}
+
+// Crashes the whole worker process (via _exit, bypassing gtest teardown)
+// the first time `crash_cell` runs; a marker file makes the retry succeed.
+// RunCell only ever executes in forked workers here, so the _exit takes
+// down a worker, never the test.
+class CrashOnceGrid : public SquareGrid {
+ public:
+  CrashOnceGrid(std::size_t n, std::size_t crash_cell, std::string marker)
+      : SquareGrid(n), crash_cell_(crash_cell), marker_(std::move(marker)) {}
+  CellOutcome RunCell(std::size_t i, std::string_view carry) override {
+    if (i == crash_cell_ && !Exists(marker_)) {
+      Touch(marker_);
+      _exit(3);
+    }
+    return SquareGrid::RunCell(i, carry);
+  }
+
+ private:
+  std::size_t crash_cell_;
+  std::string marker_;
+};
+
+TEST(ProcessBackendTest, WorkerCrashIsRetriedInAFreshWorker) {
+  const std::string dir = TempDir("crash_once");
+  SquareGrid reference(12);
+  const DistOptions serial_opt;
+  const GridResult serial = RunGrid(reference, serial_opt);
+
+  CrashOnceGrid grid(12, 5, dir + "/crashed");
+  DistOptions opt;
+  opt.backend = Backend::kProcess;
+  opt.workers = 3;
+  const GridResult result = RunGrid(grid, opt);
+  ASSERT_TRUE(result.complete);
+  EXPECT_TRUE(result.quarantined.empty());
+  EXPECT_EQ(result.payloads, serial.payloads);
+  EXPECT_GE(result.worker_deaths, 1u);
+  EXPECT_GE(result.worker_respawns, 1u);
+}
+
+// Always crashes its worker: a poisoned cell.
+class PoisonGrid : public SquareGrid {
+ public:
+  PoisonGrid(std::size_t n, std::size_t poison)
+      : SquareGrid(n), poison_(poison) {}
+  CellOutcome RunCell(std::size_t i, std::string_view carry) override {
+    if (i == poison_) _exit(7);
+    return SquareGrid::RunCell(i, carry);
+  }
+
+ private:
+  std::size_t poison_;
+};
+
+TEST(ProcessBackendTest, PoisonedCellIsQuarantinedNotLivelocked) {
+  PoisonGrid grid(10, 4);
+  DistOptions opt;
+  opt.backend = Backend::kProcess;
+  opt.workers = 2;
+  opt.quarantine_after = 3;
+  const GridResult result = RunGrid(grid, opt);
+
+  // Everything except the poisoned cell completed; the poisoned cell was
+  // quarantined after exactly quarantine_after worker deaths.
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  EXPECT_EQ(result.quarantined[0].index, 4u);
+  EXPECT_EQ(result.quarantined[0].strikes, 3u);
+  EXPECT_EQ(result.states[4], CellState::kQuarantined);
+  EXPECT_TRUE(result.payloads[4].empty());
+  EXPECT_GE(result.worker_deaths, 3u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (i == 4) continue;
+    EXPECT_TRUE(result.Done(i)) << "cell " << i;
+    EXPECT_EQ(result.payloads[i],
+              "cell " + std::to_string(i) + " -> " + std::to_string(i * i));
+  }
+}
+
+// Stops its own worker process cold (SIGSTOP) the first time `stall_cell`
+// runs: no heartbeats, no result — only the coordinator's liveness deadline
+// can detect it. The marker file makes the retry succeed.
+class StallOnceGrid : public SquareGrid {
+ public:
+  StallOnceGrid(std::size_t n, std::size_t stall_cell, std::string marker)
+      : SquareGrid(n), stall_cell_(stall_cell), marker_(std::move(marker)) {}
+  CellOutcome RunCell(std::size_t i, std::string_view carry) override {
+    if (i == stall_cell_ && !Exists(marker_)) {
+      Touch(marker_);
+      raise(SIGSTOP);  // frozen until the coordinator SIGKILLs us
+    }
+    return SquareGrid::RunCell(i, carry);
+  }
+
+ private:
+  std::size_t stall_cell_;
+  std::string marker_;
+};
+
+TEST(ProcessBackendTest, HeartbeatTimeoutDetectsAStoppedWorker) {
+  const std::string dir = TempDir("stall_once");
+  StallOnceGrid grid(6, 2, dir + "/stalled");
+  DistOptions opt;
+  opt.backend = Backend::kProcess;
+  opt.workers = 2;
+  opt.heartbeat_ms = 250;  // short deadline keeps the test fast
+  const GridResult result = RunGrid(grid, opt);
+  ASSERT_TRUE(result.complete);
+  EXPECT_TRUE(result.quarantined.empty());
+  EXPECT_GE(result.heartbeat_timeouts, 1u);
+  EXPECT_GE(result.worker_deaths, 1u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(result.payloads[i],
+              "cell " + std::to_string(i) + " -> " + std::to_string(i * i));
+  }
+}
+
+TEST(ProcessBackendTest, KillPlanSchedulesAreInvisibleInTheOutput) {
+  SquareGrid reference(16);
+  const DistOptions serial_opt;
+  const GridResult serial = RunGrid(reference, serial_opt);
+
+  DistOptions opt;
+  opt.backend = Backend::kProcess;
+  opt.workers = 4;
+  opt.kill_plan.events.push_back({.after_results = 2, .slot = 0});
+  opt.kill_plan.events.push_back({.after_results = 5, .slot = 3});
+  opt.kill_plan.events.push_back({.after_results = 9, .slot = 1});
+  SquareGrid grid(16);
+  const GridResult result = RunGrid(grid, opt);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.payloads, serial.payloads);
+  EXPECT_GE(result.worker_deaths, 3u);
+  // The last scheduled kill can land when no work remains, in which case
+  // the dead worker is deliberately not replaced.
+  EXPECT_GE(result.worker_respawns, 2u);
+}
+
+TEST(ProcessBackendTest, PreCancelledFleetDrainsImmediately) {
+  SquareGrid grid(8);
+  DistOptions opt;
+  opt.backend = Backend::kProcess;
+  opt.workers = 2;
+  std::atomic<bool> cancel{true};
+  opt.cancel = &cancel;
+  const GridResult result = RunGrid(grid, opt);
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.exec.interrupted);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(result.states[i], CellState::kPending);
+  }
+}
+
+TEST(ProcessBackendTest, CheckpointedProcessRunResumesOnThreadBackend) {
+  // Backend symmetry across the checkpoint boundary: a process-backend run
+  // persists cells the thread backend can replay, and vice versa.
+  const std::string dir = TempDir("cross_backend");
+  ckpt::ManifestStore store(dir, 11);
+
+  SquareGrid grid(10);
+  DistOptions proc_opt;
+  proc_opt.backend = Backend::kProcess;
+  proc_opt.workers = 2;
+  proc_opt.store = &store;
+  const GridResult written = RunGrid(grid, proc_opt);
+  ASSERT_TRUE(written.complete);
+
+  DistOptions thread_opt;
+  thread_opt.workers = 2;
+  thread_opt.store = &store;
+  thread_opt.resume = true;
+  const GridResult resumed = RunGrid(grid, thread_opt);
+  ASSERT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.exec.cells_resumed, 10u);
+  EXPECT_EQ(resumed.payloads, written.payloads);
+}
+
+}  // namespace
+}  // namespace cnv::dist

@@ -205,11 +205,11 @@ TEST(ParallelExploreTest, RepeatedRunsAreByteIdentical) {
   }
 }
 
-TEST(ParallelExploreTest, SharedPoolReusesWorkersAcrossModels) {
-  par::WorkerPool pool(4);
+TEST(ParallelExploreTest, SharedExecutorReusesWorkersAcrossModels) {
+  dist::Executor exec(4);
   model::S3Model s3;
-  const auto first = ParallelExplore(s3, s3.Properties(), {}, &pool);
-  const auto second = ParallelExplore(s3, s3.Properties(), {}, &pool);
+  const auto first = ParallelExplore(s3, s3.Properties(), {}, &exec);
+  const auto second = ParallelExplore(s3, s3.Properties(), {}, &exec);
   EXPECT_EQ(first.stats.states_visited, second.stats.states_visited);
   EXPECT_EQ(first.par.jobs, 4);
   // Busy time accrued before the second run must not leak into its figures.

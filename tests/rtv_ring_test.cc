@@ -71,6 +71,69 @@ TEST(SpscRingTest, MoveOnlyElements) {
   EXPECT_EQ(*out, 42);
 }
 
+// --- drop-newest at exact capacity ------------------------------------------
+//
+// The gateway's kDropNewest policy discards the incoming record whenever
+// TryPush reports full, so the ring's full-detection must be exact at every
+// tail position: one slot too eager and records are dropped while space
+// remains; one slot too lax and the producer overwrites the slot the
+// consumer is reading. These tests pin the boundary as the cursors cross
+// multiples of the power-of-two capacity.
+
+TEST(SpscRingTest, DropNewestKeepsOldestAndCountsExactlyAcrossWraps) {
+  SpscRing<int> ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+
+  int next = 0;
+  std::uint64_t dropped = 0;
+  // 100 fill/drain cycles march the cursors across the 2^n boundary 100
+  // times. Each cycle offers 13 records to the empty ring: exactly 8 fit,
+  // exactly 5 drop, and the survivors are the OLDEST 8 — drop-newest never
+  // evicts a record that already made it in.
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    const int first = next;
+    for (int k = 0; k < 13; ++k) {
+      if (!ring.TryPush(int{next})) ++dropped;
+      ++next;
+    }
+    EXPECT_EQ(ring.SizeApprox(), 8u);
+    for (int k = 0; k < 8; ++k) {
+      int v = -1;
+      ASSERT_TRUE(ring.TryPop(&v));
+      EXPECT_EQ(v, first + k) << "cycle " << cycle;
+    }
+    int v = -1;
+    EXPECT_FALSE(ring.TryPop(&v));
+  }
+  EXPECT_EQ(dropped, 100u * 5u);
+}
+
+TEST(SpscRingTest, FullDetectionIsExactWhenProducerLapsConsumer) {
+  // Lockstep at full occupancy: the producer stays exactly one lap ahead of
+  // the consumer, so `tail - head` sits at the capacity boundary on every
+  // iteration. An off-by-one in the full check would surface as either a
+  // rejected push into a free slot or a corrupted FIFO order.
+  SpscRing<int> ring(4);
+  ASSERT_EQ(ring.capacity(), 4u);
+  int next = 0;
+  for (; next < 4; ++next) ASSERT_TRUE(ring.TryPush(int{next}));
+
+  for (int i = 0; i < 1000; ++i) {
+    int rejected = next;
+    EXPECT_FALSE(ring.TryPush(std::move(rejected)));  // full: drop-newest
+    int v = -1;
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, next - 4);
+    ASSERT_TRUE(ring.TryPush(int{next}));  // freed slot, same iteration
+    ++next;
+  }
+  for (int k = 0; k < 4; ++k) {
+    int v = -1;
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, next - 4 + k);
+  }
+}
+
 // The concurrent tests: one producer, one consumer, every value must come
 // out exactly once and in order. Run under TSan in the CI `rtv` job.
 TEST(SpscRingTest, ConcurrentOrderedTransfer) {
@@ -97,6 +160,39 @@ TEST(SpscRingTest, ConcurrentOrderedTransfer) {
   ASSERT_EQ(got.size(), kCount);
   for (std::uint64_t i = 0; i < kCount; ++i) {
     ASSERT_EQ(got[i], i) << "out-of-order at " << i;
+  }
+}
+
+TEST(SpscRingTest, ConcurrentDropNewestConservesEveryRecord) {
+  // Under drop-newest with a racing consumer, the exact drop count is
+  // schedule-dependent — but conservation is not: every offered value is
+  // either delivered exactly once, in order, or counted dropped.
+  constexpr std::uint64_t kCount = 200'000;
+  constexpr std::uint64_t kEnd = ~0ull;  // sentinel, pushed with retry
+  SpscRing<std::uint64_t> ring(16);
+  std::vector<std::uint64_t> got;
+  std::uint64_t dropped = 0;
+
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    for (;;) {
+      if (!ring.TryPop(&v)) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (v == kEnd) return;
+      got.push_back(v);
+    }
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    if (!ring.TryPush(std::uint64_t{i})) ++dropped;  // drop-newest: no retry
+  }
+  while (!ring.TryPush(std::uint64_t{kEnd})) std::this_thread::yield();
+  consumer.join();
+
+  EXPECT_EQ(got.size() + dropped, kCount);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    ASSERT_LT(got[i - 1], got[i]) << "reordered at " << i;
   }
 }
 
