@@ -21,6 +21,7 @@
 #include "mck/random_walk.h"
 #include "obs/export.h"
 #include "mck/toy_models.h"
+#include "model/combined_model.h"
 #include "model/s2_model.h"
 #include "obs/harvest.h"
 #include "obs/span.h"
@@ -308,7 +309,64 @@ bool WriteBenchJson(const std::string& path) {
           ", \"wall_seconds_checkpointed\": " + std::to_string(s2_ckpt_secs) +
           ", \"overhead_pct\": " + std::to_string(ckpt_overhead_pct) +
           ", \"budget_pct\": 5.0, \"within_budget\": " +
-          (ckpt_within_budget ? "true" : "false") + "}\n}\n";
+          (ckpt_within_budget ? "true" : "false") + "},\n";
+
+  // State-space reduction factors: unreduced vs POR+symmetry state counts
+  // on the symmetric workloads. The independent-workers product is the
+  // clean-room case ((L+1)^K states collapse to K*L+1 schedules); the
+  // combined CSFB+LU+PDP multi-UE model is the paper-shaped one. The CI
+  // reduction job greps meets_10x_floor — the contract is a >= 10x
+  // state-count cut on at least one model, with identical violations
+  // (pinned separately by the differential test suite).
+  mck::ExploreOptions reduced;
+  reduced.reduction.por = true;
+  reduced.reduction.symmetry = true;
+  const mck::toys::IndepWorkersModel indep;
+  const auto indep_full = mck::Explore(indep, {});
+  const auto indep_red = mck::Explore(indep, {}, reduced);
+  const double indep_red_secs =
+      TimeBest(20, [&] { (void)mck::Explore(indep, {}, reduced); });
+  model::CombinedModel::Config combined_cfg;
+  combined_cfg.ues = 2;
+  const model::CombinedModel combined(combined_cfg);
+  const auto combined_props = combined.Properties();
+  const auto combined_full = mck::Explore(combined, combined_props);
+  const auto combined_red = mck::Explore(combined, combined_props, reduced);
+  const double combined_red_secs = TimeBest(
+      20, [&] { (void)mck::Explore(combined, combined_props, reduced); });
+  const double indep_factor =
+      indep_red.stats.states_visited > 0
+          ? static_cast<double>(indep_full.stats.states_visited) /
+                static_cast<double>(indep_red.stats.states_visited)
+          : 0.0;
+  const double combined_factor =
+      combined_red.stats.states_visited > 0
+          ? static_cast<double>(combined_full.stats.states_visited) /
+                static_cast<double>(combined_red.stats.states_visited)
+          : 0.0;
+  const bool meets_10x = indep_factor >= 10.0 || combined_factor >= 10.0;
+  std::printf(
+      "reduction factors: indep_workers %.1fx (%llu -> %llu), combined N=2 "
+      "%.1fx (%llu -> %llu)\n",
+      indep_factor, (unsigned long long)indep_full.stats.states_visited,
+      (unsigned long long)indep_red.stats.states_visited, combined_factor,
+      (unsigned long long)combined_full.stats.states_visited,
+      (unsigned long long)combined_red.stats.states_visited);
+  json += "  \"reduction\": {\n";
+  json += JsonEntry("reduced_indep_workers", indep_red.stats.states_visited,
+                    indep_red_secs) +
+          ",\n";
+  json += JsonEntry("reduced_combined_n2", combined_red.stats.states_visited,
+                    combined_red_secs) +
+          ",\n";
+  json += "    \"full_states_indep_workers\": " +
+          std::to_string(indep_full.stats.states_visited) +
+          ", \"factor_indep_workers\": " + std::to_string(indep_factor) +
+          ",\n    \"full_states_combined_n2\": " +
+          std::to_string(combined_full.stats.states_visited) +
+          ", \"factor_combined_n2\": " + std::to_string(combined_factor) +
+          ",\n    \"meets_10x_floor\": " + (meets_10x ? "true" : "false") +
+          "\n  }\n}\n";
   return obs::WriteFile(path, json);
 }
 

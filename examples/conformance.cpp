@@ -30,6 +30,10 @@
 //   --heartbeat-ms T / --quarantine-after K
 //                process-backend liveness deadline and poisoned-cell strike
 //                budget (defaults 2000 ms, 3 strikes)
+//   --reduce     explore the model side with partial-order + symmetry
+//                reduction enabled; the report is byte-identical to an
+//                unreduced sweep (the S1-S4 slices have trivial reduction
+//                specs).
 //
 // Exit status: 0 = complete sweep, zero unexplained divergences;
 //              1 = complete sweep with unexplained divergences;
@@ -48,9 +52,14 @@ int main(int argc, char** argv) {
       "usage: conformance [--seeds N] [--seed-base S] [--walks W] [--jobs N]\n"
       "                   [--json FILE] [--checkpoint-dir DIR] [--resume]\n"
       "                   [--backend thread|process] [--workers N]\n"
-      "                   [--heartbeat-ms T] [--quarantine-after K]");
+      "                   [--heartbeat-ms T] [--quarantine-after K]\n"
+      "                   [--reduce]");
   conf::DiffOptions opt;
   std::string json_path;
+  if (parser.Flag("--reduce")) {
+    opt.reduction.por = true;
+    opt.reduction.symmetry = true;
+  }
   parser.U64Value("--seeds", &opt.seeds);
   parser.U64Value("--seed-base", &opt.seed_base);
   parser.U64Value("--walks", &opt.walks);

@@ -33,6 +33,10 @@
 //   --heartbeat-ms T / --quarantine-after K
 //                process-backend liveness deadline and poisoned-cell strike
 //                budget (defaults 2000 ms, 3 strikes)
+//   --reduce     explore each cell with partial-order + symmetry reduction
+//                enabled. The S1-S4 slices carry trivial reduction specs,
+//                so the findings and counterexamples are byte-identical to
+//                an unreduced sweep (pinned by the `reduction` CI job).
 #include <cstdio>
 
 #include "ckpt/manifest.h"
@@ -47,10 +51,14 @@ int main(int argc, char** argv) {
       "usage: screening [--jobs N] [--walks W] [--seed S] [--solutions]\n"
       "                 [--checkpoint-dir DIR] [--resume]\n"
       "                 [--backend thread|process] [--workers N]\n"
-      "                 [--heartbeat-ms T] [--quarantine-after K]");
+      "                 [--heartbeat-ms T] [--quarantine-after K] [--reduce]");
   core::ScreeningOptions opt;
   opt.jobs = 0;
   opt.with_solutions = parser.Flag("--solutions");
+  if (parser.Flag("--reduce")) {
+    opt.reduction.por = true;
+    opt.reduction.symmetry = true;
+  }
   parser.IntValue("--jobs", &opt.jobs, 0);
   parser.U64Value("--walks", &opt.random_walks);
   parser.U64Value("--seed", &opt.seed);

@@ -28,7 +28,10 @@ concept CheckpointableModel =
     std::is_trivially_copyable_v<typename M::State> &&
     std::is_trivially_copyable_v<typename M::Action>;
 
-inline constexpr std::uint32_t kExploreSnapshotVersion = 1;
+// v2: ample_states joined the snapshot so a resumed reduced run keeps its
+// strict-ample expansion count. Old snapshots are rejected (kBadVersion)
+// rather than resumed with a silently wrong figure.
+inline constexpr std::uint32_t kExploreSnapshotVersion = 2;
 
 template <typename M>
   requires CheckpointableModel<M>
@@ -47,6 +50,7 @@ std::string EncodeSnapshot(const mck::ExploreSnapshot<M>& snap) {
   w.U64(snap.frontier_peak);
   w.U64(snap.max_depth_reached);
   w.U64(snap.waves);
+  w.U64(snap.ample_states);
   w.U64(snap.violations.size());
   for (const auto& v : snap.violations) {
     w.Str(v.property);
@@ -80,6 +84,7 @@ bool DecodeSnapshot(std::string_view payload, mck::ExploreSnapshot<M>* snap) {
   snap->frontier_peak = r.U64();
   snap->max_depth_reached = r.U64();
   snap->waves = r.U64();
+  snap->ample_states = r.U64();
   const std::uint64_t n_viol = r.U64();
   if (n_viol > payload.size()) return false;
   snap->violations.clear();

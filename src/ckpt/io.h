@@ -193,6 +193,10 @@ enum class PayloadType : std::uint32_t {
   kCampaignCell = 3,
   kScreeningCell = 4,
   kConformanceCell = 5,
+  // Disk-backed frontier staging of ParallelExplore (mck/spill.h): one
+  // (wave, shard, worker) candidate run per file, deleted after the wave
+  // consumes it.
+  kFrontierShard = 6,
 };
 
 enum class LoadStatus {

@@ -38,18 +38,18 @@ struct GroupSpec {
 // model — the script encodes the *user behavior* (data session, CSFB call,
 // hang-up), which is what gets replayed on both carriers; the differential
 // verdict comes from comparing outcomes, not from expecting reproduction.
-CompileResult CanonicalScript(Scenario s) {
+CompileResult CanonicalScript(Scenario s, const mck::ExploreOptions& eopt) {
   switch (s) {
     case Scenario::kS1: {
       model::S1Model m;
-      const auto r = mck::Explore(m, model::S1Model::Properties(), {});
+      const auto r = mck::Explore(m, model::S1Model::Properties(), eopt);
       const auto* v = r.FindViolation(model::kPacketServiceOk);
       if (v == nullptr) return {};
       return CompileS1(m, *v);
     }
     case Scenario::kS2: {
       model::S2Model m;
-      const auto r = mck::Explore(m, model::S2Model::Properties(), {});
+      const auto r = mck::Explore(m, model::S2Model::Properties(), eopt);
       const auto* v = r.FindViolation(model::kPacketServiceOk);
       if (v == nullptr) return {};
       return CompileS2(m, *v);
@@ -58,14 +58,14 @@ CompileResult CanonicalScript(Scenario s) {
       model::S3Model::Config cfg;
       cfg.policy = model::SwitchPolicy::kCellReselection;
       model::S3Model m(cfg);
-      const auto r = mck::Explore(m, m.Properties(), {});
+      const auto r = mck::Explore(m, m.Properties(), eopt);
       const auto* v = r.FindViolation(model::kMmOk);
       if (v == nullptr) return {};
       return CompileS3(m, *v);
     }
     case Scenario::kS4: {
       model::S4Model m;
-      const auto r = mck::Explore(m, model::S4Model::Properties(), {});
+      const auto r = mck::Explore(m, model::S4Model::Properties(), eopt);
       const auto* v = r.FindViolation(model::kCallServiceOk);
       if (v == nullptr) return {};
       return CompileS4(m, *v);
@@ -91,11 +91,14 @@ std::function<bool(Rng&, std::uint64_t)> MakeWalk(M m, std::string property) {
   };
 }
 
-GroupSpec BuildGroup(Scenario s, const stack::CarrierProfile& carrier) {
+GroupSpec BuildGroup(Scenario s, const stack::CarrierProfile& carrier,
+                     const mck::ReductionOptions& reduction) {
   GroupSpec g;
   g.scenario = s;
   g.carrier = carrier;
-  const CompileResult compiled = CanonicalScript(s);
+  mck::ExploreOptions eopt;
+  eopt.reduction = reduction;
+  const CompileResult compiled = CanonicalScript(s, eopt);
   g.script_ok = compiled.ok;
   g.script_error = compiled.error;
   g.script = compiled.script;
@@ -105,7 +108,8 @@ GroupSpec BuildGroup(Scenario s, const stack::CarrierProfile& carrier) {
       model::S1Model m;
       g.property = model::kPacketServiceOk;
       g.model_violation =
-          !mck::Explore(m, model::S1Model::Properties(), {}).Holds(g.property);
+          !mck::Explore(m, model::S1Model::Properties(), eopt)
+               .Holds(g.property);
       g.walk = MakeWalk(m, g.property);
       break;
     }
@@ -113,7 +117,8 @@ GroupSpec BuildGroup(Scenario s, const stack::CarrierProfile& carrier) {
       model::S2Model m;
       g.property = model::kPacketServiceOk;
       g.model_violation =
-          !mck::Explore(m, model::S2Model::Properties(), {}).Holds(g.property);
+          !mck::Explore(m, model::S2Model::Properties(), eopt)
+               .Holds(g.property);
       g.walk = MakeWalk(m, g.property);
       break;
     }
@@ -124,7 +129,8 @@ GroupSpec BuildGroup(Scenario s, const stack::CarrierProfile& carrier) {
       cfg.policy = carrier.csfb_return_policy;
       model::S3Model m(cfg);
       g.property = model::kMmOk;
-      g.model_violation = !mck::Explore(m, m.Properties(), {}).Holds(g.property);
+      g.model_violation =
+          !mck::Explore(m, m.Properties(), eopt).Holds(g.property);
       g.walk = MakeWalk(m, g.property);
       break;
     }
@@ -132,7 +138,8 @@ GroupSpec BuildGroup(Scenario s, const stack::CarrierProfile& carrier) {
       model::S4Model m;
       g.property = model::kCallServiceOk;
       g.model_violation =
-          !mck::Explore(m, model::S4Model::Properties(), {}).Holds(g.property);
+          !mck::Explore(m, model::S4Model::Properties(), eopt)
+               .Holds(g.property);
       g.walk = MakeWalk(m, g.property);
       break;
     }
@@ -253,6 +260,8 @@ std::uint64_t DifferentialDriver::ConfigDigest() const {
   d.Add(options_.seeds);
   d.Add(options_.seed_base);
   d.Add(options_.walks);
+  d.Add(options_.reduction.por);
+  d.Add(options_.reduction.symmetry);
   return d.Finish();
 }
 
@@ -267,7 +276,7 @@ DiffReport DifferentialDriver::Run() const {
   std::vector<GroupSpec> groups;
   for (const Scenario s : kScenarios) {
     for (const auto& carrier : {stack::OpI(), stack::OpII()}) {
-      groups.push_back(BuildGroup(s, carrier));
+      groups.push_back(BuildGroup(s, carrier, options_.reduction));
     }
   }
 

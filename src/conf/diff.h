@@ -17,6 +17,7 @@
 
 #include "ckpt/manifest.h"
 #include "conf/script.h"
+#include "mck/reduction.h"
 #include "conf/verdict.h"
 #include "dist/grid.h"
 
@@ -36,6 +37,11 @@ struct DiffOptions {
   std::int64_t heartbeat_ms = 2000;
   int quarantine_after = 3;
   dist::KillPlan kill_plan;
+  // State-space reductions for the model-side explorations (exhaustive
+  // passes and canonical-script compilation). The S1-S4 slices have
+  // trivial reduction specs, so the report is byte-identical with the
+  // flags on — the `reduction` CI job pins that.
+  mck::ReductionOptions reduction;
 };
 
 struct DiffCell {

@@ -44,15 +44,17 @@ ConformanceResult CrossCheckImpl(FindingId id, conf::Scenario scenario,
   res.id = id;
   res.carrier = profile.name;
 
+  mck::ExploreOptions eopt;
+  eopt.reduction = options.reduction;
   res.model_violation =
-      !mck::Explore(plan.configured, PropsOf(plan.configured), {})
+      !mck::Explore(plan.configured, PropsOf(plan.configured), eopt)
            .Holds(plan.property);
 
   // The canonical counterexample always comes from the baseline model, so
   // the sim side can run (and catch sim-only divergences) even when the
   // configured model holds.
   const auto baseline_result =
-      mck::Explore(plan.baseline, PropsOf(plan.baseline), {});
+      mck::Explore(plan.baseline, PropsOf(plan.baseline), eopt);
   const auto* violation = baseline_result.FindViolation(plan.property);
   if (violation == nullptr) {
     res.verdict = conf::Verdict::kBadCounterexample;

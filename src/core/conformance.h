@@ -16,6 +16,7 @@
 
 #include "conf/verdict.h"
 #include "core/findings.h"
+#include "mck/reduction.h"
 #include "model/vocab.h"
 #include "stack/carrier.h"
 #include "stack/testbed.h"
@@ -39,6 +40,11 @@ struct ConformanceOptions {
   // compiling (0 = intact). A truncated trace no longer ends in a
   // violating state and must be rejected as kBadCounterexample.
   std::size_t truncate_trace = 0;
+  // State-space reductions applied on the model-side explorations. The
+  // S1–S4 slices are single-UE models with trivial reduction specs, so
+  // enabling --por/--symmetry here is a sound no-op on results — the sweep
+  // must stay green either way (pinned by the conformance CI step).
+  mck::ReductionOptions reduction;
 };
 
 struct ConformanceResult {

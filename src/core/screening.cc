@@ -31,7 +31,9 @@ ScenarioCellResult ExploreCell(const std::string& name, const M& m,
 
   // The exhaustive pass runs on the shared worker pool; results are
   // byte-identical to serial mck::Explore at any worker count.
-  const auto result = mck::ParallelExplore(m, props, {}, &exec);
+  mck::ParallelExploreOptions popt;
+  popt.base.reduction = options.reduction;
+  const auto result = mck::ParallelExplore(m, props, popt, &exec);
   cell.stats = result.stats;
   for (const auto& v : result.violations) {
     cell.violated_properties.push_back(v.property);
@@ -222,6 +224,8 @@ std::string EncodeCell(const ScenarioCellResult& cell,
   w.U8(cell.stats.truncated ? 1 : 0);
   w.U64(cell.stats.frontier_peak);
   w.F64(cell.stats.hash_occupancy);
+  w.U64(cell.stats.ample_states);
+  w.U64(cell.stats.represented_states);
   w.F64(cell.stats.elapsed_wall_seconds);
   w.Str(rng_state);
   return w.Take();
@@ -253,6 +257,8 @@ bool DecodeCell(std::string_view payload, ScenarioCellResult* cell,
   out.stats.truncated = r.U8() != 0;
   out.stats.frontier_peak = r.U64();
   out.stats.hash_occupancy = r.F64();
+  out.stats.ample_states = r.U64();
+  out.stats.represented_states = r.U64();
   out.stats.elapsed_wall_seconds = r.F64();
   *rng_state = r.Str();
   if (!r.AtEnd()) return false;
@@ -276,6 +282,8 @@ std::uint64_t ScreeningRunner::ConfigDigest() const {
   d.Add(options_.with_solutions);
   d.Add(options_.random_walks);
   d.Add(options_.seed);
+  d.Add(options_.reduction.por);
+  d.Add(options_.reduction.symmetry);
   return d.Finish();
 }
 

@@ -56,6 +56,11 @@ struct ScreeningOptions {
   std::int64_t heartbeat_ms = 2000;
   int quarantine_after = 3;
   dist::KillPlan kill_plan;
+  // State-space reduction for the exhaustive passes (mck/reduction.h). The
+  // S1–S4 screening models declare single-component specs, so turning the
+  // flags on must not change any cell result — the `reduction` CI job pins
+  // that. Part of the checkpoint config digest.
+  mck::ReductionOptions reduction;
 };
 
 struct ScenarioCellResult {

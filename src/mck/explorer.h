@@ -39,7 +39,9 @@
 #include <vector>
 
 #include "mck/intern_table.h"
+#include "mck/por.h"
 #include "mck/property.h"
+#include "mck/reduction.h"
 
 namespace cnv::mck {
 
@@ -68,6 +70,12 @@ struct ExploreOptions {
   // States for which the model's optional `is_final(state)` returns true are
   // successful terminations, not deadlocks.
   bool detect_deadlock = false;
+  // State-space reduction switches (mck/reduction.h). BFS only: the DFS
+  // order ignores them (its stack-based cycle proviso is not implemented),
+  // exactly like it ignores snapshot hooks. A model that does not declare
+  // the matching ReductionSpec pieces explores fully — the flags are safe
+  // to pass uniformly across a sweep of heterogeneous models.
+  ReductionOptions reduction;
 };
 
 namespace internal {
@@ -101,6 +109,13 @@ struct ExploreStats {
   // visited-state hash table — the two memory-pressure signals for soaks.
   std::uint64_t frontier_peak = 0;
   double hash_occupancy = 0;
+  // States whose expansion used a strict ample subset (POR active and it
+  // actually reduced something). 0 when POR is off or never fires.
+  std::uint64_t ample_states = 0;
+  // Sum of orbit sizes over the interned representatives — the number of
+  // concrete states the reduced visited set stands for. Equal to
+  // states_visited when symmetry (or orbit accounting) is off.
+  std::uint64_t represented_states = 0;
   // Wall-clock timing. Everything else in this struct is deterministic;
   // these two are explicitly wall-clock throughput figures and must never
   // feed a byte-identical-replay comparison.
@@ -124,6 +139,8 @@ struct ExploreStatsView {
   std::uint64_t frontier_peak = 0;
   bool truncated = false;
   double hash_occupancy = 0;
+  std::uint64_t ample_states = 0;
+  std::uint64_t represented_states = 0;
   bool operator==(const ExploreStatsView&) const = default;
 };
 
@@ -132,9 +149,14 @@ struct ExploreStatsView {
 // different load factor than a single one.
 inline ExploreStatsView DeterministicView(const ExploreStats& s,
                                           bool include_occupancy = true) {
-  return {s.states_visited,  s.transitions, s.max_depth_reached,
-          s.frontier_peak,   s.truncated,
-          include_occupancy ? s.hash_occupancy : 0.0};
+  return {s.states_visited,
+          s.transitions,
+          s.max_depth_reached,
+          s.frontier_peak,
+          s.truncated,
+          include_occupancy ? s.hash_occupancy : 0.0,
+          s.ample_states,
+          s.represented_states};
 }
 
 inline std::string ToString(const ExploreStatsView& v) {
@@ -143,7 +165,9 @@ inline std::string ToString(const ExploreStatsView& v) {
          " max_depth=" + std::to_string(v.max_depth_reached) +
          " frontier_peak=" + std::to_string(v.frontier_peak) +
          " truncated=" + std::to_string(v.truncated) +
-         " occupancy=" + std::to_string(v.hash_occupancy) + "}";
+         " occupancy=" + std::to_string(v.hash_occupancy) +
+         " ample=" + std::to_string(v.ample_states) +
+         " represented=" + std::to_string(v.represented_states) + "}";
 }
 
 inline std::ostream& operator<<(std::ostream& os, const ExploreStatsView& v) {
@@ -195,6 +219,9 @@ struct ExploreSnapshot {
   std::uint64_t frontier_peak = 0;
   std::uint64_t max_depth_reached = 0;
   std::uint64_t waves = 0;  // == depth at a continuing wave boundary
+  // POR bookkeeping carried across a resume; represented_states is *not*
+  // carried because the engines recompute it from the final visited set.
+  std::uint64_t ample_states = 0;
   std::vector<Violation<M>> violations;
 };
 
@@ -281,6 +308,13 @@ ExploreResult<M> Explore(const M& model,
   std::unordered_set<std::string> violated;
   const bool track =
       hooks != nullptr && options.order == SearchOrder::kBreadthFirst;
+  // Reduction is BFS-only (see ExploreOptions::reduction); for DFS the
+  // engine stays inert and the exploration is the full product.
+  const internal::ReductionEngine<M> red =
+      options.order == SearchOrder::kBreadthFirst
+          ? internal::ReductionEngine<M>(model, options.reduction,
+                                         !properties.empty())
+          : internal::ReductionEngine<M>();
 
   // Arena of discovered states with back-pointers for trace reconstruction.
   struct NodeMeta {
@@ -325,7 +359,7 @@ ExploreResult<M> Explore(const M& model,
   };
 
   auto all_violated = [&] {
-    return options.first_violation_per_property &&
+    return options.first_violation_per_property && !properties.empty() &&
            violated.size() == properties.size() && !options.detect_deadlock;
   };
 
@@ -367,6 +401,19 @@ ExploreResult<M> Explore(const M& model,
     std::vector<std::int64_t> frontier;
     std::vector<std::int64_t> next_frontier;
     std::uint64_t depth = 0;
+    // POR plumbing: `wave_start` is the arena size when the current wave
+    // began, so "old" (C3 freshness) means "interned before this wave" —
+    // the same predicate the parallel engine evaluates against its frozen
+    // pre-wave table. `ample` is the reusable ample-subset scratch.
+    std::int64_t wave_start = 0;
+    std::vector<Action> ample;
+    auto is_old = [&](const State& t) {
+      const std::uint64_t h = static_cast<std::uint64_t>(HashValue(t));
+      const std::int64_t found = seen.Find(h, [&](std::int64_t i) {
+        return arena[static_cast<std::size_t>(i)] == t;
+      });
+      return found >= 0 && found < wave_start;
+    };
     internal::SnapshotCadence cadence;
     if (track) {
       cadence.every_states = hooks->every_states;
@@ -398,11 +445,12 @@ ExploreResult<M> Explore(const M& model,
       result.stats.transitions = snap.transitions;
       result.stats.frontier_peak = snap.frontier_peak;
       result.stats.max_depth_reached = snap.max_depth_reached;
+      result.stats.ample_states = snap.ample_states;
       result.violations = snap.violations;
       for (const auto& v : result.violations) violated.insert(v.property);
       cadence.states_at_last = snap.nodes.size();
     } else {
-      auto [idx, inserted] = intern(model.initial(), -1, nullptr, 0);
+      auto [idx, inserted] = intern(red.Canon(model.initial()), -1, nullptr, 0);
       (void)inserted;
       check_state(idx);
       frontier.push_back(idx);
@@ -423,6 +471,7 @@ ExploreResult<M> Explore(const M& model,
       snap.frontier_peak = result.stats.frontier_peak;
       snap.max_depth_reached = result.stats.max_depth_reached;
       snap.waves = depth;
+      snap.ample_states = result.stats.ample_states;
       snap.violations = result.violations;
       return snap;
     };
@@ -437,14 +486,23 @@ ExploreResult<M> Explore(const M& model,
         break;
       }
       next_frontier.clear();
+      wave_start = static_cast<std::int64_t>(arena.size());
       for (const std::int64_t idx : frontier) {
         // Copy the actions: `arena` may reallocate while children intern.
         const std::vector<Action> actions =
             model.enabled(arena[static_cast<std::size_t>(idx)]);
         if (actions.empty()) check_deadlock(idx);
-        for (const Action& a : actions) {
+        const std::vector<Action>* expand = &actions;
+        if (red.por() &&
+            red.SelectAmple(model, arena[static_cast<std::size_t>(idx)],
+                            actions, is_old, ample)) {
+          expand = &ample;
+          ++result.stats.ample_states;
+        }
+        for (const Action& a : *expand) {
           ++result.stats.transitions;
-          State next = model.apply(arena[static_cast<std::size_t>(idx)], a);
+          State next =
+              red.Canon(model.apply(arena[static_cast<std::size_t>(idx)], a));
           auto [child, inserted] = intern(std::move(next), idx, &a, depth + 1);
           if (!inserted) {
             // child < 0: a genuinely new state was dropped by the cap. Keep
@@ -519,6 +577,11 @@ ExploreResult<M> Explore(const M& model,
 
   result.stats.states_visited = seen.size();
   result.stats.hash_occupancy = seen.occupancy();
+  if (red.orbits()) {
+    for (const State& s : arena) result.stats.represented_states += red.OrbitSize(s);
+  } else {
+    result.stats.represented_states = result.stats.states_visited;
+  }
   result.stats.elapsed_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

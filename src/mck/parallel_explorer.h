@@ -38,9 +38,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -49,6 +53,7 @@
 #include "dist/executor.h"
 #include "mck/explorer.h"
 #include "mck/intern_table.h"
+#include "mck/spill.h"
 
 namespace cnv::mck {
 
@@ -64,8 +69,19 @@ struct ParallelExploreOptions {
   // the current wave finishes (its merge stays deterministic) and the
   // result returns with stats.truncated unset and `cancelled` set. The
   // atomic shape (rather than ckpt::CancelToken) keeps mck free of a ckpt
-  // dependency; runners pass &token->flag().
+  // *runtime-object* dependency; runners pass &token->flag().
   const std::atomic<bool>* cancel = nullptr;
+  // Disk-backed frontier staging (mck/spill.h): when set, each wave's
+  // candidate runs are written through the ckpt envelope into this
+  // directory (owned by the run; files are deleted as they are consumed)
+  // instead of held in RAM. Results are byte-identical with spill on or
+  // off. Requires trivially copyable State/Action — silently ignored
+  // otherwise. jobs == 1 with spill routes through the staged multi-worker
+  // path so staging is actually exercised.
+  std::string spill_dir;
+  // Test seam: observes every spill-run path right after it is written, so
+  // tests can truncate or corrupt the file and exercise the recovery path.
+  std::function<void(const std::string&)> on_spill_write_for_test;
 };
 
 struct ParallelExploreStats {
@@ -77,6 +93,10 @@ struct ParallelExploreStats {
   int jobs = 1;
   double worker_busy_seconds = 0;  // summed across workers
   double utilization = 0;          // busy / (jobs * elapsed_wall)
+  // Spill accounting. Run counts depend on the worker split, so these are
+  // execution-shape too and stay out of ParallelStatsView.
+  std::uint64_t spill_runs = 0;       // candidate runs written to disk
+  std::uint64_t spill_recovered = 0;  // runs recomputed after a bad load
 };
 
 // Canonical deterministic view of ParallelExploreStats — the counterpart of
@@ -102,6 +122,25 @@ inline std::string ToString(const ParallelStatsView& v) {
 inline std::ostream& operator<<(std::ostream& os, const ParallelStatsView& v) {
   return os << ToString(v);
 }
+
+namespace internal {
+
+// Candidate record staged between the expand and insert phases (and spilled
+// through mck/spill.h). Namespace-scope rather than function-local so the
+// spill codec templates can instantiate over it — gcc 12 ICEs on
+// function-local classes there.
+template <typename State, typename Action>
+struct FrontierCandidate {
+  State state;
+  std::uint64_t hash = 0;
+  // (frontier position of the parent, action index + 1) — the canonical
+  // serial discovery key.
+  std::pair<std::uint64_t, std::uint32_t> key{};
+  std::uint64_t parent = ~0ull;
+  Action via{};
+};
+
+}  // namespace internal
 
 template <typename M>
 struct ParallelExploreResult {
@@ -149,6 +188,14 @@ ParallelExploreResult<M> ParallelExplore(
   const int shard_bits = std::clamp(options.shard_bits, 0, 16);
   const std::uint32_t n_shards = 1u << shard_bits;
 
+  const internal::ReductionEngine<M> red(model, options.base.reduction,
+                                         !properties.empty());
+  // Spill requires POD state/action images (same bound as snapshot
+  // persistence); for other models the option is inert.
+  constexpr bool kPodModel = std::is_trivially_copyable_v<State> &&
+                             std::is_trivially_copyable_v<Action>;
+  const bool spill = kPodModel && !options.spill_dir.empty();
+
   // Global state ids pack (shard, local index); kNoParent marks the root.
   constexpr std::uint64_t kLocalMask = (1ull << 48) - 1;
   constexpr std::uint64_t kNoParent = ~0ull;
@@ -162,26 +209,25 @@ ParallelExploreResult<M> ParallelExplore(
   // expansion; deadlock candidates use action index 0 because serial checks
   // deadlock when it starts expanding the parent.
   using Key = std::pair<std::uint64_t, std::uint32_t>;
-  struct Candidate {
-    State state;
-    std::uint64_t hash = 0;
-    Key key{};
-    std::uint64_t parent = kNoParent;
-    Action via{};
-  };
+  using Candidate = internal::FrontierCandidate<State, Action>;
   struct PropHit {
     Key key{};
     std::uint32_t property = 0;
     std::uint64_t id = 0;
   };
   // One flush per (worker, wave): candidates[start, start+count) staged by
-  // `worker`. A worker's candidates are produced in key order and worker
-  // slices are contiguous in frontier position, so iterating runs in worker
-  // order visits a shard's candidates in global key order with no sort.
+  // `worker`, or — when spilling — the file the run was written to plus the
+  // frontier slice that produced it (so a damaged file can be re-expanded).
+  // A worker's candidates are produced in key order and worker slices are
+  // contiguous in frontier position, so iterating runs in worker order
+  // visits a shard's candidates in global key order with no sort.
   struct Run {
     int worker = 0;
     std::size_t start = 0;
     std::size_t count = 0;
+    std::string file;  // empty = candidates held in RAM
+    std::size_t slice_begin = 0;
+    std::size_t slice_end = 0;
   };
   struct Shard {
     std::vector<State> states;
@@ -192,6 +238,10 @@ ParallelExploreResult<M> ParallelExplore(
     std::vector<Run> runs;               // flush bookkeeping (under mu)
     std::vector<std::uint64_t> new_ids;  // interned this wave, key order
     std::vector<Key> new_keys;
+    // Cached hashes of this wave's interned states, aligned with new_keys:
+    // the beyond-cap rollback erases table entries with the hash already
+    // computed during expand instead of re-hashing the state.
+    std::vector<std::uint64_t> new_hashes;
     std::vector<PropHit> hits;  // uncommitted property violations
     // Cached per-state hashes, kept only when snapshot hooks are in play
     // (aligned with `states`, rolled back with it).
@@ -246,7 +296,10 @@ ParallelExploreResult<M> ParallelExplore(
       static_cast<std::uint32_t>(properties.size());
 
   auto all_violated = [&] {
-    return fvpp && violated.size() == properties.size() &&
+    // An empty property set means "build the reachability graph", not "every
+    // property is already violated" — keep exploring.
+    return fvpp && !properties.empty() &&
+           violated.size() == properties.size() &&
            !options.base.detect_deadlock;
   };
 
@@ -296,11 +349,12 @@ ParallelExploreResult<M> ParallelExplore(
     result.stats.transitions = snap.transitions;
     result.stats.frontier_peak = snap.frontier_peak;
     result.stats.max_depth_reached = snap.max_depth_reached;
+    result.stats.ample_states = snap.ample_states;
     result.violations = snap.violations;
     for (const auto& v : result.violations) violated.insert(v.property);
   } else {
     // Intern the initial state and check it (single-threaded).
-    State init = model.initial();
+    State init = red.Canon(model.initial());
     const std::uint64_t h = static_cast<std::uint64_t>(HashValue(init));
     const std::uint32_t sh = shard_of(h);
     Shard& shard = shards[sh];
@@ -351,6 +405,7 @@ ParallelExploreResult<M> ParallelExplore(
     snap.frontier_peak = result.stats.frontier_peak;
     snap.max_depth_reached = result.stats.max_depth_reached;
     snap.waves = result.par.waves;
+    snap.ample_states = result.stats.ample_states;
     snap.violations = result.violations;
     return snap;
   };
@@ -363,6 +418,9 @@ ParallelExploreResult<M> ParallelExplore(
 
   std::vector<std::uint64_t> worker_transitions(
       static_cast<std::size_t>(jobs), 0);
+  std::vector<std::uint64_t> worker_ample(static_cast<std::size_t>(jobs), 0);
+  std::vector<std::vector<Action>> worker_ample_buf(
+      static_cast<std::size_t>(jobs));
   std::vector<std::vector<std::uint64_t>> worker_deadlocks(
       static_cast<std::size_t>(jobs));
   // Worker-local routing buffers, one per (worker, shard): candidates are
@@ -381,12 +439,38 @@ ParallelExploreResult<M> ParallelExplore(
            options.cancel->load(std::memory_order_relaxed);
   };
 
-  if (jobs == 1) {
+  // POR plumbing shared by both paths: `wave_start` holds each shard's
+  // arena size when the current wave began, so the C3 freshness predicate
+  // means "interned before this wave" even when probed against a table that
+  // has since grown — during the frozen expand phase the cutoff is a no-op,
+  // on the jobs==1 fast path (which interns mid-wave) and in the
+  // spill-recovery post-pass it restores exact pre-wave semantics. This is
+  // the same predicate the serial engine evaluates, which keeps reduced
+  // exploration byte-identical at any job count.
+  std::vector<std::int64_t> wave_start(n_shards, 0);
+  const auto mark_wave_start = [&] {
+    if (!red.por()) return;
+    for (std::uint32_t sh = 0; sh < n_shards; ++sh) {
+      wave_start[sh] = static_cast<std::int64_t>(shards[sh].states.size());
+    }
+  };
+  const auto is_old_canon = [&](const State& t) {
+    const std::uint64_t h = static_cast<std::uint64_t>(HashValue(t));
+    const std::uint32_t sh = shard_of(h);
+    const Shard& shard = shards[sh];
+    const std::int64_t found = shard.table.Find(h, [&](std::int64_t i) {
+      return shard.states[static_cast<std::size_t>(i)] == t;
+    });
+    return found >= 0 && found < wave_start[sh];
+  };
+
+  if (jobs == 1 && !spill) {
     // Serial fast path: the wave algorithm of mck::Explore run directly over
     // the sharded storage — no staging, no merge, single probe per
     // successor. Byte-identical to the multi-worker path by construction
     // (both reproduce serial wave order), including hash_occupancy, since
     // the shard tables end up with the same content.
+    std::vector<Action> fast_ample;
     while (!frontier.empty() && !all_violated()) {
       if (drain_requested()) {
         result.cancelled = true;
@@ -402,6 +486,7 @@ ParallelExploreResult<M> ParallelExplore(
         break;
       }
       ++result.par.waves;
+      mark_wave_start();
       next_frontier.clear();
       for (const std::uint64_t parent_id : frontier) {
         // Re-fetch the parent state on every use: a shard arena may
@@ -418,9 +503,16 @@ ParallelExploreResult<M> ParallelExplore(
           }
           continue;
         }
-        for (const Action& a : actions) {
+        const std::vector<Action>* expand = &actions;
+        if (red.por() &&
+            red.SelectAmple(model, state_of(parent_id), actions, is_old_canon,
+                            fast_ample)) {
+          expand = &fast_ample;
+          ++result.stats.ample_states;
+        }
+        for (const Action& a : *expand) {
           ++result.stats.transitions;
-          State next = model.apply(state_of(parent_id), a);
+          State next = red.Canon(model.apply(state_of(parent_id), a));
           const std::uint64_t h = static_cast<std::uint64_t>(HashValue(next));
           const std::uint32_t sh = shard_of(h);
           Shard& shard = shards[sh];
@@ -462,6 +554,51 @@ ParallelExploreResult<M> ParallelExplore(
       maybe_snapshot();
     }
   } else {
+  // Successor computation for frontier positions [begin, end), shared by the
+  // expand phase and spill-run recovery. Candidates that survive the frozen
+  // visited-table probe are routed through `sink(sh, candidate)`. `count`
+  // gates the transition/deadlock/ample accounting so a recovery
+  // re-expansion never double-counts figures phase 1 already recorded.
+  auto expand_range = [&](int w, std::size_t begin, std::size_t end,
+                          std::vector<Action>& ample_buf, bool count,
+                          auto&& sink) {
+    const std::size_t wi = static_cast<std::size_t>(w);
+    for (std::size_t pos = begin; pos < end; ++pos) {
+      const State& s = state_of(frontier[pos]);
+      const std::vector<Action> actions = model.enabled(s);
+      if (actions.empty()) {
+        if (count && options.base.detect_deadlock &&
+            !internal::IsFinal(model, s)) {
+          worker_deadlocks[wi].push_back(pos);
+        }
+        continue;
+      }
+      const std::vector<Action>* expand = &actions;
+      if (red.por() &&
+          red.SelectAmple(model, s, actions, is_old_canon, ample_buf)) {
+        expand = &ample_buf;
+        if (count) ++worker_ample[wi];
+      }
+      for (std::uint32_t ai = 0;
+           ai < static_cast<std::uint32_t>(expand->size()); ++ai) {
+        if (count) ++worker_transitions[wi];
+        State next = red.Canon(model.apply(s, (*expand)[ai]));
+        const std::uint64_t h = static_cast<std::uint64_t>(HashValue(next));
+        const std::uint32_t sh = shard_of(h);
+        Shard& shard = shards[sh];
+        // The table is frozen during expand, so this probe needs no lock;
+        // it filters duplicates from earlier waves. (Recovery probes
+        // single-threaded on grown tables: it then also discards same-wave
+        // inserts, which the insert-phase dedup would skip anyway.)
+        const std::int64_t seen = shard.table.Find(h, [&](std::int64_t i) {
+          return shard.states[static_cast<std::size_t>(i)] == next;
+        });
+        if (seen >= 0) continue;
+        sink(sh, Candidate{std::move(next), h, Key{pos, ai + 1},
+                           frontier[pos], (*expand)[ai]});
+      }
+    }
+  };
   while (!frontier.empty() && !all_violated()) {
     if (drain_requested()) {
       result.cancelled = true;
@@ -477,60 +614,68 @@ ParallelExploreResult<M> ParallelExplore(
       break;
     }
     ++result.par.waves;
+    mark_wave_start();
 
     // --- 1. expand -------------------------------------------------------
     for (int w = 0; w < jobs; ++w) {
       worker_transitions[static_cast<std::size_t>(w)] = 0;
+      worker_ample[static_cast<std::size_t>(w)] = 0;
       worker_deadlocks[static_cast<std::size_t>(w)].clear();
     }
     exec->ParallelFor(
         frontier.size(), [&](int w, std::size_t begin, std::size_t end) {
           const std::size_t wi = static_cast<std::size_t>(w);
           std::vector<Candidate>* local = &routed[wi * n_shards];
-          for (std::size_t pos = begin; pos < end; ++pos) {
-            const State& s = state_of(frontier[pos]);
-            const std::vector<Action> actions = model.enabled(s);
-            if (actions.empty()) {
-              if (options.base.detect_deadlock &&
-                  !internal::IsFinal(model, s)) {
-                worker_deadlocks[wi].push_back(pos);
-              }
-              continue;
-            }
-            for (std::uint32_t ai = 0; ai < actions.size(); ++ai) {
-              ++worker_transitions[wi];
-              State next = model.apply(s, actions[ai]);
-              const std::uint64_t h =
-                  static_cast<std::uint64_t>(HashValue(next));
-              const std::uint32_t sh = shard_of(h);
-              Shard& shard = shards[sh];
-              // The table is frozen during expand, so this probe needs no
-              // lock; it filters duplicates from earlier waves.
-              const std::int64_t seen =
-                  shard.table.Find(h, [&](std::int64_t i) {
-                    return shard.states[static_cast<std::size_t>(i)] == next;
-                  });
-              if (seen >= 0) continue;
-              local[sh].push_back({std::move(next), h, Key{pos, ai + 1},
-                                   frontier[pos], actions[ai]});
-            }
-          }
-          // Flush this worker's staged candidates, one lock per shard.
+          expand_range(w, begin, end, worker_ample_buf[wi], true,
+                       [&](std::uint32_t sh, Candidate&& c) {
+                         local[sh].push_back(std::move(c));
+                       });
+          // Flush this worker's staged candidates: to disk when spilling,
+          // otherwise into the shard's staging area, one lock per shard.
           for (std::uint32_t sh = 0; sh < n_shards; ++sh) {
             if (local[sh].empty()) continue;
             Shard& shard = shards[sh];
-            std::lock_guard<std::mutex> lock(shard.mu);
-            shard.runs.push_back({w, shard.candidates.size(),
-                                  local[sh].size()});
-            shard.candidates.insert(
-                shard.candidates.end(),
-                std::make_move_iterator(local[sh].begin()),
-                std::make_move_iterator(local[sh].end()));
-            local[sh].clear();
+            if (spill) {
+              if constexpr (kPodModel) {
+                const std::string path = options.spill_dir + "/wave" +
+                                         std::to_string(depth) + "_s" +
+                                         std::to_string(sh) + "_j" +
+                                         std::to_string(w) + ".run";
+                // A failed write is not fatal: the insert phase classifies
+                // the file via LoadStatus and recovers by re-expansion.
+                (void)SaveFrontierRun(path, FrontierRunDigest(depth, sh, w),
+                                      local[sh]);
+                if (options.on_spill_write_for_test) {
+                  options.on_spill_write_for_test(path);
+                }
+                std::lock_guard<std::mutex> lock(shard.mu);
+                shard.runs.push_back(
+                    {w, 0, local[sh].size(), path, begin, end});
+                local[sh].clear();
+              }
+            } else {
+              std::lock_guard<std::mutex> lock(shard.mu);
+              shard.runs.push_back({w, shard.candidates.size(),
+                                    local[sh].size(), std::string(), begin,
+                                    end});
+              shard.candidates.insert(
+                  shard.candidates.end(),
+                  std::make_move_iterator(local[sh].begin()),
+                  std::make_move_iterator(local[sh].end()));
+              local[sh].clear();
+            }
           }
         });
     for (int w = 0; w < jobs; ++w) {
       result.stats.transitions += worker_transitions[static_cast<std::size_t>(w)];
+      result.stats.ample_states += worker_ample[static_cast<std::size_t>(w)];
+    }
+    if (spill) {
+      for (const Shard& shard : shards) {
+        for (const Run& run : shard.runs) {
+          if (!run.file.empty()) ++result.par.spill_runs;
+        }
+      }
     }
 
     // --- 2. insert -------------------------------------------------------
@@ -540,6 +685,64 @@ ParallelExploreResult<M> ParallelExplore(
     for (std::uint32_t p = 0; p < properties.size(); ++p) {
       already_violated[p] = fvpp && violated.contains(properties[p].name);
     }
+    // Interns one surviving candidate into its shard: arena append, table
+    // insert, wave bookkeeping (new_ids/new_keys/new_hashes) and property
+    // checks. Runs under shard ownership — the insert ParallelFor assigns
+    // whole shards to workers, and the recovery post-pass is
+    // single-threaded.
+    auto process_candidate = [&](Shard& shard, std::size_t si, Candidate& c) {
+      const std::int64_t seen = shard.table.Find(c.hash, [&](std::int64_t i) {
+        return shard.states[static_cast<std::size_t>(i)] == c.state;
+      });
+      if (seen >= 0) return;  // same-wave duplicate: first key wins
+      shard.states.push_back(std::move(c.state));
+      shard.meta.push_back({c.parent, c.via});
+      if (track) shard.hashes.push_back(c.hash);
+      const std::int64_t idx =
+          static_cast<std::int64_t>(shard.states.size()) - 1;
+      shard.table.Insert(c.hash, idx);
+      const std::uint64_t id = make_id(static_cast<std::uint32_t>(si), idx);
+      shard.new_ids.push_back(id);
+      shard.new_keys.push_back(c.key);
+      shard.new_hashes.push_back(c.hash);
+      const State& s = shard.states[static_cast<std::size_t>(idx)];
+      for (std::uint32_t p = 0;
+           p < static_cast<std::uint32_t>(properties.size()); ++p) {
+        if (already_violated[p]) continue;
+        if (!properties[p].holds(s)) shard.hits.push_back({c.key, p, id});
+      }
+    };
+    // Processes shard.runs[first..] in order, consuming (and deleting)
+    // spill files as it goes. Returns runs.size() when done, or the index
+    // of the first run whose spill file failed to load — processing stops
+    // there so key order is preserved across the recovery.
+    auto process_runs = [&](Shard& shard, std::size_t si,
+                            std::size_t first) -> std::size_t {
+      for (std::size_t ri = first; ri < shard.runs.size(); ++ri) {
+        const Run& run = shard.runs[ri];
+        if (run.file.empty()) {
+          for (std::size_t ci = run.start; ci < run.start + run.count; ++ci) {
+            process_candidate(shard, si, shard.candidates[ci]);
+          }
+          continue;
+        }
+        if constexpr (kPodModel) {
+          std::vector<Candidate> loaded;
+          if (LoadFrontierRun(run.file,
+                              FrontierRunDigest(
+                                  depth, static_cast<std::uint32_t>(si),
+                                  run.worker),
+                              &loaded) != ckpt::LoadStatus::kOk) {
+            return ri;
+          }
+          std::remove(run.file.c_str());
+          for (Candidate& c : loaded) process_candidate(shard, si, c);
+        }
+      }
+      return shard.runs.size();
+    };
+    std::mutex deferred_mu;
+    std::vector<std::pair<std::size_t, std::size_t>> deferred;
     exec->ParallelFor(n_shards, [&](int, std::size_t begin, std::size_t end) {
       for (std::size_t si = begin; si < end; ++si) {
         Shard& shard = shards[si];
@@ -548,36 +751,53 @@ ParallelExploreResult<M> ParallelExplore(
         // is produced in key order).
         std::sort(shard.runs.begin(), shard.runs.end(),
                   [](const Run& a, const Run& b) { return a.worker < b.worker; });
-        for (const Run& run : shard.runs) {
-          for (std::size_t ci = run.start; ci < run.start + run.count; ++ci) {
-            Candidate& c = shard.candidates[ci];
-            const std::int64_t seen =
-                shard.table.Find(c.hash, [&](std::int64_t i) {
-                  return shard.states[static_cast<std::size_t>(i)] == c.state;
-                });
-            if (seen >= 0) continue;  // same-wave duplicate: first key wins
-            shard.states.push_back(std::move(c.state));
-            shard.meta.push_back({c.parent, c.via});
-            if (track) shard.hashes.push_back(c.hash);
-            const std::int64_t idx =
-                static_cast<std::int64_t>(shard.states.size()) - 1;
-            shard.table.Insert(c.hash, idx);
-            const std::uint64_t id =
-                make_id(static_cast<std::uint32_t>(si), idx);
-            shard.new_ids.push_back(id);
-            shard.new_keys.push_back(c.key);
-            const State& s = shard.states[static_cast<std::size_t>(idx)];
-            for (std::uint32_t p = 0;
-                 p < static_cast<std::uint32_t>(properties.size()); ++p) {
-              if (already_violated[p]) continue;
-              if (!properties[p].holds(s)) shard.hits.push_back({c.key, p, id});
-            }
-          }
+        const std::size_t stop = process_runs(shard, si, 0);
+        if (stop < shard.runs.size()) {
+          // A spill run failed to load. Defer this shard: recovery
+          // re-expands frontier slices, which probes *other* shards'
+          // tables — racy while they are still inserting, so it has to
+          // wait for the barrier below.
+          std::lock_guard<std::mutex> lock(deferred_mu);
+          deferred.emplace_back(si, stop);
+        } else {
+          shard.candidates.clear();
+          shard.runs.clear();
+        }
+      }
+    });
+    // Spill recovery post-pass (single-threaded): for each damaged run,
+    // re-expand the frontier slice that produced it, keep only candidates
+    // routed to the deferred shard, and resume run processing behind it.
+    // The wave_start cutoff makes the C3 freshness probe ignore this wave's
+    // inserts, and phase 1 already counted transitions/deadlocks/ample, so
+    // every deterministic figure is unchanged.
+    if (!deferred.empty()) {
+      std::sort(deferred.begin(), deferred.end());
+      for (const auto& [si, first] : deferred) {
+        Shard& shard = shards[si];
+        std::size_t ri = first;
+        while (ri < shard.runs.size()) {
+          const std::size_t stop = process_runs(shard, si, ri);
+          if (stop >= shard.runs.size()) break;
+          const Run& bad = shard.runs[stop];
+          std::vector<Candidate> rebuilt;
+          std::vector<Action> recovery_ample;
+          expand_range(bad.worker, bad.slice_begin, bad.slice_end,
+                       recovery_ample, false,
+                       [&](std::uint32_t sh, Candidate&& c) {
+                         if (sh == static_cast<std::uint32_t>(si)) {
+                           rebuilt.push_back(std::move(c));
+                         }
+                       });
+          for (Candidate& c : rebuilt) process_candidate(shard, si, c);
+          std::remove(bad.file.c_str());
+          ++result.par.spill_recovered;
+          ri = stop + 1;
         }
         shard.candidates.clear();
         shard.runs.clear();
       }
-    });
+    }
 
     // --- 3. merge --------------------------------------------------------
     discovered.clear();
@@ -611,21 +831,24 @@ ParallelExploreResult<M> ParallelExplore(
                              cutoff) -
             shard.new_keys.begin());
         while (shard.new_keys.size() > keep) {
-          const State& s = shard.states.back();
+          // Erase by the hash cached at insert time — re-hashing the state
+          // here would double the hash work for every beyond-cap state.
           shard.table.Erase(
-              static_cast<std::uint64_t>(HashValue(s)),
+              shard.new_hashes.back(),
               static_cast<std::int64_t>(shard.states.size()) - 1);
           shard.states.pop_back();
           shard.meta.pop_back();
           if (track) shard.hashes.pop_back();
           shard.new_keys.pop_back();
           shard.new_ids.pop_back();
+          shard.new_hashes.pop_back();
         }
       }
     }
     for (Shard& shard : shards) {
       shard.new_ids.clear();
       shard.new_keys.clear();
+      shard.new_hashes.clear();
     }
 
     // Commit violation candidates in (key, property) order — the minimal
@@ -691,6 +914,18 @@ ParallelExploreResult<M> ParallelExplore(
 
   result.stats.states_visited = visited;
   result.stats.truncated = truncated;
+  // Orbit accounting: each canonical representative stands for its whole
+  // permutation orbit. Recomputed over the final arenas (rollback keeps them
+  // equal to the visited set), exactly like the serial engine.
+  if (red.orbits()) {
+    for (const Shard& shard : shards) {
+      for (const State& s : shard.states) {
+        result.stats.represented_states += red.OrbitSize(s);
+      }
+    }
+  } else {
+    result.stats.represented_states = visited;
+  }
   std::size_t table_size = 0;
   std::size_t table_capacity = 0;
   for (const Shard& shard : shards) {

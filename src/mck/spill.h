@@ -1,0 +1,108 @@
+// Disk-backed frontier staging for ParallelExplore: when a spill directory
+// is configured, the expand phase writes each (wave, shard, worker)
+// candidate run through the ckpt envelope instead of holding it in RAM, and
+// the insert phase streams the runs back one at a time — the candidate
+// staging area, which is the memory peak of a large exploration, never has
+// to fit in memory at once.
+//
+// Runs are ordinary checkpoint files (PayloadType::kFrontierShard), so a
+// damaged or missing run is detected by the ckpt LoadStatus taxonomy —
+// truncation, bad magic, checksum mismatch — and the engine falls back to
+// deterministically re-expanding the worker slice that produced the run
+// (the frontier is still in memory; spilled data is always derivable).
+// Every figure of the final result is byte-identical with spill on, off, or
+// recovering — pinned by tests/mck_spill_test.cc.
+//
+// The payload is a length-prefixed sequence of candidate images; states and
+// actions are raw POD copies, which is why the engine only spills models
+// with trivially copyable State/Action (the same bound ckpt/explore_ckpt.h
+// puts on snapshot persistence).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ckpt/io.h"
+
+namespace cnv::mck {
+
+inline constexpr std::uint32_t kFrontierShardVersion = 1;
+
+// Binds a run file to its (wave, shard, worker) coordinates: reading a
+// stale or misplaced run file fails with kConfigMismatch instead of
+// silently feeding another wave's candidates into the merge.
+inline std::uint64_t FrontierRunDigest(std::uint64_t wave, std::uint32_t shard,
+                                       int worker) {
+  ckpt::DigestBuilder d;
+  d.Add(std::string_view("frontier-run"));
+  d.Add(wave);
+  d.Add(static_cast<std::uint64_t>(shard));
+  d.Add(static_cast<std::int64_t>(worker));
+  return d.Finish();
+}
+
+// C is ParallelExplore's candidate record: {state, hash, key{first,second},
+// parent, via} with trivially copyable state/action.
+template <typename C>
+std::string EncodeFrontierRun(const std::vector<C>& run) {
+  ckpt::BinaryWriter w;
+  w.U64(run.size());
+  for (const C& c : run) {
+    w.Pod(c.state);
+    w.U64(c.hash);
+    w.U64(c.key.first);
+    w.U32(c.key.second);
+    w.U64(c.parent);
+    w.Pod(c.via);
+  }
+  return w.Take();
+}
+
+template <typename C>
+bool DecodeFrontierRun(std::string_view payload, std::vector<C>* out) {
+  ckpt::BinaryReader r(payload);
+  const std::uint64_t n = r.U64();
+  std::vector<C> runs;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    C c{};
+    c.state = r.template Pod<decltype(c.state)>();
+    c.hash = r.U64();
+    c.key.first = r.U64();
+    c.key.second = r.U32();
+    c.parent = r.U64();
+    c.via = r.template Pod<decltype(c.via)>();
+    runs.push_back(c);
+  }
+  if (!r.AtEnd()) return false;
+  *out = std::move(runs);
+  return true;
+}
+
+template <typename C>
+bool SaveFrontierRun(const std::string& path, std::uint64_t digest,
+                     const std::vector<C>& run) {
+  return ckpt::WriteCheckpointFile(path, ckpt::PayloadType::kFrontierShard,
+                                   kFrontierShardVersion, digest,
+                                   EncodeFrontierRun(run));
+}
+
+// kOk and a filled *out, or the failure classification: the envelope's
+// LoadStatus verbatim, with a structurally damaged payload that passed the
+// checksum reported as kChecksumMismatch.
+template <typename C>
+ckpt::LoadStatus LoadFrontierRun(const std::string& path, std::uint64_t digest,
+                                 std::vector<C>* out) {
+  std::string payload;
+  const ckpt::LoadStatus s =
+      ckpt::ReadCheckpointFile(path, ckpt::PayloadType::kFrontierShard,
+                               kFrontierShardVersion, digest, &payload);
+  if (s != ckpt::LoadStatus::kOk) return s;
+  if (!DecodeFrontierRun(payload, out)) {
+    return ckpt::LoadStatus::kChecksumMismatch;
+  }
+  return ckpt::LoadStatus::kOk;
+}
+
+}  // namespace cnv::mck

@@ -1,5 +1,7 @@
 #include "mck/toy_models.h"
 
+#include "mck/symmetry.h"
+
 namespace cnv::mck::toys {
 
 // --- CounterModel ---
@@ -223,6 +225,53 @@ std::size_t HashValue(const DeadlockModel::State& s) {
       .Mix(s.progress[0])
       .Mix(s.progress[1])
       .Digest();
+}
+
+// --- IndepWorkersModel ---
+
+std::vector<IndepWorkersModel::Action> IndepWorkersModel::enabled(
+    const State& s) const {
+  std::vector<Action> out;
+  for (int w = 0; w < workers; ++w) {
+    if (s.count[static_cast<std::size_t>(w)] < steps) out.push_back({w});
+  }
+  return out;
+}
+
+IndepWorkersModel::State IndepWorkersModel::apply(const State& s,
+                                                  const Action& a) const {
+  State next = s;
+  ++next.count[static_cast<std::size_t>(a.worker)];
+  return next;
+}
+
+std::string IndepWorkersModel::describe(const Action& a) const {
+  return "worker " + std::to_string(a.worker) + " steps";
+}
+
+ReductionSpec<IndepWorkersModel> IndepWorkersModel::reduction() const {
+  ReductionSpec<IndepWorkersModel> spec;
+  spec.components = workers;
+  spec.owner = [](const State&, const Action& a) { return a.worker; };
+  spec.local = [](const State&, const Action&) { return true; };
+  spec.visible = [](const State&, const Action&) { return false; };
+  // No unsafe oracle: every guard reads only the worker's own counter.
+  const std::size_t n = static_cast<std::size_t>(workers);
+  spec.canonicalize = [n](const State& s) {
+    State c = s;
+    SortBlocks(c.count, n);
+    return c;
+  };
+  spec.orbit_size = [n](const State& s) {
+    return MultisetOrbitSize(s.count, n);
+  };
+  return spec;
+}
+
+std::size_t HashValue(const IndepWorkersModel::State& s) {
+  Hasher h;
+  for (const std::uint8_t c : s.count) h.Mix(c);
+  return h.Digest();
 }
 
 }  // namespace cnv::mck::toys

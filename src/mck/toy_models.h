@@ -4,11 +4,13 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "mck/hash.h"
+#include "mck/reduction.h"
 
 namespace cnv::mck::toys {
 
@@ -121,5 +123,38 @@ struct DeadlockModel {
 };
 
 std::size_t HashValue(const DeadlockModel::State& s);
+
+// --- K independent workers, each stepping a private counter up to L. The
+// poster child for state-space reduction: the full interleaving product has
+// (L+1)^K states, but every action is local and invisible, so partial-order
+// reduction collapses it to the K*L + 1 states of one serialized schedule —
+// and the workers are interchangeable, so symmetry reduction alone brings
+// the product down to the multiset space. The differential suite asserts
+// both factors on this model.
+struct IndepWorkersModel {
+  int workers = 4;
+  int steps = 4;
+
+  static constexpr std::size_t kMaxWorkers = 8;
+
+  struct State {
+    std::array<std::uint8_t, kMaxWorkers> count{};
+    bool operator==(const State&) const = default;
+  };
+  struct Action {
+    int worker = 0;
+  };
+
+  State initial() const { return {}; }
+  std::vector<Action> enabled(const State& s) const;
+  State apply(const State& s, const Action& a) const;
+  std::string describe(const Action& a) const;
+
+  // Full spec: every worker is a closed component (no shared guards at
+  // all), and workers permute freely.
+  ReductionSpec<IndepWorkersModel> reduction() const;
+};
+
+std::size_t HashValue(const IndepWorkersModel::State& s);
 
 }  // namespace cnv::mck::toys

@@ -154,6 +154,8 @@ mck::PropertySet<S1Model::State> S1Model::Properties() {
   };
 }
 
+mck::ReductionSpec<S1Model> S1Model::reduction() const { return {}; }
+
 std::size_t HashValue(const S1Model::State& s) {
   return mck::Hasher()
       .Mix(s.serving)

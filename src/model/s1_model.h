@@ -22,6 +22,7 @@
 
 #include "mck/hash.h"
 #include "mck/property.h"
+#include "mck/reduction.h"
 #include "model/vocab.h"
 #include "nas/causes.h"
 
@@ -78,6 +79,11 @@ struct S1Model {
   // PacketService_OK (§3.2.2): the device must never be involuntarily
   // out of service.
   static mck::PropertySet<State> Properties();
+
+  // Trivial reduction spec: a single-UE slice has no second component to
+  // commute against and no symmetry orbit, so enabling --por/--symmetry on
+  // a screening sweep is a sound no-op here (identical results).
+  mck::ReductionSpec<S1Model> reduction() const;
 
   const Config& config() const { return config_; }
 

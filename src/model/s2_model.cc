@@ -199,6 +199,8 @@ mck::PropertySet<S2Model::State> S2Model::Properties() {
   };
 }
 
+mck::ReductionSpec<S2Model> S2Model::reduction() const { return {}; }
+
 std::size_t HashValue(const S2Model::State& s) {
   return mck::Hasher()
       .Mix(s.ue)

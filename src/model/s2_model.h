@@ -25,6 +25,7 @@
 
 #include "mck/hash.h"
 #include "mck/property.h"
+#include "mck/reduction.h"
 #include "model/vocab.h"
 
 namespace cnv::model {
@@ -105,6 +106,11 @@ struct S2Model {
   // PacketService_OK is violated by an involuntary detach; the secondary
   // invariant flags the transient teardown on the duplicate-accept path.
   static mck::PropertySet<State> Properties();
+
+  // Trivial reduction spec: a single-UE slice has no second component to
+  // commute against and no symmetry orbit, so enabling --por/--symmetry on
+  // a screening sweep is a sound no-op here (identical results).
+  mck::ReductionSpec<S2Model> reduction() const;
 
   const Config& config() const { return config_; }
 

@@ -144,6 +144,8 @@ mck::PropertySet<S3Model::State> S3Model::Properties() const {
   };
 }
 
+mck::ReductionSpec<S3Model> S3Model::reduction() const { return {}; }
+
 std::size_t HashValue(const S3Model::State& s) {
   return mck::Hasher()
       .Mix(s.serving)

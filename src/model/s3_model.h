@@ -18,6 +18,7 @@
 
 #include "mck/hash.h"
 #include "mck/property.h"
+#include "mck/reduction.h"
 #include "model/vocab.h"
 
 namespace cnv::model {
@@ -74,6 +75,11 @@ struct S3Model {
   // systems are available. After a CSFB call ends the device must not be
   // stranded in 3G with no enabled path back to 4G.
   mck::PropertySet<State> Properties() const;
+
+  // Trivial reduction spec: a single-UE slice has no second component to
+  // commute against and no symmetry orbit, so enabling --por/--symmetry on
+  // a screening sweep is a sound no-op here (identical results).
+  mck::ReductionSpec<S3Model> reduction() const;
 
   // True when the post-call switch back to 4G cannot proceed in `s`.
   bool StuckIn3g(const State& s) const;

@@ -146,6 +146,8 @@ mck::PropertySet<S4Model::State> S4Model::Properties() {
   };
 }
 
+mck::ReductionSpec<S4Model> S4Model::reduction() const { return {}; }
+
 std::size_t HashValue(const S4Model::State& s) {
   return mck::Hasher()
       .Mix(s.mm)

@@ -19,6 +19,7 @@
 
 #include "mck/hash.h"
 #include "mck/property.h"
+#include "mck/reduction.h"
 #include "model/vocab.h"
 
 namespace cnv::model {
@@ -79,6 +80,11 @@ struct S4Model {
   std::string describe(const Action& a) const;
 
   static mck::PropertySet<State> Properties();
+
+  // Trivial reduction spec: a single-UE slice has no second component to
+  // commute against and no symmetry orbit, so enabling --por/--symmetry on
+  // a screening sweep is a sound no-op here (identical results).
+  mck::ReductionSpec<S4Model> reduction() const;
 
   const Config& config() const { return config_; }
 

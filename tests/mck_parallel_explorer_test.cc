@@ -236,5 +236,42 @@ TEST(ParallelExploreTest, ShardBitsZeroStillMatchesSerial) {
   }
 }
 
+// Regression for the shard-merge rollback: when max_states lands mid-wave
+// the merge phase must undo the over-cap insertions, and the undo now reuses
+// the hash cached at insert time instead of re-hashing the state. If the
+// erased hash ever disagreed with the inserted one the table would retain a
+// ghost entry and hash_occupancy would drift between job counts. Pin full
+// byte-identity — occupancy included — across jobs for caps that force a
+// rollback in every shard layout.
+TEST(ParallelExploreTest, RollbackLeavesHashOccupancyByteIdentical) {
+  toys::PetersonModel m{true};
+  PropertySet<toys::PetersonModel::State> props{
+      {"mutex",
+       [](const auto& s) { return !toys::PetersonModel::BothCritical(s); },
+       ""}};
+  for (const std::uint64_t cap : {3u, 5u, 9u, 13u, 21u}) {
+    SCOPED_TRACE("max_states=" + std::to_string(cap));
+    std::optional<ExploreStatsView> ref;
+    std::optional<ParallelStatsView> par_ref;
+    for (const int jobs : {1, 2, 4, 8}) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs));
+      ParallelExploreOptions opt;
+      opt.base.max_states = cap;
+      opt.jobs = jobs;
+      const auto r = ParallelExplore(m, props, opt);
+      EXPECT_TRUE(r.stats.truncated);
+      EXPECT_EQ(r.stats.states_visited, cap);
+      const auto view = DeterministicView(r.stats);  // occupancy included
+      if (!ref.has_value()) {
+        ref = view;
+        par_ref = DeterministicView(r.par);
+      } else {
+        EXPECT_EQ(view, *ref);
+        EXPECT_EQ(DeterministicView(r.par), *par_ref);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cnv::mck

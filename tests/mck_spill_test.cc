@@ -1,0 +1,263 @@
+// Disk-backed frontier tests: codec round-trip, envelope failure taxonomy,
+// byte-identity of spilled vs in-RAM exploration at several job counts,
+// recovery from corrupted/truncated/deleted spill runs via deterministic
+// re-expansion, and cleanup of consumed run files.
+#include "mck/spill.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mck/explorer.h"
+#include "mck/parallel_explorer.h"
+#include "mck/toy_models.h"
+#include "model/combined_model.h"
+
+namespace cnv::mck {
+namespace {
+
+namespace fs = std::filesystem;
+using model::CombinedModel;
+
+std::string TempDir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / "mck_spill" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+using Cand = internal::FrontierCandidate<CombinedModel::State,
+                                         CombinedModel::Action>;
+
+std::vector<Cand> SampleRun() {
+  std::vector<Cand> run;
+  for (int i = 0; i < 5; ++i) {
+    Cand c;
+    c.state.ue[0].calls = static_cast<std::uint8_t>(i);
+    c.state.msc_busy = (i % 2) == 0;
+    c.hash = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(i + 1);
+    c.key = {static_cast<std::uint64_t>(i), static_cast<std::uint32_t>(i + 1)};
+    c.parent = static_cast<std::uint64_t>(i * 3);
+    c.via = {CombinedModel::Kind::kDial, static_cast<std::uint8_t>(i % 2)};
+    run.push_back(c);
+  }
+  return run;
+}
+
+// --- codec ------------------------------------------------------------------
+
+TEST(SpillTest, FrontierRunRoundTrips) {
+  const auto run = SampleRun();
+  const std::string payload = EncodeFrontierRun(run);
+  std::vector<Cand> out;
+  ASSERT_TRUE(DecodeFrontierRun(payload, &out));
+  ASSERT_EQ(out.size(), run.size());
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    EXPECT_EQ(out[i].state, run[i].state);
+    EXPECT_EQ(out[i].hash, run[i].hash);
+    EXPECT_EQ(out[i].key, run[i].key);
+    EXPECT_EQ(out[i].parent, run[i].parent);
+  }
+}
+
+TEST(SpillTest, TruncatedOrPaddedPayloadRejected) {
+  const std::string payload = EncodeFrontierRun(SampleRun());
+  std::vector<Cand> out;
+  EXPECT_FALSE(DecodeFrontierRun(
+      std::string_view(payload).substr(0, payload.size() - 3), &out));
+  EXPECT_FALSE(DecodeFrontierRun(payload + "x", &out));
+}
+
+TEST(SpillTest, RunFileLoadStatusTaxonomy) {
+  const std::string dir = TempDir("taxonomy");
+  const std::string path = dir + "/w0_s0_j0.run";
+  const auto run = SampleRun();
+  const std::uint64_t digest = FrontierRunDigest(0, 0, 0);
+  ASSERT_TRUE(SaveFrontierRun(path, digest, run));
+
+  std::vector<Cand> out;
+  EXPECT_EQ(LoadFrontierRun(path, digest, &out), ckpt::LoadStatus::kOk);
+  EXPECT_EQ(out.size(), run.size());
+
+  // Wrong coordinates -> the digest check refuses the file.
+  EXPECT_EQ(LoadFrontierRun(path, FrontierRunDigest(1, 0, 0), &out),
+            ckpt::LoadStatus::kConfigMismatch);
+  EXPECT_EQ(LoadFrontierRun(path, FrontierRunDigest(0, 3, 0), &out),
+            ckpt::LoadStatus::kConfigMismatch);
+
+  EXPECT_EQ(LoadFrontierRun(dir + "/absent.run", digest, &out),
+            ckpt::LoadStatus::kMissing);
+
+  // Flip a payload byte -> checksum mismatch.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-5, std::ios::end);
+    f.put('\xff');
+  }
+  EXPECT_EQ(LoadFrontierRun(path, digest, &out),
+            ckpt::LoadStatus::kChecksumMismatch);
+}
+
+// --- spilled exploration is byte-identical ----------------------------------
+
+TEST(SpillTest, SpilledExplorationMatchesInRam) {
+  const CombinedModel m;
+  const auto props = m.Properties();
+  ParallelExploreOptions plain;
+  plain.jobs = 4;
+  const auto baseline = ParallelExplore(m, props, plain);
+
+  for (const int jobs : {1, 2, 4}) {
+    const std::string dir = TempDir("match_j" + std::to_string(jobs));
+    ParallelExploreOptions spilled = plain;
+    spilled.jobs = jobs;
+    spilled.spill_dir = dir;
+    const auto r = ParallelExplore(m, props, spilled);
+    EXPECT_EQ(DeterministicView(baseline.stats), DeterministicView(r.stats))
+        << "jobs=" << jobs;
+    EXPECT_EQ(DeterministicView(baseline.par), DeterministicView(r.par));
+    EXPECT_GT(r.par.spill_runs, 0u);
+    EXPECT_EQ(r.par.spill_recovered, 0u);
+    ASSERT_EQ(baseline.violations.size(), r.violations.size());
+    for (std::size_t i = 0; i < baseline.violations.size(); ++i) {
+      EXPECT_EQ(baseline.violations[i].property, r.violations[i].property);
+      EXPECT_EQ(baseline.violations[i].state, r.violations[i].state);
+    }
+    // Consumed run files are deleted as the insert phase drains them.
+    std::size_t leftovers = 0;
+    for (const auto& e : fs::directory_iterator(dir)) {
+      (void)e;
+      ++leftovers;
+    }
+    EXPECT_EQ(leftovers, 0u) << "jobs=" << jobs;
+  }
+}
+
+TEST(SpillTest, SpilledReducedExplorationMatchesSerial) {
+  const CombinedModel m;
+  const auto props = m.Properties();
+  ExploreOptions base;
+  base.reduction.por = true;
+  base.reduction.symmetry = true;
+  const auto serial = Explore(m, props, base);
+
+  const std::string dir = TempDir("reduced");
+  ParallelExploreOptions popt;
+  popt.base = base;
+  popt.jobs = 4;
+  popt.spill_dir = dir;
+  const auto par = ParallelExplore(m, props, popt);
+  EXPECT_EQ(DeterministicView(serial.stats, /*include_occupancy=*/false),
+            DeterministicView(par.stats, /*include_occupancy=*/false));
+  EXPECT_GT(par.par.spill_runs, 0u);
+}
+
+// --- recovery from damaged runs ---------------------------------------------
+
+void ExpectRecoveryMatchesBaseline(
+    const std::function<void(const std::string&)>& damage,
+    const std::string& dirname) {
+  const CombinedModel m;
+  const auto props = m.Properties();
+  ParallelExploreOptions plain;
+  plain.jobs = 4;
+  const auto baseline = ParallelExplore(m, props, plain);
+
+  const std::string dir = TempDir(dirname);
+  ParallelExploreOptions spilled = plain;
+  spilled.spill_dir = dir;
+  int touched = 0;
+  spilled.on_spill_write_for_test = [&](const std::string& path) {
+    // Damage every third run file right after it is written.
+    if (++touched % 3 == 0) damage(path);
+  };
+  const auto r = ParallelExplore(m, props, spilled);
+  EXPECT_EQ(DeterministicView(baseline.stats), DeterministicView(r.stats));
+  EXPECT_EQ(DeterministicView(baseline.par), DeterministicView(r.par));
+  EXPECT_GT(r.par.spill_recovered, 0u);
+  ASSERT_EQ(baseline.violations.size(), r.violations.size());
+  for (std::size_t i = 0; i < baseline.violations.size(); ++i) {
+    EXPECT_EQ(baseline.violations[i].property, r.violations[i].property);
+    EXPECT_EQ(baseline.violations[i].trace.size(),
+              r.violations[i].trace.size());
+    EXPECT_EQ(baseline.violations[i].state, r.violations[i].state);
+  }
+}
+
+TEST(SpillTest, RecoversFromCorruptedRuns) {
+  ExpectRecoveryMatchesBaseline(
+      [](const std::string& path) {
+        std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(-1, std::ios::end);
+        f.put('\x5a');
+      },
+      "corrupt");
+}
+
+TEST(SpillTest, RecoversFromTruncatedRuns) {
+  ExpectRecoveryMatchesBaseline(
+      [](const std::string& path) {
+        fs::resize_file(path, fs::file_size(path) / 2);
+      },
+      "truncate");
+}
+
+TEST(SpillTest, RecoversFromDeletedRuns) {
+  ExpectRecoveryMatchesBaseline(
+      [](const std::string& path) { fs::remove(path); }, "delete");
+}
+
+TEST(SpillTest, RecoversWhenEveryRunIsDamaged) {
+  const CombinedModel m;
+  const auto props = m.Properties();
+  ParallelExploreOptions plain;
+  plain.jobs = 2;
+  const auto baseline = ParallelExplore(m, props, plain);
+
+  const std::string dir = TempDir("all_bad");
+  ParallelExploreOptions spilled = plain;
+  spilled.spill_dir = dir;
+  spilled.on_spill_write_for_test = [](const std::string& path) {
+    fs::remove(path);
+  };
+  const auto r = ParallelExplore(m, props, spilled);
+  EXPECT_EQ(DeterministicView(baseline.stats), DeterministicView(r.stats));
+  EXPECT_EQ(r.par.spill_recovered, r.par.spill_runs);
+}
+
+// --- spill on a reduced run with recovery (everything at once) --------------
+
+TEST(SpillTest, ReducedSpilledRecoveredStillByteIdentical) {
+  const CombinedModel m;
+  const auto props = m.Properties();
+  ExploreOptions base;
+  base.reduction.por = true;
+  base.reduction.symmetry = true;
+  const auto serial = Explore(m, props, base);
+
+  const std::string dir = TempDir("reduced_recovery");
+  ParallelExploreOptions popt;
+  popt.base = base;
+  popt.jobs = 4;
+  popt.spill_dir = dir;
+  int touched = 0;
+  popt.on_spill_write_for_test = [&](const std::string& path) {
+    if (++touched % 2 == 0) fs::remove(path);
+  };
+  const auto par = ParallelExplore(m, props, popt);
+  EXPECT_EQ(DeterministicView(serial.stats, /*include_occupancy=*/false),
+            DeterministicView(par.stats, /*include_occupancy=*/false));
+  EXPECT_GT(par.par.spill_recovered, 0u);
+  ASSERT_EQ(serial.violations.size(), par.violations.size());
+  for (std::size_t i = 0; i < serial.violations.size(); ++i) {
+    EXPECT_EQ(serial.violations[i].property, par.violations[i].property);
+    EXPECT_EQ(serial.violations[i].state, par.violations[i].state);
+  }
+}
+
+}  // namespace
+}  // namespace cnv::mck
